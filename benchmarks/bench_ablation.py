@@ -1,0 +1,59 @@
+"""Ablation benchmarks: segment size, slot checking, output collection.
+
+These cover the design choices DESIGN.md section 6 calls out, plus the
+Section V.G aggregation extension.
+"""
+
+import pathlib
+import tempfile
+
+from repro.experiments.ablation import (
+    run_segment_size_sweep,
+    run_slot_check_ablation,
+)
+from repro.ext.aggregation import compare_collection_schemes
+from repro.localrt.jobs import aggregation_job
+from repro.localrt.records import DelimitedReader
+from repro.localrt.storage import BlockStore
+from repro.workloads.tpch import LINEITEM_COLUMNS, LineitemGenerator
+
+from conftest import run_once
+
+
+def test_segment_size_sweep(benchmark, print_report):
+    result = run_once(benchmark, run_segment_size_sweep)
+    print_report(result)
+    tet = dict(zip(result.extra["segment_sizes"], result.extra["tet"]))
+    # Under-filling the cluster (tiny segments) is the expensive failure.
+    assert tet[10] > 1.5 * tet[40]
+    # The paper's ideal (segment = slot count) sits at the knee.
+    assert tet[80] > 0.9 * tet[40]
+
+
+def test_slot_checking_on_stragglers(benchmark, print_report):
+    result = run_once(benchmark, run_slot_check_ablation)
+    print_report(result)
+    assert result.metric("S3+check").tet < result.metric("S3").tet
+    assert result.metric("S3+check").art < result.metric("S3").art
+
+
+def _aggregation_comparison():
+    with tempfile.TemporaryDirectory() as tmp:
+        store = BlockStore.create(
+            pathlib.Path(tmp) / "lineitem",
+            LineitemGenerator(seed=21).rows_for_bytes(200_000),
+            block_size_bytes=20_000)
+        reader = DelimitedReader("|", len(LINEITEM_COLUMNS))
+        return compare_collection_schemes(
+            store, lambda: [aggregation_job("agg")],
+            reader=reader, blocks_per_segment=2)
+
+
+def test_progressive_aggregation_collection(benchmark):
+    comparison = benchmark.pedantic(_aggregation_comparison,
+                                    rounds=3, iterations=1)
+    assert comparison.outputs_match()
+    reduction = comparison.final_merge_reduction("agg")
+    print(f"\nSection V.G extension — final merge input reduced by "
+          f"{reduction:.0%} with progressive folding")
+    assert reduction > 0.5

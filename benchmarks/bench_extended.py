@@ -1,0 +1,61 @@
+"""Benchmarks for the extended experiments (beyond the paper's figures).
+
+* scheduler landscape — Section II.B baselines + cost-optimal MRShare;
+* speculative-execution ablation on a straggler cluster;
+* fault-recovery overhead.
+"""
+
+from repro.experiments.extended import (
+    run_dispatch_ablation,
+    run_fault_recovery,
+    run_scheduler_landscape,
+    run_speculation_ablation,
+)
+from repro.experiments.local_shared_scan import run as run_local
+from repro.experiments.poisson_sweep import run as run_poisson
+
+from conftest import run_once
+
+
+def test_scheduler_landscape(benchmark, print_report):
+    result = run_once(benchmark, run_scheduler_landscape)
+    print_report(result)
+    # S3 beats even the optimally-grouped MRShare on ART.
+    assert result.ratio("MRS-opt[tet]")[1] > 1.2
+    # The TET-optimal grouping is competitive with S3 on TET alone.
+    assert result.ratio("MRS-opt[tet]")[0] < 1.05
+
+
+def test_speculation_ablation(benchmark, print_report):
+    result = run_once(benchmark, run_speculation_ablation)
+    print_report(result)
+    assert result.metric("S3+spec").tet < result.metric("S3").tet
+    assert result.metric("S3+check").tet < result.metric("S3+spec").tet
+
+
+def test_fault_recovery(benchmark, print_report):
+    result = run_once(benchmark, run_fault_recovery)
+    print_report(result)
+    assert 0.0 < result.extra["overhead"] < 0.5
+
+
+def test_dispatch_mode(benchmark, print_report):
+    result = run_once(benchmark, run_dispatch_ablation)
+    print_report(result)
+    assert result.extra["tet_overhead"] > 0.05
+
+
+def test_real_data_shared_scan(benchmark, print_report):
+    result = run_once(benchmark, run_local)
+    print_report(result)
+    assert result.extra["saving"] > 0.2
+
+
+def test_poisson_arrival_sweep(benchmark, print_report):
+    result = run_once(benchmark, run_poisson)
+    print_report(result)
+    # Saturated end: sharing policies beat FIFO decisively on TET.
+    assert result.extra["S3_tet"][0] < 0.5 * result.extra["FIFO_tet"][0]
+    # Isolated end: convergence.
+    assert (result.extra["S3_tet"][-1]
+            < 1.05 * result.extra["FIFO_tet"][-1])

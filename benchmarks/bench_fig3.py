@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 3 (cost of combined job processing).
+
+Paper series: total execution time, average map time and average reduce
+time for n = 1..10 combined wordcount jobs; at n = 10 the paper reports
++25.5 % TET, +28.8 % map time, +23.5 % reduce time over a single job.
+"""
+
+from repro.experiments.fig3 import run as run_fig3
+
+from conftest import run_once
+
+
+def test_fig3_combined_job_cost(benchmark, print_report):
+    result = run_once(benchmark, run_fig3)
+    print_report(result)
+    tet_ratio = result.extra["total_execution_s_ratio"][-1]
+    map_ratio = result.extra["avg_map_task_s_ratio"][-1]
+    reduce_ratio = result.extra["avg_reduce_task_s_ratio"][-1]
+    assert abs(map_ratio - 1.288) < 0.01
+    assert abs(reduce_ratio - 1.235) < 0.01
+    assert abs(tet_ratio - 1.255) < 0.05

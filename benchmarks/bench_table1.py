@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table I (wordcount workload details)."""
+
+from repro.experiments.table1 import run as run_table1
+
+from conftest import run_once
+
+
+def test_table1_workload_details(benchmark, print_report):
+    result = run_once(benchmark, run_table1)
+    print_report(result)
+    # Paper rows (Table I).
+    assert abs(result.extra["map_output_records"] - 250e6) < 0.02 * 250e6
+    assert 60_000 <= result.extra["reduce_output_records"] <= 80_000
+    assert 230 <= result.extra["processing_time_s"] <= 320

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artifact (Table I, Figure 3, Figure 4a-f) has one benchmark
+that regenerates it and prints the same rows/series the paper reports.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark executes its experiment once per round (the experiments are
+deterministic; variance comes only from the host machine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with single-iteration rounds and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=3, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def print_report():
+    """Print an ExperimentResult's report under the benchmark output."""
+    def _print(result):
+        print()
+        print(result.report)
+        return result
+    return _print

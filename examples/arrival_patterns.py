@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""How job arrival patterns change the FIFO / MRShare / S3 trade-off.
+
+Sweeps arrival density — from fully dense (all jobs at once) to very sparse
+(jobs barely overlapping) — over the paper's 160 GB wordcount workload and
+prints TET/ART for the three schedulers at each point.  This reproduces the
+paper's central qualitative claim (Sections III and V.D):
+
+* dense arrivals: MRShare's single batch is optimal; S3 close behind
+  (per-sub-job overhead); FIFO terrible;
+* sparse arrivals: batching makes early jobs wait, so MRShare's ART
+  degrades while S3 keeps both metrics low;
+* very sparse arrivals: nothing overlaps, every scheme converges.
+
+Run:  python examples/arrival_patterns.py
+"""
+
+from repro import (
+    FifoScheduler,
+    JobSpec,
+    MRShareScheduler,
+    S3Scheduler,
+    SimulationDriver,
+    compute_metrics,
+)
+from repro.common.units import gb
+from repro.experiments import paper_cost_model
+from repro.mapreduce import normal_wordcount
+from repro.workloads import uniform
+
+NUM_JOBS = 8
+
+#: Mean inter-arrival gaps to sweep, in seconds (one job ~ 297 s).
+GAPS = (0.0, 30.0, 90.0, 180.0, 300.0, 450.0)
+
+
+def run_one(scheduler, arrivals):
+    driver = SimulationDriver(scheduler, cost_model=paper_cost_model())
+    driver.register_file("corpus.txt", gb(160))
+    profile = normal_wordcount()
+    jobs = [JobSpec(job_id=f"j{i}", file_name="corpus.txt", profile=profile)
+            for i in range(len(arrivals))]
+    driver.submit_all(jobs, arrivals)
+    return compute_metrics(scheduler.name, driver.run().timelines)
+
+
+def main() -> None:
+    print(f"{NUM_JOBS} wordcount jobs (~297s each), uniform arrivals\n")
+    header = (f"{'gap (s)':>8} | {'FIFO TET/ART':>16} | "
+              f"{'MRShare TET/ART':>16} | {'S3 TET/ART':>16}")
+    print(header)
+    print("-" * len(header))
+    for gap in GAPS:
+        arrivals = uniform(NUM_JOBS, gap)
+        rows = {}
+        for scheduler in (FifoScheduler(),
+                          MRShareScheduler.single_batch(NUM_JOBS),
+                          S3Scheduler()):
+            metrics = run_one(scheduler, arrivals)
+            rows[metrics.scheduler] = metrics
+        def fmt(name):
+            m = rows[name]
+            return f"{m.tet:7.0f}/{m.art:6.0f}"
+        print(f"{gap:>8.0f} | {fmt('FIFO'):>16} | {fmt('MRS1'):>16} | "
+              f"{fmt('S3'):>16}")
+    print("\nReading: at gap 0 MRShare's single batch wins outright; as the "
+          "gap grows its ART\nblows up (early jobs wait for the batch) while "
+          "S3 stays low on both metrics.")
+
+
+if __name__ == "__main__":
+    main()

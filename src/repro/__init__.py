@@ -1,0 +1,28 @@
+"""repro — a from-scratch reproduction of
+"S3: An Efficient Shared Scan Scheduler on MapReduce Framework" (ICPP 2011).
+
+Top-level convenience re-exports cover the most common entry points; see the
+subpackages for the full API:
+
+* :mod:`repro.simengine` — discrete-event engine
+* :mod:`repro.cluster` / :mod:`repro.dfs` — cluster and HDFS-like substrate
+* :mod:`repro.mapreduce` — simulated MapReduce engine + cost model
+* :mod:`repro.schedulers` — FIFO, MRShare and the S3 shared scan scheduler
+* :mod:`repro.localrt` — a real (executing) mini-MapReduce runtime with
+  shared-scan support
+* :mod:`repro.workloads` / :mod:`repro.metrics` / :mod:`repro.experiments`
+"""
+
+from .common import ClusterConfig, DfsConfig
+from .mapreduce import CostModel, JobSpec, SimulationDriver
+from .metrics import compute_metrics, format_table
+from .schedulers import FifoScheduler, MRShareScheduler, S3Config, S3Scheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig", "DfsConfig", "CostModel", "JobSpec", "SimulationDriver",
+    "compute_metrics", "format_table",
+    "FifoScheduler", "MRShareScheduler", "S3Config", "S3Scheduler",
+    "__version__",
+]

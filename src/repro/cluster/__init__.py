@@ -1,0 +1,11 @@
+"""Cluster model: nodes, racks, topology, slots, heartbeats."""
+
+from .cluster import Cluster
+from .heartbeat import HeartbeatReport, TaskProgress
+from .node import Node
+from .topology import DIST_NODE_LOCAL, DIST_OFF_RACK, DIST_RACK_LOCAL, Topology
+
+__all__ = [
+    "Cluster", "HeartbeatReport", "TaskProgress", "Node", "Topology",
+    "DIST_NODE_LOCAL", "DIST_OFF_RACK", "DIST_RACK_LOCAL",
+]

@@ -1,0 +1,52 @@
+"""Heartbeat / slot-status reporting.
+
+Real Hadoop task trackers send periodic heartbeats carrying free-slot counts
+and task progress; the S3 paper builds its *periodical slot checking* on top
+of the same channel.  In the simulator the driver already knows completion
+times exactly, so the heartbeat layer's job is different: it produces the
+*sampled, delayed* view of progress that a slot checker would actually see,
+including estimated completion times (Section IV-D.1: "collects the
+information of job type, start time and current process on each slave node,
+and estimates the completion time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TaskProgress:
+    """Progress snapshot of one running task attempt."""
+
+    attempt_id: str
+    node_id: str
+    start_time: float
+    expected_duration: float
+
+    def progress_at(self, now: float) -> float:
+        """Fraction complete in [0, 1] assuming linear progress."""
+        if self.expected_duration <= 0:
+            return 1.0
+        return min(1.0, max(0.0, (now - self.start_time) / self.expected_duration))
+
+    def estimated_completion(self, now: float) -> float:
+        """Estimated absolute completion time, never before ``now``."""
+        return max(now, self.start_time + self.expected_duration)
+
+
+@dataclass(frozen=True)
+class HeartbeatReport:
+    """One node's heartbeat: free slots plus running-task progress."""
+
+    node_id: str
+    time: float
+    free_map_slots: int
+    free_reduce_slots: int
+    running: tuple[TaskProgress, ...] = ()
+
+    def slowest_estimated_completion(self, now: float) -> float | None:
+        """Latest estimated completion among running tasks, or None if idle."""
+        if not self.running:
+            return None
+        return max(t.estimated_completion(now) for t in self.running)

@@ -1,0 +1,101 @@
+"""Configuration dataclasses shared across the simulator packages.
+
+The defaults reproduce the paper's testbed (Section V.A):
+
+* 1 master + 40 slave nodes, three racks of 10-15 nodes, 1 Gbps links;
+* 1 map slot per node (40 concurrent map tasks cluster-wide);
+* 30 reduce tasks per job;
+* HDFS block size 64 MB, replication factor 1;
+* speculative execution disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated cluster.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of slave nodes (the master is implicit).
+    map_slots_per_node:
+        Concurrent map tasks a node can run.  The paper uses 1.
+    reduce_slots_per_node:
+        Concurrent reduce tasks a node can run.  The paper runs 30 reduce
+        tasks on 40 nodes, i.e. one slot per node is sufficient.
+    rack_sizes:
+        Number of nodes in each rack; must sum to ``num_nodes``.
+    node_speeds:
+        Optional per-node relative speed factors (1.0 = nominal).  Lengths
+        must equal ``num_nodes``.  ``None`` means homogeneous.
+    link_bandwidth_mbps:
+        Network link bandwidth in megabytes/second used by the shuffle model
+        (1 Gbps ~ 119 MB/s; we round to 120).
+    """
+
+    num_nodes: int = 40
+    map_slots_per_node: int = 1
+    reduce_slots_per_node: int = 1
+    rack_sizes: Sequence[int] = (13, 13, 14)
+    node_speeds: Sequence[float] | None = None
+    link_bandwidth_mbps: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigError("num_nodes must be positive")
+        if self.map_slots_per_node <= 0 or self.reduce_slots_per_node <= 0:
+            raise ConfigError("slot counts must be positive")
+        if sum(self.rack_sizes) != self.num_nodes:
+            raise ConfigError(
+                f"rack_sizes {tuple(self.rack_sizes)} sum to "
+                f"{sum(self.rack_sizes)}, expected num_nodes={self.num_nodes}")
+        if any(size <= 0 for size in self.rack_sizes):
+            raise ConfigError("every rack must contain at least one node")
+        if self.node_speeds is not None:
+            if len(self.node_speeds) != self.num_nodes:
+                raise ConfigError("node_speeds length must equal num_nodes")
+            if any(speed <= 0 for speed in self.node_speeds):
+                raise ConfigError("node speeds must be positive")
+        if self.link_bandwidth_mbps <= 0:
+            raise ConfigError("link_bandwidth_mbps must be positive")
+
+    @property
+    def total_map_slots(self) -> int:
+        """Cluster-wide concurrent map capacity."""
+        return self.num_nodes * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        """Cluster-wide concurrent reduce capacity."""
+        return self.num_nodes * self.reduce_slots_per_node
+
+
+@dataclass(frozen=True)
+class DfsConfig:
+    """Static description of the simulated distributed file system."""
+
+    block_size_mb: float = 64.0
+    replication: int = 1
+
+    def __post_init__(self) -> None:
+        if self.block_size_mb <= 0:
+            raise ConfigError("block_size_mb must be positive")
+        if self.replication < 1:
+            raise ConfigError("replication must be >= 1")
+
+
+def paper_cluster() -> ClusterConfig:
+    """The 40-slave cluster of Section V.A."""
+    return ClusterConfig()
+
+
+def paper_dfs(block_size_mb: float = 64.0) -> DfsConfig:
+    """The paper's HDFS configuration (64 MB blocks unless swept)."""
+    return DfsConfig(block_size_mb=block_size_mb, replication=1)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so applications can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler violated one of its invariants."""
+
+
+class DfsError(ReproError):
+    """A distributed-file-system operation failed (unknown file, bad block...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or generator was mis-used."""
+
+
+class ExecutionError(ReproError):
+    """The local (real) MapReduce runtime failed while executing a job."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured or driven incorrectly."""

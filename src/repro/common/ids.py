@@ -1,0 +1,73 @@
+"""Typed identifier helpers.
+
+The simulator juggles jobs, sub-jobs, tasks, task attempts, nodes, blocks and
+segments.  Using plain strings with a structured format keeps traces readable
+(``job_0003.map_0120.attempt_0``) while the factory functions below keep the
+formats consistent across the code base.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+def job_id(index: int) -> str:
+    """Identifier for the ``index``-th submitted job."""
+    return f"job_{index:04d}"
+
+
+def subjob_id(job: str, segment_index: int) -> str:
+    """Identifier for the sub-job of ``job`` covering segment ``segment_index``."""
+    return f"{job}.sub_{segment_index:04d}"
+
+
+def map_task_id(owner: str, block_index: int) -> str:
+    """Identifier for a map task of ``owner`` (a job or batch) on a block."""
+    return f"{owner}.map_{block_index:05d}"
+
+
+def reduce_task_id(owner: str, partition: int) -> str:
+    """Identifier for a reduce task of ``owner`` on ``partition``."""
+    return f"{owner}.red_{partition:04d}"
+
+
+def attempt_id(task: str, attempt: int) -> str:
+    """Identifier for the ``attempt``-th attempt of ``task``."""
+    return f"{task}.attempt_{attempt}"
+
+
+def node_id(index: int) -> str:
+    """Identifier for the ``index``-th slave node."""
+    return f"node_{index:03d}"
+
+
+def rack_id(index: int) -> str:
+    """Identifier for the ``index``-th rack."""
+    return f"rack_{index}"
+
+
+def block_id(file_name: str, index: int) -> str:
+    """Identifier for the ``index``-th block of ``file_name``."""
+    return f"{file_name}#blk_{index:05d}"
+
+
+@dataclass
+class IdAllocator:
+    """Monotonic integer allocator used for jobs and batches.
+
+    >>> alloc = IdAllocator()
+    >>> alloc.next_job()
+    'job_0000'
+    >>> alloc.next_job()
+    'job_0001'
+    """
+
+    _job_counter: "itertools.count[int]" = field(default_factory=itertools.count)
+    _batch_counter: "itertools.count[int]" = field(default_factory=itertools.count)
+
+    def next_job(self) -> str:
+        return job_id(next(self._job_counter))
+
+    def next_batch(self) -> str:
+        return f"batch_{next(self._batch_counter):04d}"

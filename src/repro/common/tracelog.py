@@ -1,0 +1,102 @@
+"""Structured trace recording.
+
+The simulator emits one :class:`TraceRecord` per interesting state change
+(job arrival, task start/finish, sub-job batch launch ...).  Traces power the
+metrics layer, debugging, and the assertions in integration tests — they are
+the simulated analogue of a Hadoop job-history log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """A single timestamped event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    kind:
+        Event category, e.g. ``"job.submit"`` / ``"task.finish"``.
+    subject:
+        Identifier of the entity the event concerns (job id, task id ...).
+    detail:
+        Free-form key/value payload.
+    """
+
+    time: float
+    kind: str
+    subject: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """An append-only, time-ordered event log.
+
+    Records must be appended in non-decreasing time order (the simulator
+    guarantees this); violations raise ``ValueError`` to surface engine bugs
+    early.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def record(self, time: float, kind: str, subject: str, **detail: Any) -> TraceRecord:
+        """Append and return a new record."""
+        if self._records and time < self._records[-1].time - 1e-9:
+            raise ValueError(
+                f"trace time went backwards: {time} < {self._records[-1].time}")
+        rec = TraceRecord(time=time, kind=kind, subject=subject, detail=dict(detail))
+        self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def filter(self, kind: str | None = None,
+               subject: str | None = None,
+               predicate: Callable[[TraceRecord], bool] | None = None) -> list[TraceRecord]:
+        """Return records matching all the given criteria."""
+        out = []
+        for rec in self._records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if subject is not None and rec.subject != subject:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def first(self, kind: str, subject: str | None = None) -> TraceRecord | None:
+        """First record of ``kind`` (optionally for ``subject``), or None."""
+        for rec in self._records:
+            if rec.kind == kind and (subject is None or rec.subject == subject):
+                return rec
+        return None
+
+    def last(self, kind: str, subject: str | None = None) -> TraceRecord | None:
+        """Last record of ``kind`` (optionally for ``subject``), or None."""
+        for rec in reversed(self._records):
+            if rec.kind == kind and (subject is None or rec.subject == subject):
+                return rec
+        return None
+
+    def dump(self, limit: int | None = None) -> str:
+        """Human-readable rendering (for debugging and examples)."""
+        rows = self._records if limit is None else self._records[:limit]
+        lines = []
+        for rec in rows:
+            detail = " ".join(f"{k}={v}" for k, v in sorted(rec.detail.items()))
+            lines.append(f"[{rec.time:10.2f}] {rec.kind:<18} {rec.subject} {detail}".rstrip())
+        return "\n".join(lines)

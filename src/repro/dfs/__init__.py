@@ -1,0 +1,12 @@
+"""Simulated distributed file system: blocks, files, placement, segments."""
+
+from .block import Block, DfsFile
+from .namenode import NameNode
+from .placement import PlacementPolicy, RackAwarePlacement, RoundRobinPlacement
+from .segments import Segment, SegmentPlan
+
+__all__ = [
+    "Block", "DfsFile", "NameNode",
+    "PlacementPolicy", "RackAwarePlacement", "RoundRobinPlacement",
+    "Segment", "SegmentPlan",
+]

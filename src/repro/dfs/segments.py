@@ -1,0 +1,115 @@
+"""Segments: the S3 storage-level unit of sharing (Section IV-B).
+
+A *segment* is a run of consecutive blocks sized so one segment saturates the
+cluster's concurrent map slots ("the number of blocks per segment should be
+the same as the number of concurrent map slots allowed in the cluster").
+With ``N`` blocks and ``m`` blocks per segment there are ``k = ceil(N/m)``
+segments; the last segment may be ragged.
+
+Segments are visited in a fixed circular order: a job admitted at segment
+``j`` covers ``j, j+1, ..., k-1, 0, ..., j-1`` (the paper's "round-robin data
+scan").  :meth:`SegmentPlan.circular_order` materialises that order and
+:meth:`SegmentPlan.segments_between` answers alignment queries for the Job
+Queue Manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import DfsError
+from .block import DfsFile
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous run of blocks of one file."""
+
+    file_name: str
+    index: int
+    block_indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.block_indices:
+            raise DfsError(f"segment {self.index} of {self.file_name!r} is empty")
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_indices)
+
+
+class SegmentPlan:
+    """The segmentation of one file plus circular-order arithmetic."""
+
+    def __init__(self, dfs_file: DfsFile, blocks_per_segment: int) -> None:
+        if blocks_per_segment <= 0:
+            raise DfsError(
+                f"blocks_per_segment must be positive, got {blocks_per_segment}")
+        self.file_name = dfs_file.name
+        self.blocks_per_segment = blocks_per_segment
+        self.num_blocks = dfs_file.num_blocks
+        segments: list[Segment] = []
+        for seg_index, start in enumerate(range(0, dfs_file.num_blocks,
+                                                blocks_per_segment)):
+            end = min(start + blocks_per_segment, dfs_file.num_blocks)
+            segments.append(Segment(
+                file_name=dfs_file.name,
+                index=seg_index,
+                block_indices=tuple(range(start, end)),
+            ))
+        self._segments = tuple(segments)
+        self._block_to_segment = {
+            b: seg.index for seg in segments for b in seg.block_indices}
+
+    # ---------------------------------------------------------------- access
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        return self._segments
+
+    def segment(self, index: int) -> Segment:
+        try:
+            return self._segments[index]
+        except IndexError:
+            raise DfsError(
+                f"{self.file_name!r}: segment index {index} out of range "
+                f"(k={self.num_segments})") from None
+
+    def segment_of_block(self, block_index: int) -> int:
+        try:
+            return self._block_to_segment[block_index]
+        except KeyError:
+            raise DfsError(
+                f"{self.file_name!r}: no block index {block_index}") from None
+
+    # -------------------------------------------------------- circular order
+    def next_segment(self, index: int) -> int:
+        """The segment after ``index`` in circular order (wraps to 0)."""
+        self.segment(index)  # validate
+        return (index + 1) % self.num_segments
+
+    def circular_order(self, start: int) -> list[int]:
+        """Visit order ``start, start+1, ..., k-1, 0, ..., start-1``."""
+        self.segment(start)  # validate
+        k = self.num_segments
+        return [(start + offset) % k for offset in range(k)]
+
+    def segments_between(self, start: int, current: int) -> int:
+        """How many segments a job admitted at ``start`` has completed when
+        the scan pointer has *finished* segment ``current``.
+
+        Equivalently: the 1-based position of ``current`` in
+        ``circular_order(start)``.
+        """
+        self.segment(start)
+        self.segment(current)
+        k = self.num_segments
+        return (current - start) % k + 1
+
+    def is_last_segment_for(self, start: int, current: int) -> bool:
+        """True when ``current`` is the final segment of a job that started
+        at ``start`` (i.e. the segment just before ``start`` circularly)."""
+        return self.segments_between(start, current) == self.num_segments

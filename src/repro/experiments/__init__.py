@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper table/figure plus ablations."""
+
+from .base import ExperimentResult, run_comparison, run_scheduler
+from .paperconfig import (
+    dense_pattern,
+    paper_cluster_config,
+    paper_cost_model,
+    paper_dfs_config,
+    sparse_pattern,
+)
+from .registry import ALL, REGISTRY, run_experiment
+
+__all__ = [
+    "ExperimentResult", "run_comparison", "run_scheduler",
+    "dense_pattern", "paper_cluster_config", "paper_cost_model",
+    "paper_dfs_config", "sparse_pattern",
+    "ALL", "REGISTRY", "run_experiment",
+]

@@ -1,0 +1,105 @@
+"""Ablations of S3's design choices (DESIGN.md section 6).
+
+1. **Segment size** (Section IV-B): the paper sets blocks-per-segment equal
+   to the cluster's concurrent map slots.  Smaller segments align jobs at a
+   finer grain (lower waiting) but pay the per-sub-job launch overhead more
+   often and under-fill the cluster; larger segments amortise overhead but
+   make arriving jobs wait longer for the next boundary.
+2. **Periodical slot checking** (Section IV-D.1): with heterogeneous node
+   speeds, excluding slow nodes from the next round trades a little
+   parallelism for not having every wave dragged by the slowest node.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..common.config import ClusterConfig
+from ..metrics.measures import ScheduleMetrics
+from ..metrics.report import format_series
+from ..schedulers.s3 import S3Config, S3Scheduler
+from ..workloads.wordcount import normal_workload
+from .base import ExperimentResult, run_scheduler
+from .paperconfig import NUM_JOBS, sparse_pattern
+
+#: Default sweep: fractions/multiples of the 40-slot ideal.
+SEGMENT_SIZES = (10, 20, 40, 80, 160)
+
+
+def run_segment_size_sweep(segment_sizes: Sequence[int] = SEGMENT_SIZES,
+                           ) -> ExperimentResult:
+    """S3 TET/ART as a function of blocks-per-segment (sparse pattern)."""
+    workload = normal_workload(NUM_JOBS)
+    arrivals = sparse_pattern()
+    tet, art = [], []
+    for size in segment_sizes:
+        scheduler = S3Scheduler(S3Config(blocks_per_segment=size))
+        metrics, _ = run_scheduler(
+            scheduler, workload.make_jobs(), arrivals,
+            file_name=workload.file_name, file_size_mb=workload.file_size_mb)
+        tet.append(metrics.tet)
+        art.append(metrics.art)
+    report = format_series(
+        "Ablation — S3 segment size (paper ideal: 40 = cluster map slots)",
+        "blocks/segment", [float(s) for s in segment_sizes],
+        {"TET_s": tet, "ART_s": art})
+    return ExperimentResult(
+        experiment_id="abl-seg",
+        title="Segment size ablation",
+        extra={"segment_sizes": list(segment_sizes), "tet": tet, "art": art},
+        report=report,
+    )
+
+
+def heterogeneous_cluster(num_slow: int = 5, slow_speed: float = 0.45,
+                          ) -> ClusterConfig:
+    """The paper's 40-node cluster with ``num_slow`` stragglers."""
+    speeds = [1.0] * 40
+    for index in range(num_slow):
+        # Spread the stragglers across racks.
+        speeds[(index * 40) // num_slow] = slow_speed
+    return ClusterConfig(node_speeds=speeds)
+
+
+def run_slot_check_ablation(num_slow: int = 5, slow_speed: float = 0.45,
+                            ) -> ExperimentResult:
+    """S3 with vs without periodical slot checking on a straggler cluster.
+
+    The checked variant also enables adaptive segment sizing so iterations
+    shrink to the available (non-excluded) slots — Section IV-D.2.
+    """
+    workload = normal_workload(NUM_JOBS)
+    arrivals = sparse_pattern()
+    cluster = heterogeneous_cluster(num_slow, slow_speed)
+    variants = {
+        "S3": S3Config(),
+        "S3+check": S3Config(slot_check_enabled=True, adaptive_segments=True,
+                             slot_check_interval_s=15.0),
+    }
+    metrics: list[ScheduleMetrics] = []
+    for label, config in variants.items():
+        scheduler = S3Scheduler(config)
+        scheduler.name = label
+        m, _ = run_scheduler(
+            scheduler, workload.make_jobs(), arrivals,
+            file_name=workload.file_name, file_size_mb=workload.file_size_mb,
+            cluster_config=cluster)
+        metrics.append(m)
+    base, checked = metrics
+    lines = [
+        f"Ablation — periodical slot checking "
+        f"({num_slow} nodes at {slow_speed:.0%} speed)",
+        "=" * 64,
+        f"{'variant':<10} {'TET':>10.10} {'ART':>10.10}",
+        f"{base.scheduler:<10} {base.tet:>10.1f} {base.art:>10.1f}",
+        f"{checked.scheduler:<10} {checked.tet:>10.1f} {checked.art:>10.1f}",
+        f"TET improvement: {(1 - checked.tet / base.tet):.1%}   "
+        f"ART improvement: {(1 - checked.art / base.art):.1%}",
+    ]
+    return ExperimentResult(
+        experiment_id="abl-het",
+        title="Slot checking ablation",
+        metrics=metrics,
+        extra={"num_slow": num_slow, "slow_speed": slow_speed},
+        report="\n".join(lines),
+    )

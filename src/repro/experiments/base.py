@@ -1,0 +1,93 @@
+"""Experiment harness plumbing shared by every figure/table reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..common.config import ClusterConfig, DfsConfig
+from ..common.errors import ExperimentError
+from ..mapreduce.costmodel import CostModel
+from ..mapreduce.driver import Scheduler, SimulationDriver, SimulationResult
+from ..mapreduce.faults import FaultModel, SpeculationConfig
+from ..mapreduce.job import JobSpec
+from ..metrics.measures import ScheduleMetrics, compute_metrics
+from .paperconfig import paper_cluster_config, paper_cost_model, paper_dfs_config
+
+#: A factory is needed (not an instance) because each scheduler binds to one
+#: driver; comparing five policies means five fresh scheduler objects.
+SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced: per-scheduler metrics + extras."""
+
+    experiment_id: str
+    title: str
+    metrics: list[ScheduleMetrics] = field(default_factory=list)
+    #: Free-form extra payload (series data, statistics, notes).
+    extra: dict[str, Any] = field(default_factory=dict)
+    report: str = ""
+
+    def metric(self, scheduler: str) -> ScheduleMetrics:
+        for m in self.metrics:
+            if m.scheduler == scheduler:
+                return m
+        raise ExperimentError(
+            f"{self.experiment_id}: no metrics for {scheduler!r} "
+            f"({[m.scheduler for m in self.metrics]})")
+
+    def ratio(self, scheduler: str, baseline: str = "S3") -> tuple[float, float]:
+        """(TET ratio, ART ratio) of ``scheduler`` relative to ``baseline``."""
+        m, b = self.metric(scheduler), self.metric(baseline)
+        return m.tet / b.tet, m.art / b.art
+
+
+def run_scheduler(scheduler: Scheduler, jobs: Sequence[JobSpec],
+                  arrivals: Sequence[float], *,
+                  file_name: str, file_size_mb: float,
+                  cluster_config: ClusterConfig | None = None,
+                  dfs_config: DfsConfig | None = None,
+                  cost_model: CostModel | None = None,
+                  fault_model: FaultModel | None = None,
+                  speculation: SpeculationConfig | None = None,
+                  ) -> tuple[ScheduleMetrics, SimulationResult]:
+    """Run one scheduler over one timed workload; returns metrics + raw result.
+
+    Defaults to the paper's cluster, DFS and calibrated cost model.
+    """
+    driver = SimulationDriver(
+        scheduler,
+        cluster_config=cluster_config or paper_cluster_config(),
+        dfs_config=dfs_config or paper_dfs_config(),
+        cost_model=cost_model or paper_cost_model(),
+        fault_model=fault_model,
+        speculation=speculation,
+    )
+    driver.register_file(file_name, file_size_mb)
+    driver.submit_all(list(jobs), list(arrivals))
+    result = driver.run()
+    return compute_metrics(scheduler.name, result.timelines), result
+
+
+def run_comparison(factories: Sequence[SchedulerFactory],
+                   jobs_factory: Callable[[], list[JobSpec]],
+                   arrivals: Sequence[float], *,
+                   file_name: str, file_size_mb: float,
+                   cluster_config: ClusterConfig | None = None,
+                   dfs_config: DfsConfig | None = None,
+                   cost_model: CostModel | None = None,
+                   ) -> list[ScheduleMetrics]:
+    """Run every scheduler factory over identical jobs/arrivals."""
+    if not factories:
+        raise ExperimentError("no schedulers to compare")
+    out: list[ScheduleMetrics] = []
+    for factory in factories:
+        metrics, _ = run_scheduler(
+            factory(), jobs_factory(), arrivals,
+            file_name=file_name, file_size_mb=file_size_mb,
+            cluster_config=cluster_config, dfs_config=dfs_config,
+            cost_model=cost_model)
+        out.append(metrics)
+    return out

@@ -1,0 +1,81 @@
+"""Command-line entry point: ``python -m repro.experiments <id> [...]``.
+
+Examples::
+
+    python -m repro.experiments fig4a          # one experiment
+    python -m repro.experiments all            # the full suite
+    python -m repro.experiments --list         # enumerate experiment ids
+    python -m repro.experiments fig3 --json    # machine-readable output
+    python -m repro.experiments all --report out.md   # markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .registry import ALL, run_experiment
+from .serialize import result_to_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="s3-experiments",
+        description="Reproduce the tables and figures of the S3 paper "
+                    "(ICPP 2011) on the calibrated simulator.")
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help=f"experiment ids, or 'all'; choose from: "
+                             f"{', '.join(ALL)}")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document per experiment instead "
+                             "of the text report")
+    parser.add_argument("--report", metavar="PATH",
+                        help="additionally write all reports into one "
+                             "markdown file")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print("\n".join(ALL))
+        return 0
+    requested = list(args.experiments)
+    if not requested:
+        build_parser().print_help()
+        return 2
+    if requested == ["all"]:
+        requested = list(ALL)
+    exit_code = 0
+    report_sections: list[str] = []
+    for experiment_id in requested:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id)
+        except Exception as exc:  # surfaced per-experiment, keep going
+            print(f"[{experiment_id}] FAILED: {exc}", file=sys.stderr)
+            exit_code = 1
+            continue
+        elapsed = time.perf_counter() - start
+        if args.json:
+            print(result_to_json(result))
+        else:
+            print(result.report)
+            print(f"[{experiment_id}] completed in {elapsed:.2f}s\n")
+        report_sections.append(
+            f"## {experiment_id} — {result.title}\n\n"
+            f"```\n{result.report}\n```\n")
+    if args.report and report_sections:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write("# S3 reproduction — experiment report\n\n")
+            handle.write("\n".join(report_sections))
+        print(f"report written to {args.report}", file=sys.stderr)
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

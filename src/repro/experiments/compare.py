@@ -1,0 +1,122 @@
+"""Run-to-run comparison of serialised experiment results.
+
+Archived ``--json`` outputs from two code versions (or two machines) can be
+diffed to catch regressions in the reproduced metrics: for every scheduler
+present in both runs, TET/ART drifts beyond a tolerance are flagged.
+
+Usage::
+
+    python -m repro.experiments fig4a --json > old.json
+    ... change code ...
+    python -m repro.experiments fig4a --json > new.json
+    python -m repro.experiments.compare old.json new.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..common.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One scheduler's drift between two runs of the same experiment."""
+
+    experiment_id: str
+    scheduler: str
+    metric: str
+    old: float
+    new: float
+
+    @property
+    def relative(self) -> float:
+        if self.old == 0:
+            return float("inf") if self.new != 0 else 0.0
+        return self.new / self.old - 1.0
+
+    def exceeds(self, tolerance: float) -> bool:
+        return abs(self.relative) > tolerance
+
+
+def load_result_json(path: pathlib.Path | str) -> dict[str, Any]:
+    """Load one serialised experiment result (a single JSON document)."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"cannot load {path}: {exc}") from exc
+    if "experiment_id" not in payload or "metrics" not in payload:
+        raise ExperimentError(f"{path}: not a serialised experiment result")
+    return payload
+
+
+def compare_payloads(old: dict[str, Any], new: dict[str, Any],
+                     ) -> list[MetricDelta]:
+    """All TET/ART deltas between two runs of the same experiment."""
+    if old["experiment_id"] != new["experiment_id"]:
+        raise ExperimentError(
+            f"experiment mismatch: {old['experiment_id']!r} vs "
+            f"{new['experiment_id']!r}")
+    old_by = {m["scheduler"]: m for m in old["metrics"]}
+    new_by = {m["scheduler"]: m for m in new["metrics"]}
+    deltas: list[MetricDelta] = []
+    for scheduler in sorted(set(old_by) & set(new_by)):
+        for metric in ("tet", "art"):
+            deltas.append(MetricDelta(
+                experiment_id=old["experiment_id"],
+                scheduler=scheduler,
+                metric=metric,
+                old=old_by[scheduler][metric],
+                new=new_by[scheduler][metric]))
+    return deltas
+
+
+def regressions(deltas: Sequence[MetricDelta],
+                tolerance: float = 0.02) -> list[MetricDelta]:
+    """Deltas whose relative drift exceeds ``tolerance``."""
+    if tolerance < 0:
+        raise ExperimentError("tolerance must be non-negative")
+    return [d for d in deltas if d.exceeds(tolerance)]
+
+
+def format_comparison(deltas: Sequence[MetricDelta],
+                      tolerance: float = 0.02) -> str:
+    """Human-readable drift table; drifting rows are marked."""
+    if not deltas:
+        return "(no common schedulers to compare)"
+    header = (f"{'scheduler':<14} {'metric':<7} {'old':>10} {'new':>10} "
+              f"{'drift':>8}")
+    lines = [f"comparison for {deltas[0].experiment_id} "
+             f"(tolerance {tolerance:.0%})", header, "-" * len(header)]
+    for delta in deltas:
+        flag = "  <-- DRIFT" if delta.exceeds(tolerance) else ""
+        lines.append(
+            f"{delta.scheduler:<14} {delta.metric:<7} {delta.old:>10.1f} "
+            f"{delta.new:>10.1f} {delta.relative:>+7.1%}{flag}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: compare two serialised results; exit 1 on drift."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    tolerance = 0.02
+    if "--tolerance" in args:
+        index = args.index("--tolerance")
+        tolerance = float(args[index + 1])
+        del args[index:index + 2]
+    if len(args) != 2:
+        print("usage: python -m repro.experiments.compare "
+              "[--tolerance T] OLD.json NEW.json", file=sys.stderr)
+        return 2
+    deltas = compare_payloads(load_result_json(args[0]),
+                              load_result_json(args[1]))
+    print(format_comparison(deltas, tolerance))
+    return 1 if regressions(deltas, tolerance) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Figure 4 — the six scheduler-comparison experiments.
+
+Each panel compares FIFO, the three MRShare batching variants (MRS1/2/3)
+and S3 on TET and ART, normalised to S3 = 1.0:
+
+====== ============================================== ====================
+panel  workload                                        block size
+====== ============================================== ====================
+ 4(a)  sparse pattern, normal wordcount                64 MB
+ 4(b)  dense pattern, normal wordcount                 64 MB
+ 4(c)  sparse pattern, heavy wordcount                 64 MB
+ 4(d)  sparse pattern, normal wordcount                128 MB
+ 4(e)  sparse pattern, normal wordcount                32 MB
+ 4(f)  sparse pattern, TPC-H selection (400 GB)        64 MB
+====== ============================================== ====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..common.errors import ExperimentError
+from ..mapreduce.job import JobSpec
+from ..metrics.report import format_table
+from ..schedulers.fifo import FifoScheduler
+from ..schedulers.mrshare import MRShareScheduler
+from ..schedulers.s3 import S3Scheduler
+from ..workloads.selection import selection_workload
+from ..workloads.wordcount import heavy_workload, normal_workload
+from .base import ExperimentResult, SchedulerFactory, run_comparison
+from .paperconfig import NUM_JOBS, dense_pattern, paper_dfs_config, sparse_pattern
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """Static description of one Figure 4 panel."""
+
+    panel: str
+    title: str
+    arrivals_factory: Callable[[], list[float]]
+    jobs_factory: Callable[[], list[JobSpec]]
+    file_name: str
+    file_size_mb: float
+    block_size_mb: float
+
+
+def _wordcount_jobs(workload_factory) -> Callable[[], list[JobSpec]]:
+    return lambda: workload_factory(NUM_JOBS).make_jobs()
+
+
+def _selection_jobs() -> list[JobSpec]:
+    return selection_workload(NUM_JOBS).make_jobs()
+
+
+def panel_specs() -> dict[str, PanelSpec]:
+    """All six panels, keyed '4a'..'4f'."""
+    wc = normal_workload(NUM_JOBS)
+    sel = selection_workload(NUM_JOBS)
+    return {
+        "4a": PanelSpec("4a", "Sparse pattern; normal workload; 64MB blocks",
+                        sparse_pattern, _wordcount_jobs(normal_workload),
+                        wc.file_name, wc.file_size_mb, 64.0),
+        "4b": PanelSpec("4b", "Dense pattern; normal workload; 64MB blocks",
+                        dense_pattern, _wordcount_jobs(normal_workload),
+                        wc.file_name, wc.file_size_mb, 64.0),
+        "4c": PanelSpec("4c", "Sparse pattern; heavy workload; 64MB blocks",
+                        sparse_pattern, _wordcount_jobs(heavy_workload),
+                        wc.file_name, wc.file_size_mb, 64.0),
+        "4d": PanelSpec("4d", "Sparse pattern; normal workload; 128MB blocks",
+                        sparse_pattern, _wordcount_jobs(normal_workload),
+                        wc.file_name, wc.file_size_mb, 128.0),
+        "4e": PanelSpec("4e", "Sparse pattern; normal workload; 32MB blocks",
+                        sparse_pattern, _wordcount_jobs(normal_workload),
+                        wc.file_name, wc.file_size_mb, 32.0),
+        "4f": PanelSpec("4f", "Structured data processing (selection task)",
+                        sparse_pattern, _selection_jobs,
+                        sel.file_name, sel.file_size_mb, 64.0),
+    }
+
+
+def scheduler_factories(num_jobs: int = NUM_JOBS) -> list[SchedulerFactory]:
+    """The five compared policies, in the paper's plotting order."""
+    return [
+        FifoScheduler,
+        lambda: MRShareScheduler.single_batch(num_jobs),
+        lambda: MRShareScheduler.paper_two_batches(num_jobs),
+        lambda: MRShareScheduler.paper_three_batches(num_jobs),
+        S3Scheduler,
+    ]
+
+
+def run_panel(panel: str) -> ExperimentResult:
+    """Run one Figure 4 panel end to end."""
+    specs = panel_specs()
+    if panel not in specs:
+        raise ExperimentError(f"unknown Figure 4 panel {panel!r}; "
+                              f"choose from {sorted(specs)}")
+    spec = specs[panel]
+    metrics = run_comparison(
+        scheduler_factories(),
+        spec.jobs_factory,
+        spec.arrivals_factory(),
+        file_name=spec.file_name,
+        file_size_mb=spec.file_size_mb,
+        dfs_config=paper_dfs_config(spec.block_size_mb),
+    )
+    report = format_table(f"Figure {spec.panel} — {spec.title}", metrics)
+    return ExperimentResult(
+        experiment_id=f"fig{spec.panel}",
+        title=spec.title,
+        metrics=metrics,
+        extra={"block_size_mb": spec.block_size_mb},
+        report=report,
+    )
+
+
+def run_all(panels: Sequence[str] = ("4a", "4b", "4c", "4d", "4e", "4f"),
+            ) -> dict[str, ExperimentResult]:
+    """Run several panels; returns {panel: result}."""
+    return {panel: run_panel(panel) for panel in panels}

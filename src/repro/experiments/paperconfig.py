@@ -1,0 +1,66 @@
+"""Canonical configuration of the paper-reproduction experiments.
+
+Everything the Figure 3 / Figure 4 / Table I harnesses share lives here so
+the calibration is stated exactly once:
+
+* the 40-slave cluster of Section V.A (one map slot per node, 30 reduce
+  tasks per job, replication 1, speculative execution off);
+* the engine cost model: 12 s job-submission/initialisation overhead and
+  0.75 s per merged-sub-job launch overhead.  The latter is the
+  communication cost the paper blames for S3 losing to MRShare's single
+  batch under dense arrivals;
+* the arrival patterns: a dense pattern (10 jobs, 2 s apart) and the
+  sparse pattern (three groups of 3/3/4 jobs, 200 s between group starts,
+  60 s within a group).  The group gap is deliberately *below* one shared
+  batch's runtime (~300 s) so MRShare batches queue behind each other —
+  the regime in which the paper's Figure 4(a) orderings (every MRShare
+  variant >= 1.0x S3's TET) are achievable at all; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..common.config import ClusterConfig, DfsConfig
+from ..mapreduce.costmodel import CostModel
+from ..workloads.arrivals import dense, sparse_groups
+
+#: Number of jobs in every Figure 4 experiment.
+NUM_JOBS = 10
+
+#: Sparse pattern geometry (Section V.D).
+SPARSE_GROUP_SIZES = (3, 3, 4)
+SPARSE_GROUP_GAP_S = 200.0
+SPARSE_INTRA_GROUP_S = 60.0
+
+#: Dense pattern geometry.
+DENSE_SPACING_S = 2.0
+
+#: Engine overheads (see module docstring).
+JOB_SUBMIT_OVERHEAD_S = 12.0
+SUBJOB_OVERHEAD_S = 0.75
+
+
+def paper_cost_model() -> CostModel:
+    """The calibrated engine cost model used by all paper experiments."""
+    return CostModel(job_submit_overhead_s=JOB_SUBMIT_OVERHEAD_S,
+                     subjob_overhead_s=SUBJOB_OVERHEAD_S)
+
+
+def paper_cluster_config() -> ClusterConfig:
+    """The 41-node (1 master + 40 slaves) cluster of Section V.A."""
+    return ClusterConfig()
+
+
+def paper_dfs_config(block_size_mb: float = 64.0) -> DfsConfig:
+    """HDFS with the experiment's block size (64 MB unless swept)."""
+    return DfsConfig(block_size_mb=block_size_mb, replication=1)
+
+
+def sparse_pattern() -> list[float]:
+    """The canonical sparse arrival pattern (10 jobs in 3 groups)."""
+    return sparse_groups(SPARSE_GROUP_SIZES, SPARSE_GROUP_GAP_S,
+                         SPARSE_INTRA_GROUP_S)
+
+
+def dense_pattern() -> list[float]:
+    """The canonical dense arrival pattern (10 near-simultaneous jobs)."""
+    return dense(NUM_JOBS, DENSE_SPACING_S)

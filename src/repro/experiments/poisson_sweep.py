@@ -1,0 +1,73 @@
+"""``ext-poisson`` — where does S3's advantage live on the arrival axis?
+
+The paper evaluates two hand-built patterns (dense, sparse).  This
+extension sweeps a *Poisson* arrival process across mean inter-arrival
+gaps — from saturation (gap << job time) to isolation (gap >> job time) —
+and maps out the crossovers the paper's Section III reasoning predicts:
+
+* saturated: batching (optimal MRShare) minimises TET; S3 close behind;
+* intermediate: S3 dominates ART at near-parity TET;
+* isolated: nothing overlaps, every policy converges to FIFO.
+
+Each point runs the real simulator for FIFO, cost-optimal MRShare and S3
+on identical Poisson draws (seeded).
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ExperimentError
+from ..metrics.measures import ScheduleMetrics, compute_metrics
+from ..metrics.report import format_series
+from ..schedulers.fifo import FifoScheduler
+from ..schedulers.mrshare_opt import optimal_mrshare
+from ..schedulers.s3 import S3Scheduler
+from ..workloads.arrivals import poisson
+from ..workloads.wordcount import normal_workload
+from .base import ExperimentResult, run_scheduler
+from .paperconfig import paper_cost_model
+
+#: Mean inter-arrival gaps swept, as fractions of one job's ~297 s makespan.
+DEFAULT_GAPS_S = (15.0, 60.0, 150.0, 300.0, 600.0)
+
+
+def run(num_jobs: int = 8, gaps_s: tuple[float, ...] = DEFAULT_GAPS_S,
+        seed: int = 42) -> ExperimentResult:
+    """Sweep the Poisson rate; returns TET/ART series per policy."""
+    if num_jobs <= 1:
+        raise ExperimentError("need at least two jobs for a sweep")
+    if not gaps_s or any(g <= 0 for g in gaps_s):
+        raise ExperimentError("gaps must be positive")
+    workload = normal_workload(num_jobs)
+    cost = paper_cost_model()
+    series: dict[str, list[float]] = {
+        "FIFO_tet": [], "FIFO_art": [],
+        "MRSopt_tet": [], "MRSopt_art": [],
+        "S3_tet": [], "S3_art": [],
+    }
+    for gap in gaps_s:
+        arrivals = sorted(poisson(num_jobs, gap, seed=seed))
+        policies = {
+            "FIFO": FifoScheduler(),
+            "MRSopt": optimal_mrshare(
+                arrivals, profile=workload.profile, cost=cost,
+                num_blocks=2560, block_mb=64.0, map_slots=40,
+                objective="tet"),
+            "S3": S3Scheduler(),
+        }
+        for label, scheduler in policies.items():
+            metrics, _ = run_scheduler(
+                scheduler, workload.make_jobs(), arrivals,
+                file_name=workload.file_name,
+                file_size_mb=workload.file_size_mb)
+            series[f"{label}_tet"].append(metrics.tet)
+            series[f"{label}_art"].append(metrics.art)
+    report = format_series(
+        f"Extended — Poisson arrival sweep ({num_jobs} jobs, seed {seed})",
+        "mean gap (s)", [float(g) for g in gaps_s], series)
+    return ExperimentResult(
+        experiment_id="ext-poisson",
+        title="Poisson arrival-rate sweep",
+        extra={"gaps_s": list(gaps_s), **{k: list(v)
+                                          for k, v in series.items()}},
+        report=report,
+    )

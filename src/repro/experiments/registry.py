@@ -1,0 +1,64 @@
+"""Registry mapping experiment ids to runners (the CLI's dispatch table)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..common.errors import ExperimentError
+from .ablation import run_segment_size_sweep, run_slot_check_ablation
+from .base import ExperimentResult
+from .extended import (
+    run_dispatch_ablation,
+    run_fault_recovery,
+    run_noise_sensitivity,
+    run_scheduler_landscape,
+    run_speculation_ablation,
+)
+from .fig3 import run as run_fig3
+from .local_shared_scan import run as run_local_shared_scan
+from .poisson_sweep import run as run_poisson_sweep
+from .fig4 import run_panel
+from .table1 import run as run_table1
+from .worked_examples import run as run_examples
+
+ExperimentRunner = Callable[[], ExperimentResult]
+
+REGISTRY: dict[str, ExperimentRunner] = {
+    "table1": run_table1,
+    "fig3": run_fig3,
+    "fig4a": lambda: run_panel("4a"),
+    "fig4b": lambda: run_panel("4b"),
+    "fig4c": lambda: run_panel("4c"),
+    "fig4d": lambda: run_panel("4d"),
+    "fig4e": lambda: run_panel("4e"),
+    "fig4f": lambda: run_panel("4f"),
+    "ex123": run_examples,
+    "abl-seg": run_segment_size_sweep,
+    "abl-het": run_slot_check_ablation,
+    "abl-spec": run_speculation_ablation,
+    "abl-fault": run_fault_recovery,
+    "abl-dispatch": run_dispatch_ablation,
+    "abl-noise": run_noise_sensitivity,
+    "ext-sched": run_scheduler_landscape,
+    "ext-local": run_local_shared_scan,
+    "ext-poisson": run_poisson_sweep,
+}
+
+#: Order used by ``run all``.
+ALL = ("table1", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e",
+       "fig4f", "ex123", "abl-seg", "abl-het", "abl-spec", "abl-fault",
+       "abl-dispatch", "abl-noise", "ext-sched", "ext-local", "ext-poisson")
+
+
+def get_runner(experiment_id: str) -> ExperimentRunner:
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(ALL)}") from None
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_runner(experiment_id)()

@@ -1,0 +1,65 @@
+"""Machine-readable serialisation of experiment results.
+
+``result_to_dict`` flattens an :class:`~repro.experiments.base.
+ExperimentResult` into plain JSON-compatible data so experiment runs can be
+archived and regression-compared (the CLI's ``--json`` flag and the report
+generator both use it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..common.errors import ExperimentError
+from ..metrics.measures import ScheduleMetrics
+from .base import ExperimentResult
+
+
+def metrics_to_dict(metrics: ScheduleMetrics) -> dict[str, Any]:
+    return {
+        "scheduler": metrics.scheduler,
+        "tet": metrics.tet,
+        "art": metrics.art,
+        "max_response": metrics.max_response,
+        "mean_waiting": metrics.mean_waiting,
+        "num_jobs": metrics.num_jobs,
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of ``extra`` payloads to JSON-compatible data."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Flatten one experiment result (report text included)."""
+    payload: dict[str, Any] = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "metrics": [metrics_to_dict(m) for m in result.metrics],
+        "extra": _jsonable(result.extra),
+        "report": result.report,
+    }
+    if any(m.scheduler == "S3" for m in result.metrics):
+        payload["normalized"] = {
+            m.scheduler: {"tet_ratio": ratio[0], "art_ratio": ratio[1]}
+            for m in result.metrics
+            for ratio in [result.ratio(m.scheduler)]}
+    return payload
+
+
+def result_to_json(result: ExperimentResult, *, indent: int | None = 2) -> str:
+    """JSON string of one experiment result."""
+    try:
+        return json.dumps(result_to_dict(result), indent=indent,
+                          sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(
+            f"{result.experiment_id}: unserialisable result: {exc}") from exc

@@ -1,0 +1,49 @@
+"""A real (executing) single-machine mini-MapReduce runtime with S3-style
+shared scanning, used to demonstrate byte-level scan sharing on real data."""
+
+from .api import (
+    IdentityReducer,
+    JobResult,
+    LocalJob,
+    Mapper,
+    Record,
+    Reducer,
+    SumReducer,
+    default_partitioner,
+)
+from .counters import FRAMEWORK_GROUP, Counters, CounterUser
+from .engine import (
+    JobRunState,
+    collect_map_outputs,
+    count_pending_values,
+    run_map_on_block,
+    run_reduce,
+)
+from .parallel import MapTaskSpec, execute_map_wave
+from .jobs import (
+    AggregationMapper,
+    PatternWordCount,
+    SelectionMapper,
+    aggregation_job,
+    selection_job,
+    wordcount_job,
+)
+from .output import SUCCESS_MARKER, read_output, write_output
+from .records import DelimitedReader, RecordReader, TextLineReader
+from .runners import FifoLocalRunner, RunReport, SharedScanRunner
+from .storage import BlockStore, ReadStats
+
+__all__ = [
+    "IdentityReducer", "JobResult", "LocalJob", "Mapper", "Record",
+    "Reducer", "SumReducer", "default_partitioner",
+    "FRAMEWORK_GROUP", "Counters", "CounterUser",
+    "JobRunState", "collect_map_outputs", "count_pending_values",
+    "run_map_on_block", "run_reduce",
+    "MapTaskSpec", "execute_map_wave",
+    "AggregationMapper", "PatternWordCount", "SelectionMapper",
+    "aggregation_job", "selection_job", "wordcount_job",
+    "SUCCESS_MARKER", "read_output", "write_output",
+    "DelimitedReader", "RecordReader", "TextLineReader",
+    "FifoLocalRunner", "RunReport", "SharedScanRunner",
+    "BlockStore", "ReadStats",
+]

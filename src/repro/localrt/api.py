@@ -1,0 +1,123 @@
+"""User-facing API of the local (really-executing) mini-MapReduce runtime.
+
+This is the Hadoop-programming-model analogue used to demonstrate *actual*
+shared scanning at the byte level: mappers and reducers are real Python
+callables executed over real files on disk.  The interface mirrors
+Hadoop's: a job supplies ``map(key, value)`` and ``reduce(key, values)``,
+optionally a combiner, and the framework handles splits, shuffle and sort.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator
+
+from ..common.errors import ExecutionError
+from .counters import Counters
+
+#: A key/value record flowing through the pipeline.
+Record = tuple[Hashable, Any]
+
+
+class Mapper(abc.ABC):
+    """Transforms one input record into zero or more intermediate records."""
+
+    @abc.abstractmethod
+    def map(self, key: Hashable, value: Any) -> Iterable[Record]:
+        """Process one record; yield intermediate ``(key, value)`` pairs."""
+
+
+class Reducer(abc.ABC):
+    """Merges all intermediate values sharing a key."""
+
+    @abc.abstractmethod
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterable[Record]:
+        """Process one key group; yield output ``(key, value)`` pairs."""
+
+
+class IdentityReducer(Reducer):
+    """Passes every (key, value) straight through (map-only-style jobs)."""
+
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterator[Record]:
+        for value in values:
+            yield (key, value)
+
+
+class SumReducer(Reducer):
+    """Classic wordcount reducer: sums numeric values per key."""
+
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterator[Record]:
+        yield (key, sum(values))
+
+
+def default_partitioner(key: Hashable, num_partitions: int) -> int:
+    """Hash partitioner (Hadoop's default), stable across processes."""
+    # hash() is salted for str in CPython; use a deterministic fallback.
+    if isinstance(key, str):
+        digest = 0
+        for ch in key:
+            digest = (digest * 31 + ord(ch)) & 0x7FFFFFFF
+        return digest % num_partitions
+    return hash(key) % num_partitions
+
+
+@dataclass
+class LocalJob:
+    """One runnable MapReduce job for the local runtime.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier.
+    mapper / reducer:
+        The user's processing logic.
+    combiner:
+        Optional map-side pre-aggregation (a reducer run per map task).
+    num_partitions:
+        Reduce parallelism (number of key partitions).
+    """
+
+    job_id: str
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Reducer | None = None
+    num_partitions: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ExecutionError("job_id must be non-empty")
+        if self.num_partitions <= 0:
+            raise ExecutionError(f"{self.job_id}: num_partitions must be positive")
+
+
+@dataclass
+class JobResult:
+    """Output and bookkeeping of one completed local job."""
+
+    job_id: str
+    output: list[Record]
+    map_input_records: int = 0
+    map_output_records: int = 0
+    reduce_output_records: int = 0
+    #: Values fed into the final reduce phase (the Section V.G extension
+    #: compares this between collect-at-end and progressive aggregation).
+    reduce_input_values: int = 0
+    #: For shared-scan runs: iteration at which the job's scan completed.
+    completed_iteration: int | None = None
+    #: Blocks the runner had read (cumulatively) when this job completed —
+    #: a hardware-independent "virtual completion time" in I/O units.
+    completed_blocks_read: int | None = None
+    #: Aggregated job counters (framework built-ins + user counters).
+    counters: Counters = field(default_factory=Counters)
+
+    def as_dict(self) -> dict[Hashable, Any]:
+        """Output as a dict (requires unique keys)."""
+        out: dict[Hashable, Any] = {}
+        for key, value in self.output:
+            if key in out:
+                raise ExecutionError(
+                    f"{self.job_id}: duplicate output key {key!r}; "
+                    "use .output for multi-valued results")
+            out[key] = value
+        return out

@@ -1,0 +1,160 @@
+"""Execution engine of the local runtime: map, combine, shuffle, sort, reduce.
+
+The shared-scan primitive lives here: :func:`run_map_on_block` reads a block
+**once** and feeds every record to all jobs of the batch — the real,
+byte-level realisation of the merged sub-jobs that the simulator models in
+time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+import copy
+
+from ..common.errors import ExecutionError
+from .api import LocalJob, Record, default_partitioner
+from .counters import FRAMEWORK_GROUP, Counters, CounterUser
+from .records import RecordReader
+
+#: Intermediate store: partition -> key -> list of values.
+PartitionedOutput = dict[int, dict[Hashable, list[Any]]]
+
+
+@dataclass
+class JobRunState:
+    """Mutable per-job accumulation across map tasks."""
+
+    job: LocalJob
+    partitions: PartitionedOutput = field(default_factory=dict)
+    map_input_records: int = 0
+    map_output_records: int = 0
+    #: Job-level counters (framework built-ins + user counters).
+    counters: Counters = field(default_factory=Counters)
+
+    def __post_init__(self) -> None:
+        for p in range(self.job.num_partitions):
+            self.partitions[p] = defaultdict(list)
+
+    def absorb(self, records: list[Record]) -> None:
+        """Fold one map task's (possibly combined) output into the shuffle."""
+        self.map_output_records += len(records)
+        for key, value in records:
+            partition = default_partitioner(key, self.job.num_partitions)
+            self.partitions[partition][key].append(value)
+
+
+def collect_map_outputs(jobs: list[LocalJob], reader: RecordReader,
+                        block_text: str, base_offset: int = 0,
+                        ) -> tuple[int, list[list[Record]],
+                                   "list[Counters | None]"]:
+    """The pure (side-effect-free) half of a shared map task.
+
+    Parses the block once, runs every job's mapper on each record and
+    applies per-job combiners.  Returns ``(record_count, outputs_per_job,
+    counters_per_job)`` without touching any shared state — which is what
+    makes map tasks safely parallelisable (see :mod:`repro.localrt.
+    parallel`).  Mappers that mix in :class:`CounterUser` are shallow-
+    copied per task (as Hadoop instantiates a fresh Mapper per task), so
+    user counters are race-free under the thread pool.
+    """
+    if not jobs:
+        raise ExecutionError("map task with no participating job")
+    mappers = []
+    task_counters: list[Counters | None] = []
+    for job in jobs:
+        if isinstance(job.mapper, CounterUser):
+            mapper = copy.copy(job.mapper)
+            counters = Counters()
+            mapper.attach_counters(counters)
+            mappers.append(mapper)
+            task_counters.append(counters)
+        else:
+            mappers.append(job.mapper)
+            task_counters.append(None)
+    buffers: list[list[Record]] = [[] for _ in jobs]
+    record_count = 0
+    for key, value in reader.read(block_text, base_offset):
+        record_count += 1
+        for mapper, buffer in zip(mappers, buffers):
+            buffer.extend(mapper.map(key, value))
+    outputs = []
+    for job, buffer in zip(jobs, buffers):
+        if job.combiner is not None:
+            buffer = _combine(job, buffer)
+        outputs.append(buffer)
+    return record_count, outputs, task_counters
+
+
+def run_map_on_block(states: list[JobRunState], reader: RecordReader,
+                     block_text: str, base_offset: int = 0) -> None:
+    """One map task over one block, shared by every job in ``states``.
+
+    The block is parsed once; each record is offered to every job's mapper.
+    Per-job combiners run over the block's local output before it enters
+    the shuffle (Hadoop's map-side combine).
+    """
+    record_count, outputs, task_counters = collect_map_outputs(
+        [state.job for state in states], reader, block_text, base_offset)
+    for state, buffer, counters in zip(states, outputs, task_counters):
+        absorb_map_result(state, record_count, buffer, counters)
+
+
+def _combine(job: LocalJob, records: list[Record]) -> list[Record]:
+    """Apply the job's combiner to one map task's output."""
+    assert job.combiner is not None
+    grouped: dict[Hashable, list[Any]] = defaultdict(list)
+    for key, value in records:
+        grouped[key].append(value)
+    combined: list[Record] = []
+    for key in grouped:
+        combined.extend(job.combiner.reduce(key, grouped[key]))
+    return combined
+
+
+def absorb_map_result(state: JobRunState, record_count: int,
+                      buffer: list[Record],
+                      task_counters: "Counters | None") -> None:
+    """Fold one map task's result (records + counters) into a job state."""
+    state.map_input_records += record_count
+    state.counters.increment(FRAMEWORK_GROUP, "map_input_records",
+                             record_count)
+    state.counters.increment(FRAMEWORK_GROUP, "map_output_records",
+                             len(buffer))
+    if task_counters is not None:
+        state.counters.merge(task_counters)
+    state.absorb(buffer)
+
+
+def count_pending_values(state: JobRunState) -> int:
+    """Total values currently buffered in the shuffle (reduce input size)."""
+    return sum(len(values)
+               for partition in state.partitions.values()
+               for values in partition.values())
+
+
+def run_reduce(state: JobRunState) -> list[Record]:
+    """Shuffle-sort-reduce: produce the job's final output, sorted by key.
+
+    Keys are processed in sorted order within each partition (Hadoop's
+    sort phase), partitions in index order.
+    """
+    reducer = state.job.reducer
+    if isinstance(reducer, CounterUser):
+        reducer = copy.copy(reducer)
+        reducer.attach_counters(state.counters)
+    output: list[Record] = []
+    for partition in sorted(state.partitions):
+        groups = state.partitions[partition]
+        for key in sorted(groups, key=_sort_key):
+            output.extend(reducer.reduce(key, groups[key]))
+    state.counters.increment(FRAMEWORK_GROUP, "reduce_output_records",
+                             len(output))
+    return output
+
+
+def _sort_key(key: Hashable) -> tuple[str, str]:
+    """Total order over heterogeneous keys: type name, then repr."""
+    return (type(key).__name__, repr(key))

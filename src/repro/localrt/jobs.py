@@ -1,0 +1,115 @@
+"""Ready-made jobs mirroring the paper's workloads, for the local runtime.
+
+* :class:`PatternWordCount` — the modified wordcount of Section V.B:
+  counts only words matching a user-specified regular expression.
+* :class:`SelectionJob` — the SQL selection of Section V.G:
+  ``SELECT * FROM lineitem WHERE l_quantity < VAL``.
+* :class:`AggregationJob` — a per-group SUM used by the Section V.G
+  output-collection extension (partial aggregation across sub-jobs).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Hashable, Iterator
+
+from ..common.errors import ExecutionError
+from ..workloads.tpch import LINEITEM_COLUMNS
+from .api import IdentityReducer, LocalJob, Mapper, Record, SumReducer
+from .counters import CounterUser
+
+
+class PatternWordCount(Mapper, CounterUser):
+    """Emit ``(word, 1)`` for every word matching ``pattern``.
+
+    Reports Hadoop-style user counters under the ``wordcount`` group:
+    ``words_scanned`` and ``words_matched``.
+    """
+
+    def __init__(self, pattern: str) -> None:
+        try:
+            self._regex = re.compile(pattern)
+        except re.error as exc:
+            raise ExecutionError(f"bad wordcount pattern {pattern!r}: {exc}") from exc
+        self.pattern = pattern
+
+    def map(self, key: Hashable, value: Any) -> Iterator[Record]:
+        words = str(value).split()
+        matched = 0
+        for word in words:
+            if self._regex.match(word):
+                matched += 1
+                yield (word, 1)
+        self.counters.increment("wordcount", "words_scanned", len(words))
+        self.counters.increment("wordcount", "words_matched", matched)
+
+
+def wordcount_job(job_id: str, pattern: str, *,
+                  num_partitions: int = 4, use_combiner: bool = True) -> LocalJob:
+    """A pattern-restricted wordcount job (combiner on by default, as in
+    Hadoop's wordcount example)."""
+    return LocalJob(
+        job_id=job_id,
+        mapper=PatternWordCount(pattern),
+        reducer=SumReducer(),
+        combiner=SumReducer() if use_combiner else None,
+        num_partitions=num_partitions,
+    )
+
+
+_QUANTITY_INDEX = LINEITEM_COLUMNS.index("l_quantity")
+_ORDERKEY_INDEX = LINEITEM_COLUMNS.index("l_orderkey")
+_LINENUMBER_INDEX = LINEITEM_COLUMNS.index("l_linenumber")
+_RETURNFLAG_INDEX = LINEITEM_COLUMNS.index("l_returnflag")
+_EXTENDEDPRICE_INDEX = LINEITEM_COLUMNS.index("l_extendedprice")
+
+
+class SelectionMapper(Mapper):
+    """``WHERE l_quantity < threshold``: emit qualifying rows keyed by
+    (orderkey, linenumber)."""
+
+    def __init__(self, threshold: float) -> None:
+        if threshold <= 0:
+            raise ExecutionError("selection threshold must be positive")
+        self.threshold = threshold
+
+    def map(self, key: Hashable, value: Any) -> Iterator[Record]:
+        fields = value  # a tuple from DelimitedReader
+        if float(fields[_QUANTITY_INDEX]) < self.threshold:
+            row_key = (int(fields[_ORDERKEY_INDEX]),
+                       int(fields[_LINENUMBER_INDEX]))
+            yield (row_key, fields)
+
+
+def selection_job(job_id: str, threshold: float, *,
+                  num_partitions: int = 4) -> LocalJob:
+    """A lineitem selection job (identity reduce: output = selected rows)."""
+    return LocalJob(
+        job_id=job_id,
+        mapper=SelectionMapper(threshold),
+        reducer=IdentityReducer(),
+        num_partitions=num_partitions,
+    )
+
+
+class AggregationMapper(Mapper):
+    """Emit ``(l_returnflag, l_extendedprice)`` per row (SUM ... GROUP BY)."""
+
+    def map(self, key: Hashable, value: Any) -> Iterator[Record]:
+        fields = value
+        yield (fields[_RETURNFLAG_INDEX], float(fields[_EXTENDEDPRICE_INDEX]))
+
+
+def aggregation_job(job_id: str, *, num_partitions: int = 2) -> LocalJob:
+    """SUM(extendedprice) GROUP BY returnflag, with a map-side combiner.
+
+    Because SUM is algebraic, per-segment partial sums can be folded
+    progressively — the property the Section V.G extension exploits.
+    """
+    return LocalJob(
+        job_id=job_id,
+        mapper=AggregationMapper(),
+        reducer=SumReducer(),
+        combiner=SumReducer(),
+        num_partitions=num_partitions,
+    )

@@ -1,0 +1,69 @@
+"""Thread-parallel map execution for the local runtime.
+
+Map tasks over distinct blocks are independent, so the collect phase
+(:func:`repro.localrt.engine.collect_map_outputs`) runs on a thread pool;
+the absorb phase then folds results into each job's shuffle state serially
+**in block order**, so a parallel run is bit-identical to the serial one
+(the equivalence is property-tested).
+
+CPython's GIL limits the speedup for pure-Python mappers, but the
+structure is the real one: pure parallel map, deterministic ordered merge —
+and I/O-heavy readers do overlap.  ``workers=1`` bypasses the pool
+entirely.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..common.errors import ExecutionError
+from .api import LocalJob, Record
+from .engine import JobRunState, absorb_map_result, collect_map_outputs
+from .records import RecordReader
+from .storage import BlockStore
+
+
+@dataclass(frozen=True)
+class MapTaskSpec:
+    """One block-level map task: which block, which participating jobs."""
+
+    block_index: int
+    states: tuple[JobRunState, ...]
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise ExecutionError(
+                f"map task for block {self.block_index} has no jobs")
+
+
+def execute_map_wave(store: BlockStore, reader: RecordReader,
+                     tasks: list[MapTaskSpec], *, workers: int = 1) -> None:
+    """Run a wave of block-level map tasks, optionally in parallel.
+
+    Reads + maps + combines run concurrently (pure); shuffle absorption is
+    serial in ``tasks`` order for determinism.
+    """
+    if workers < 1:
+        raise ExecutionError(f"workers must be >= 1, got {workers}")
+    if not tasks:
+        return
+    seen_blocks = [t.block_index for t in tasks]
+    if len(set(seen_blocks)) != len(seen_blocks):
+        raise ExecutionError(f"duplicate blocks in wave: {seen_blocks}")
+
+    def collect(task: MapTaskSpec):
+        text = store.read_block(task.block_index)
+        offset = store.block_offset(task.block_index)
+        return collect_map_outputs([s.job for s in task.states], reader,
+                                   text, offset)
+
+    if workers == 1:
+        results = [collect(task) for task in tasks]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(collect, tasks))
+    for task, (record_count, outputs, task_counters) in zip(tasks, results):
+        for state, buffer, counters in zip(task.states, outputs,
+                                           task_counters):
+            absorb_map_result(state, record_count, buffer, counters)

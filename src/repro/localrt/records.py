@@ -1,0 +1,57 @@
+"""Record readers: turn raw block text into (key, value) records.
+
+Equivalent to Hadoop's ``InputFormat``/``RecordReader`` layer.  Blocks in
+the local store end at line boundaries (see :mod:`repro.localrt.storage`),
+so readers never have to stitch split records across blocks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, Iterator
+
+
+class RecordReader(abc.ABC):
+    """Parses one block's text into records."""
+
+    @abc.abstractmethod
+    def read(self, block_text: str, base_offset: int = 0,
+             ) -> Iterator[tuple[Hashable, Any]]:
+        """Yield ``(key, value)`` records from one block."""
+
+
+class TextLineReader(RecordReader):
+    """Hadoop ``TextInputFormat``: key = byte offset, value = the line."""
+
+    def read(self, block_text: str, base_offset: int = 0,
+             ) -> Iterator[tuple[int, str]]:
+        offset = base_offset
+        for line in block_text.splitlines():
+            yield (offset, line)
+            offset += len(line) + 1
+
+
+class DelimitedReader(RecordReader):
+    """Splits each line into fields (for the '|'-delimited lineitem table).
+
+    Key = byte offset, value = tuple of column strings.
+    """
+
+    def __init__(self, delimiter: str = "|", expected_fields: int | None = None) -> None:
+        if not delimiter:
+            raise ValueError("delimiter must be non-empty")
+        self.delimiter = delimiter
+        self.expected_fields = expected_fields
+
+    def read(self, block_text: str, base_offset: int = 0,
+             ) -> Iterator[tuple[int, tuple[str, ...]]]:
+        offset = base_offset
+        for line in block_text.splitlines():
+            fields = tuple(line.split(self.delimiter))
+            if (self.expected_fields is not None
+                    and len(fields) != self.expected_fields):
+                raise ValueError(
+                    f"malformed record at offset {offset}: "
+                    f"{len(fields)} fields, expected {self.expected_fields}")
+            yield (offset, fields)
+            offset += len(line) + 1

@@ -1,0 +1,134 @@
+"""On-disk block store: a miniature single-machine HDFS.
+
+A *stored file* is a directory of block files (``block_00000.dat``, ...),
+each approximately ``block_size`` bytes and always ending at a line
+boundary (so record readers never straddle blocks; real HDFS splits
+mid-record and compensates in the reader — same observable behaviour,
+simpler bookkeeping).  Byte-level read counters make scan sharing
+measurable: the whole point of the local runtime is to show S3 reading
+each block once per batch instead of once per job.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from ..common.errors import ExecutionError
+
+
+@dataclass
+class ReadStats:
+    """Cumulative I/O counters of one :class:`BlockStore`."""
+
+    blocks_read: int = 0
+    bytes_read: int = 0
+
+    def reset(self) -> None:
+        self.blocks_read = 0
+        self.bytes_read = 0
+
+
+class BlockStore:
+    """A file stored as line-aligned blocks in a directory."""
+
+    BLOCK_PATTERN = "block_{:05d}.dat"
+
+    def __init__(self, directory: pathlib.Path | str) -> None:
+        self.directory = pathlib.Path(directory)
+        if not self.directory.is_dir():
+            raise ExecutionError(f"no such block store: {self.directory}")
+        self._blocks = sorted(self.directory.glob("block_*.dat"))
+        if not self._blocks:
+            raise ExecutionError(f"block store {self.directory} is empty")
+        self.stats = ReadStats()
+        #: Guards the read counters (read_block may be called from a
+        #: thread pool; see repro.localrt.parallel).
+        self._stats_lock = threading.Lock()
+        #: Byte offset of each block within the logical file.
+        self._offsets: list[int] = []
+        offset = 0
+        for path in self._blocks:
+            self._offsets.append(offset)
+            offset += path.stat().st_size
+        self._total_bytes = offset
+
+    # -------------------------------------------------------------- creation
+    @classmethod
+    def create(cls, directory: pathlib.Path | str, lines: Iterable[str],
+               block_size_bytes: int) -> "BlockStore":
+        """Write ``lines`` into line-aligned blocks of ~``block_size_bytes``."""
+        if block_size_bytes <= 0:
+            raise ExecutionError("block_size_bytes must be positive")
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        existing = list(directory.glob("block_*.dat"))
+        if existing:
+            raise ExecutionError(
+                f"{directory} already contains {len(existing)} blocks")
+        block_index = 0
+        buffer: list[str] = []
+        buffered = 0
+
+        def flush() -> None:
+            nonlocal block_index, buffer, buffered
+            if not buffer:
+                return
+            path = directory / cls.BLOCK_PATTERN.format(block_index)
+            path.write_text("".join(buffer), encoding="ascii")
+            block_index += 1
+            buffer = []
+            buffered = 0
+
+        wrote_any = False
+        for line in lines:
+            if "\n" in line:
+                raise ExecutionError("input lines must not contain newlines")
+            buffer.append(line + "\n")
+            buffered += len(line) + 1
+            wrote_any = True
+            if buffered >= block_size_bytes:
+                flush()
+        flush()
+        if not wrote_any:
+            raise ExecutionError("cannot create a block store from no lines")
+        return cls(directory)
+
+    # ---------------------------------------------------------------- access
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def block_size_bytes(self, index: int) -> int:
+        self._check(index)
+        return self._blocks[index].stat().st_size
+
+    def block_offset(self, index: int) -> int:
+        """Byte offset of block ``index`` in the logical file."""
+        self._check(index)
+        return self._offsets[index]
+
+    def read_block(self, index: int) -> str:
+        """Read one block's text, updating the I/O counters (thread-safe)."""
+        self._check(index)
+        text = self._blocks[index].read_text(encoding="ascii")
+        with self._stats_lock:
+            self.stats.blocks_read += 1
+            self.stats.bytes_read += len(text)
+        return text
+
+    def iter_blocks(self) -> Iterator[tuple[int, str]]:
+        """Sequentially read every block (counts toward the I/O stats)."""
+        for index in range(self.num_blocks):
+            yield index, self.read_block(index)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_blocks:
+            raise ExecutionError(
+                f"block index {index} out of range (n={self.num_blocks})")

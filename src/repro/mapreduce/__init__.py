@@ -1,0 +1,18 @@
+"""Simulated MapReduce engine: jobs, tasks, cost model, driver."""
+
+from .combined import CombinedJob, make_batch
+from .costmodel import CostModel
+from .driver import Scheduler, SchedulerContext, SimulationDriver, SimulationResult
+from .faults import FaultModel, Outage, SpeculationConfig
+from .job import JobSpec, JobTimeline
+from .profile import JobProfile, heavy_wordcount, normal_wordcount, selection
+from .task import LocalityStats, TaskKind, TaskLaunch
+
+__all__ = [
+    "CombinedJob", "make_batch", "CostModel",
+    "Scheduler", "SchedulerContext", "SimulationDriver", "SimulationResult",
+    "FaultModel", "Outage", "SpeculationConfig",
+    "JobSpec", "JobTimeline",
+    "JobProfile", "heavy_wordcount", "normal_wordcount", "selection",
+    "LocalityStats", "TaskKind", "TaskLaunch",
+]

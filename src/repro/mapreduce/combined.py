@@ -1,0 +1,71 @@
+"""Combined (batched) jobs — the MRShare execution unit.
+
+MRShare merges a group of jobs that scan the same file into one *meta job*:
+the file is read once, every member's map function runs on each record, and
+a shared reduce phase emits every member's output (tagged per job).  The
+:class:`CombinedJob` here captures exactly the cost-relevant structure; the
+actual merging of map/reduce *functions* is demonstrated for real in
+:mod:`repro.localrt.sharedscan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import SchedulingError
+from .job import JobSpec
+from .profile import JobProfile
+
+
+@dataclass(frozen=True)
+class CombinedJob:
+    """A batch of jobs executed as a single scan of their common file."""
+
+    batch_id: str
+    jobs: tuple[JobSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise SchedulingError(f"{self.batch_id}: empty batch")
+        files = {job.file_name for job in self.jobs}
+        if len(files) != 1:
+            raise SchedulingError(
+                f"{self.batch_id}: members scan different files {sorted(files)}; "
+                "shared scan requires a common input file")
+        ids = [job.job_id for job in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise SchedulingError(f"{self.batch_id}: duplicate member jobs")
+
+    @property
+    def file_name(self) -> str:
+        return self.jobs[0].file_name
+
+    @property
+    def size(self) -> int:
+        """Number of member jobs (the ``n`` of the sharing-overhead model)."""
+        return len(self.jobs)
+
+    @property
+    def job_ids(self) -> tuple[str, ...]:
+        return tuple(job.job_id for job in self.jobs)
+
+    @property
+    def profile(self) -> JobProfile:
+        """Cost profile used for the combined execution.
+
+        Members of one batch share a workload family in the paper's
+        experiments ("jobs ... within the same scale of workload"); we take
+        the profile of the most expensive member so mixed batches are costed
+        conservatively.
+        """
+        return max((job.profile for job in self.jobs),
+                   key=lambda p: (p.map_cpu_s_per_mb, p.reduce_total_s))
+
+    @property
+    def num_reduce_tasks(self) -> int:
+        return max(job.num_reduce_tasks for job in self.jobs)
+
+
+def make_batch(batch_id: str, jobs: list[JobSpec]) -> CombinedJob:
+    """Validate and build a :class:`CombinedJob`."""
+    return CombinedJob(batch_id=batch_id, jobs=tuple(jobs))

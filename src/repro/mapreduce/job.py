@@ -1,0 +1,65 @@
+"""Job specifications and runtime timelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import ConfigError
+from .profile import JobProfile
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A MapReduce job as submitted by a client.
+
+    All jobs in this reproduction operate on a single input file (the
+    paper's Section III.A restriction).  The per-record processing logic is
+    abstracted by ``profile``; two jobs with the same profile and file are
+    "different jobs" in the S3 sense (e.g. wordcount with different match
+    patterns) and still share scans.
+    """
+
+    job_id: str
+    file_name: str
+    profile: JobProfile
+    priority: int = 0
+    #: Optional human-readable tag (e.g. the wordcount pattern).
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ConfigError("job_id must be non-empty")
+        if not self.file_name:
+            raise ConfigError(f"{self.job_id}: file_name must be non-empty")
+
+    @property
+    def num_reduce_tasks(self) -> int:
+        return self.profile.num_reduce_tasks
+
+
+@dataclass
+class JobTimeline:
+    """Observed lifecycle timestamps of one job (filled in by the driver)."""
+
+    job_id: str
+    submitted: float
+    first_launch: float | None = None
+    completed: float | None = None
+
+    @property
+    def response_time(self) -> float:
+        """Submission-to-completion latency (the paper's per-job ART term)."""
+        if self.completed is None:
+            raise ConfigError(f"{self.job_id} has not completed")
+        return self.completed - self.submitted
+
+    @property
+    def waiting_time(self) -> float:
+        """Submission-to-first-task latency."""
+        if self.first_launch is None:
+            raise ConfigError(f"{self.job_id} never started")
+        return self.first_launch - self.submitted
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completed is not None

@@ -1,0 +1,27 @@
+"""Metrics: TET/ART computation and report formatting."""
+
+from .export import dump_trace, load_trace, trace_summary
+from .jobstats import (
+    JobPhaseStats,
+    format_phase_table,
+    job_phase_stats,
+    mean_sharing_fraction,
+)
+from .measures import NormalizedMetrics, ScheduleMetrics, compute_metrics
+from .report import format_series, format_table, normalize_all
+from .utilization import (
+    Interval,
+    busy_slots_series,
+    render_gantt,
+    render_utilization_strip,
+    slot_utilization,
+    task_intervals,
+)
+
+__all__ = ["dump_trace", "load_trace", "trace_summary",
+           "JobPhaseStats", "format_phase_table", "job_phase_stats",
+           "mean_sharing_fraction",
+           "NormalizedMetrics", "ScheduleMetrics", "compute_metrics",
+           "format_series", "format_table", "normalize_all",
+           "Interval", "busy_slots_series", "render_gantt",
+           "render_utilization_strip", "slot_utilization", "task_intervals"]

@@ -1,0 +1,80 @@
+"""Trace persistence: JSON-lines export/import and run summaries.
+
+A simulation trace is the analogue of a Hadoop job-history log; exporting
+it lets experiment runs be archived, diffed and post-processed outside the
+process that produced them.  The format is one JSON object per line::
+
+    {"t": 12.5, "kind": "task.start.map", "subject": "...", "detail": {...}}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, IO
+
+from ..common.errors import ExperimentError
+from ..common.tracelog import TraceLog, TraceRecord
+
+
+def dump_trace(trace: TraceLog, target: pathlib.Path | str | IO[str]) -> int:
+    """Write ``trace`` as JSON lines; returns the number of records."""
+    own = isinstance(target, (str, pathlib.Path))
+    handle: IO[str] = open(target, "w", encoding="utf-8") if own else target
+    try:
+        count = 0
+        for record in trace:
+            handle.write(json.dumps(
+                {"t": record.time, "kind": record.kind,
+                 "subject": record.subject, "detail": record.detail},
+                separators=(",", ":"), sort_keys=True))
+            handle.write("\n")
+            count += 1
+        return count
+    finally:
+        if own:
+            handle.close()
+
+
+def load_trace(source: pathlib.Path | str | IO[str]) -> TraceLog:
+    """Read a JSON-lines trace back into a :class:`TraceLog`."""
+    own = isinstance(source, (str, pathlib.Path))
+    handle: IO[str] = open(source, "r", encoding="utf-8") if own else source
+    try:
+        trace = TraceLog()
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                trace.record(payload["t"], payload["kind"],
+                             payload["subject"], **payload.get("detail", {}))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise ExperimentError(
+                    f"bad trace line {line_number}: {exc}") from exc
+        return trace
+    finally:
+        if own:
+            handle.close()
+
+
+def trace_summary(trace: TraceLog) -> dict[str, Any]:
+    """Aggregate counts and spans useful for quick run inspection."""
+    kinds: dict[str, int] = {}
+    for record in trace:
+        kinds[record.kind] = kinds.get(record.kind, 0) + 1
+    jobs_submitted = kinds.get("job.submit", 0)
+    jobs_completed = kinds.get("job.complete", 0)
+    times = [record.time for record in trace]
+    return {
+        "records": len(trace),
+        "kinds": kinds,
+        "jobs_submitted": jobs_submitted,
+        "jobs_completed": jobs_completed,
+        "span": (max(times) - min(times)) if times else 0.0,
+        "map_tasks": kinds.get("task.start.map", 0),
+        "reduce_tasks": kinds.get("task.start.reduce", 0),
+        "failures": (kinds.get("task.fail.map", 0)
+                     + kinds.get("task.fail.reduce", 0)),
+    }

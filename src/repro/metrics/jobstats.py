@@ -1,0 +1,93 @@
+"""Per-job phase breakdowns from a simulation result.
+
+Splits each job's response time into the components the paper reasons
+about (Section III.B): *waiting* (submission to first task) and
+*processing* (first task to completion), plus how much of the job's scan
+was shared with other jobs — the quantity S3 exists to maximise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ExperimentError
+from ..mapreduce.driver import SimulationResult
+
+
+@dataclass(frozen=True)
+class JobPhaseStats:
+    """One job's decomposed timeline."""
+
+    job_id: str
+    submitted: float
+    first_launch: float
+    completed: float
+    #: Map tasks that served this job, and how many of those were shared
+    #: with at least one other job (batch size >= 2).
+    map_tasks: int
+    shared_map_tasks: int
+
+    @property
+    def waiting_time(self) -> float:
+        return self.first_launch - self.submitted
+
+    @property
+    def processing_time(self) -> float:
+        return self.completed - self.first_launch
+
+    @property
+    def response_time(self) -> float:
+        return self.completed - self.submitted
+
+    @property
+    def sharing_fraction(self) -> float:
+        """Fraction of this job's scan that was shared with other jobs."""
+        if self.map_tasks == 0:
+            return 0.0
+        return self.shared_map_tasks / self.map_tasks
+
+
+def job_phase_stats(result: SimulationResult) -> dict[str, JobPhaseStats]:
+    """Compute exact phase stats for every job of a completed run.
+
+    Per-job map-task attribution comes from the driver, which records the
+    participating job ids of every completed map task.
+    """
+    stats: dict[str, JobPhaseStats] = {}
+    for job_id, timeline in result.timelines.items():
+        if not timeline.is_complete:
+            raise ExperimentError(f"{job_id} incomplete; cannot break down")
+        if timeline.first_launch is None:
+            raise ExperimentError(f"{job_id} never launched a task")
+        stats[job_id] = JobPhaseStats(
+            job_id=job_id,
+            submitted=timeline.submitted,
+            first_launch=timeline.first_launch,
+            completed=timeline.completed,
+            map_tasks=result.job_map_tasks.get(job_id, 0),
+            shared_map_tasks=result.job_shared_map_tasks.get(job_id, 0),
+        )
+    return stats
+
+
+def mean_sharing_fraction(result: SimulationResult) -> float:
+    """Mean per-job shared-scan fraction over the whole run."""
+    stats = job_phase_stats(result)
+    if not stats:
+        raise ExperimentError("no jobs in result")
+    return sum(s.sharing_fraction for s in stats.values()) / len(stats)
+
+
+def format_phase_table(stats: dict[str, JobPhaseStats]) -> str:
+    """Fixed-width rendering of per-job phase breakdowns."""
+    if not stats:
+        raise ExperimentError("no job stats to format")
+    header = (f"{'job':<10} {'wait':>8} {'process':>9} {'response':>9} "
+              f"{'shared-scan':>11}")
+    lines = [header, "-" * len(header)]
+    for job_id in sorted(stats):
+        s = stats[job_id]
+        lines.append(
+            f"{job_id:<10} {s.waiting_time:>8.1f} {s.processing_time:>9.1f} "
+            f"{s.response_time:>9.1f} {s.sharing_fraction:>10.0%}")
+    return "\n".join(lines)

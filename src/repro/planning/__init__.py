@@ -1,0 +1,13 @@
+"""Analytic capacity planning: predict scheduler performance without
+simulating, and recommend a policy per workload."""
+
+from .advisor import (
+    PolicyPrediction,
+    Recommendation,
+    advise,
+    format_recommendation,
+    predict_fifo,
+)
+
+__all__ = ["PolicyPrediction", "Recommendation", "advise",
+           "format_recommendation", "predict_fifo"]

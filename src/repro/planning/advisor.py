@@ -1,0 +1,137 @@
+"""Capacity-planning advisor: which scheduler for this workload?
+
+Downstream users of a shared-scan scheduler face the paper's Section III
+question in reverse: *given* an expected arrival pattern and job profile,
+which policy keeps TET and ART low?  The advisor answers analytically —
+closed forms for FIFO, the grouping DP for MRShare, and the
+iteration-replay model for S3 — in milliseconds, no simulation required
+(each model is validated against the simulator in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..common.errors import ExperimentError
+from ..mapreduce.costmodel import CostModel
+from ..mapreduce.profile import JobProfile
+from ..schedulers.mrshare_opt import optimal_grouping
+from ..schedulers.s3.analytic import predict_s3
+
+
+@dataclass(frozen=True)
+class PolicyPrediction:
+    """Predicted TET/ART for one policy."""
+
+    policy: str
+    tet: float
+    art: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's output."""
+
+    predictions: tuple[PolicyPrediction, ...]
+    best_tet: str
+    best_art: str
+
+    def prediction(self, policy: str) -> PolicyPrediction:
+        for p in self.predictions:
+            if p.policy == policy:
+                return p
+        raise ExperimentError(f"no prediction for {policy!r}")
+
+    @property
+    def overall(self) -> str:
+        """Single pick: the ART winner unless it concedes >10% TET to the
+        TET winner (response time is what users feel; the paper's framing)."""
+        art_winner = self.prediction(self.best_art)
+        tet_winner = self.prediction(self.best_tet)
+        if art_winner.tet <= tet_winner.tet * 1.10:
+            return art_winner.policy
+        return tet_winner.policy
+
+
+def predict_fifo(arrivals: Sequence[float], *, profile: JobProfile,
+                 cost: CostModel, num_blocks: int, block_mb: float,
+                 map_slots: int) -> PolicyPrediction:
+    """Closed-form FIFO: map phases serialise; reduces overlap successors."""
+    map_phase = cost.single_job_map_phase_s(profile, num_blocks, block_mb,
+                                            map_slots)
+    reduce_phase = cost.reduce_task_duration(profile, 1)
+    map_end = 0.0
+    responses = []
+    last_finish = 0.0
+    for arrival in arrivals:
+        start = max(arrival + cost.job_submit_overhead_s, map_end)
+        map_end = start + map_phase
+        finish = map_end + reduce_phase
+        responses.append(finish - arrival)
+        last_finish = max(last_finish, finish)
+    return PolicyPrediction(
+        policy="FIFO",
+        tet=last_finish - min(arrivals),
+        art=sum(responses) / len(responses),
+        detail="jobs serialise on the map slots")
+
+
+def _mrshare_prediction(arrivals, objective, **geometry) -> PolicyPrediction:
+    plan = optimal_grouping(list(arrivals), objective=objective, **geometry)
+    cost: CostModel = geometry["cost"]
+    profile: JobProfile = geometry["profile"]
+    finish, responses = 0.0, []
+    for group in plan.groups:
+        ready = max(arrivals[j] for j in group)
+        makespan = cost.combined_job_makespan_s(
+            profile, len(group), geometry["num_blocks"],
+            geometry["block_mb"], geometry["map_slots"])
+        finish = max(finish, ready) + makespan
+        responses.extend(finish - arrivals[j] for j in group)
+    return PolicyPrediction(
+        policy=f"MRShare-opt[{objective}]",
+        tet=finish - min(arrivals),
+        art=sum(responses) / len(responses),
+        detail=f"{plan.num_batches} batches "
+               f"{[len(g) for g in plan.groups]}")
+
+
+def advise(arrivals: Sequence[float], *, profile: JobProfile,
+           cost: CostModel, num_blocks: int, block_mb: float,
+           map_slots: int,
+           blocks_per_segment: int | None = None) -> Recommendation:
+    """Predict all policies and recommend."""
+    if not arrivals:
+        raise ExperimentError("no arrivals to plan for")
+    arrivals = sorted(arrivals)
+    geometry = dict(profile=profile, cost=cost, num_blocks=num_blocks,
+                    block_mb=block_mb, map_slots=map_slots)
+    s3 = predict_s3(arrivals, blocks_per_segment=blocks_per_segment,
+                    **geometry)
+    predictions = (
+        predict_fifo(arrivals, **geometry),
+        _mrshare_prediction(arrivals, "tet", **geometry),
+        _mrshare_prediction(arrivals, "art", **geometry),
+        PolicyPrediction(policy="S3", tet=s3.tet, art=s3.art,
+                         detail=f"{s3.iterations} merged sub-jobs"),
+    )
+    best_tet = min(predictions, key=lambda p: p.tet).policy
+    best_art = min(predictions, key=lambda p: p.art).policy
+    return Recommendation(predictions=predictions, best_tet=best_tet,
+                          best_art=best_art)
+
+
+def format_recommendation(recommendation: Recommendation) -> str:
+    """Fixed-width rendering of an advisor run."""
+    header = f"{'policy':<18} {'TET':>10} {'ART':>10}  detail"
+    lines = [header, "-" * len(header)]
+    for p in recommendation.predictions:
+        lines.append(f"{p.policy:<18} {p.tet:>10.1f} {p.art:>10.1f}  "
+                     f"{p.detail}")
+    lines.append(
+        f"best TET: {recommendation.best_tet}; "
+        f"best ART: {recommendation.best_art}; "
+        f"recommended: {recommendation.overall}")
+    return "\n".join(lines)

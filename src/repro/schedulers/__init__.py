@@ -1,0 +1,20 @@
+"""Scheduling policies: FIFO, MRShare batching, and the S3 shared scan
+scheduler, all speaking the :class:`~repro.mapreduce.driver.Scheduler`
+interface."""
+
+from ..mapreduce.driver import Scheduler, SchedulerContext
+from .assignment import BlockAssigner, pick_reduce_node
+from .fifo import FifoScheduler
+from .mrshare import MRShareScheduler
+from .pooled import CapacityScheduler, FairScheduler, PooledScheduler, tag_pool
+from .s3 import S3Config, S3Scheduler
+from .unitqueue import ExecUnit, UnitQueueScheduler
+
+__all__ = [
+    "Scheduler", "SchedulerContext",
+    "BlockAssigner", "pick_reduce_node",
+    "FifoScheduler", "MRShareScheduler",
+    "CapacityScheduler", "FairScheduler", "PooledScheduler", "tag_pool",
+    "S3Config", "S3Scheduler",
+    "ExecUnit", "UnitQueueScheduler",
+]

@@ -1,0 +1,92 @@
+"""Slot-assignment helpers shared by all scheduling policies.
+
+Mirrors the Hadoop JobTracker's locality preference: when a node asks for
+work, give it a map task whose input block it hosts (node-local); fall back
+to rack-local, then off-rack.  Remote reads cost extra network time, which
+the cost model charges via the ``local`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cluster.cluster import Cluster
+from ..cluster.node import Node
+from ..dfs.block import DfsFile
+
+
+class BlockAssigner:
+    """Locality-aware matching of pending blocks to free map slots.
+
+    Built once per (file, work unit); holds a mutable set of *unassigned*
+    block indices.  ``next_assignment`` pops one (node, block) pair at a
+    time, preferring node-local, then rack-local, then any placement.
+    """
+
+    def __init__(self, dfs_file: DfsFile, pending_blocks: Iterable[int]) -> None:
+        self._file = dfs_file
+        self.pending: set[int] = set(pending_blocks)
+        # node -> pending blocks hosted there (primary + replicas).
+        self._by_node: dict[str, set[int]] = {}
+        for index in self.pending:
+            for location in dfs_file.block(index).locations:
+                self._by_node.setdefault(location, set()).add(index)
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    def add(self, block_index: int) -> None:
+        """Add one more pending block (used by dynamic sub-job adjustment)."""
+        if block_index in self.pending:
+            return
+        self.pending.add(block_index)
+        for location in self._file.block(block_index).locations:
+            self._by_node.setdefault(location, set()).add(block_index)
+
+    def _take(self, block_index: int) -> None:
+        self.pending.discard(block_index)
+        for location in self._file.block(block_index).locations:
+            hosted = self._by_node.get(location)
+            if hosted is not None:
+                hosted.discard(block_index)
+
+    def next_assignment(self, cluster: Cluster, *,
+                        include_excluded: bool = True) -> tuple[Node, int, bool] | None:
+        """Pick one (node, block, is_local) assignment, or None.
+
+        Pass 1: any free node with a locally hosted pending block.
+        Pass 2: rack-local blocks for free nodes.
+        Pass 3: arbitrary pending block on the first free node (remote read).
+        """
+        if not self.pending:
+            return None
+        free_nodes = cluster.nodes_with_free_map_slot(
+            include_excluded=include_excluded)
+        if not free_nodes:
+            return None
+        # Pass 1: node-local.
+        for node in free_nodes:
+            hosted = self._by_node.get(node.node_id)
+            if hosted:
+                block_index = min(hosted)
+                self._take(block_index)
+                return node, block_index, True
+        # Pass 2: rack-local (same rack as a replica holder).
+        topo = cluster.topology
+        for node in free_nodes:
+            for block_index in sorted(self.pending):
+                locations = self._file.block(block_index).locations
+                if any(topo.rack_of(loc) == node.rack for loc in locations):
+                    self._take(block_index)
+                    return node, block_index, False
+        # Pass 3: off-rack.
+        node = free_nodes[0]
+        block_index = min(self.pending)
+        self._take(block_index)
+        return node, block_index, False
+
+
+def pick_reduce_node(cluster: Cluster) -> Node | None:
+    """First node with a free reduce slot, deterministic order."""
+    nodes = cluster.nodes_with_free_reduce_slot()
+    return nodes[0] if nodes else None

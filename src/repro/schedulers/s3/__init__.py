@@ -1,0 +1,20 @@
+"""The S3 shared scan scheduler (the paper's contribution, Section IV)."""
+
+from .analytic import S3Prediction, predict_s3
+from .autotune import (
+    SegmentCostModel,
+    paper_ideal_within,
+    recommend_blocks_per_segment,
+)
+from .config import S3Config
+from .jobqueue import JobQueueManager
+from .scanloop import Iteration, ScanLoop
+from .scheduler import S3Scheduler
+from .slotcheck import SlotChecker
+from .state import S3JobState
+
+__all__ = ["S3Prediction", "predict_s3",
+           "SegmentCostModel", "paper_ideal_within",
+           "recommend_blocks_per_segment",
+           "S3Config", "JobQueueManager", "Iteration", "ScanLoop",
+           "S3Scheduler", "SlotChecker", "S3JobState"]

@@ -1,0 +1,102 @@
+"""Fast analytic predictor of S3 performance.
+
+Replays the scheduler's iteration structure at *iteration* granularity —
+no event queue, no per-task bookkeeping — in O(iterations) Python.  Within
+a few percent of the full simulator on the paper workloads (tested), and
+three orders of magnitude cheaper, which makes it usable inside planning
+loops (:mod:`repro.planning`).
+
+Approximations (all second-order on the paper geometry):
+
+* every block of an iteration is costed at the iteration's full batch
+  size (the real per-block batches shrink only in a finishing job's last
+  partial chunk);
+* a job's completion adds its merged reduce slice after its final map
+  iteration (reduce-slot contention ignored — one wave in the paper
+  setting);
+* node homogeneity (heterogeneous clusters need the real simulator).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...common.errors import SchedulingError
+from ...mapreduce.costmodel import CostModel
+from ...mapreduce.profile import JobProfile
+
+
+@dataclass(frozen=True)
+class S3Prediction:
+    """Predicted schedule metrics for one S3 run."""
+
+    tet: float
+    art: float
+    responses: tuple[float, ...]
+    iterations: int
+
+
+def predict_s3(arrivals: Sequence[float], *,
+               profile: JobProfile,
+               cost: CostModel,
+               num_blocks: int,
+               block_mb: float,
+               map_slots: int,
+               blocks_per_segment: int | None = None) -> S3Prediction:
+    """Predict TET/ART of S3 over ``arrivals`` (sorted submission times)."""
+    if not arrivals:
+        raise SchedulingError("no arrivals to predict")
+    if list(arrivals) != sorted(arrivals):
+        raise SchedulingError("arrivals must be sorted")
+    if num_blocks <= 0 or map_slots <= 0:
+        raise SchedulingError("geometry must be positive")
+    segment = blocks_per_segment or map_slots
+    if segment <= 0:
+        raise SchedulingError("blocks_per_segment must be positive")
+
+    pending = list(enumerate(arrivals))  # (job index, arrival)
+    remaining: dict[int, int] = {}
+    completions: dict[int, float] = {}
+    pointer = 0
+    now = 0.0
+    iterations = 0
+    while pending or remaining:
+        if not remaining:
+            # Idle: jump to the next arrival.
+            now = max(now, pending[0][1])
+        # Admission: jobs that have arrived join the next iteration.
+        while pending and pending[0][1] <= now:
+            index, _ = pending.pop(0)
+            remaining[index] = num_blocks
+        if not remaining:
+            continue
+        now += cost.subjob_overhead_s  # arming / launch overhead
+        # Late arrivals during the overhead window still join (dynamic
+        # sub-job adjustment).
+        while pending and pending[0][1] <= now:
+            index, _ = pending.pop(0)
+            remaining[index] = num_blocks
+        chunk = min(segment, num_blocks - pointer, max(remaining.values()))
+        batch = len(remaining)
+        waves = math.ceil(min(chunk, segment) / map_slots)
+        iteration_time = waves * cost.map_task_duration(
+            profile, block_mb, batch)
+        now += iteration_time
+        iterations += 1
+        fraction = chunk / num_blocks
+        reduce_slice = cost.reduce_task_duration(profile, batch,
+                                                 file_fraction=fraction)
+        for index in list(remaining):
+            remaining[index] -= min(chunk, remaining[index])
+            if remaining[index] <= 0:
+                completions[index] = now + reduce_slice
+                del remaining[index]
+        pointer = (pointer + chunk) % num_blocks
+
+    responses = tuple(completions[i] - arrivals[i]
+                      for i in range(len(arrivals)))
+    tet = max(completions.values()) - min(arrivals)
+    return S3Prediction(tet=tet, art=sum(responses) / len(responses),
+                        responses=responses, iterations=iterations)

@@ -1,0 +1,52 @@
+"""Configuration of the S3 scheduler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class S3Config:
+    """Tunables of the S3 shared scan scheduler.
+
+    Attributes
+    ----------
+    blocks_per_segment:
+        Blocks per segment / per scheduling iteration.  ``None`` uses the
+        paper's ideal: the cluster's number of concurrent map slots, so one
+        segment is exactly one map wave (Section IV-B).
+    adaptive_segments:
+        When True, the *next* iteration is sized to the map slots currently
+        available (free and not excluded by the slot checker) instead of the
+        static segment size — the paper's dynamic segment-size computation
+        (Sections IV-B and IV-D.2).
+    slot_check_enabled / slot_check_interval_s / slowness_threshold:
+        The periodical slot checking mechanism (Section IV-D.1): every
+        ``interval`` seconds, nodes whose smoothed map-task duration exceeds
+        ``slowness_threshold`` x the cluster median are excluded from the
+        next round of computation; they rejoin once they speed back up.
+    max_jobs_per_iteration:
+        Optional cap on how many jobs may scan concurrently.  New jobs
+        beyond the cap wait un-admitted (used by the priority extension);
+        jobs already scanning are never paused, preserving the circular-scan
+        alignment invariant.
+    """
+
+    blocks_per_segment: int | None = None
+    adaptive_segments: bool = False
+    slot_check_enabled: bool = False
+    slot_check_interval_s: float = 15.0
+    slowness_threshold: float = 1.6
+    max_jobs_per_iteration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.blocks_per_segment is not None and self.blocks_per_segment <= 0:
+            raise ConfigError("blocks_per_segment must be positive")
+        if self.slot_check_interval_s <= 0:
+            raise ConfigError("slot_check_interval_s must be positive")
+        if self.slowness_threshold <= 1.0:
+            raise ConfigError("slowness_threshold must exceed 1.0")
+        if self.max_jobs_per_iteration is not None and self.max_jobs_per_iteration <= 0:
+            raise ConfigError("max_jobs_per_iteration must be positive")

@@ -1,0 +1,71 @@
+"""The Job Queue Manager (Algorithm 1 of the paper).
+
+Holds one :class:`~repro.schedulers.s3.scanloop.ScanLoop` per input file,
+admits arriving jobs into the right loop, and picks which loop supplies the
+next merged sub-job.  With a single shared file — the paper's setting — the
+JQM degenerates to managing that one loop; multiple files are served
+round-robin so no file starves.
+"""
+
+from __future__ import annotations
+
+from ...common.errors import SchedulingError
+from ...dfs.namenode import NameNode
+from ...mapreduce.job import JobSpec
+from .scanloop import ScanLoop
+from .state import S3JobState
+
+
+class JobQueueManager:
+    """Per-file scan loops plus the round-robin loop selector."""
+
+    def __init__(self, namenode: NameNode, blocks_per_segment: int) -> None:
+        if blocks_per_segment <= 0:
+            raise SchedulingError("blocks_per_segment must be positive")
+        self._namenode = namenode
+        self._blocks_per_segment = blocks_per_segment
+        self._loops: dict[str, ScanLoop] = {}
+        self._rotation: list[str] = []
+        self._next_loop_index = 0
+
+    @property
+    def blocks_per_segment(self) -> int:
+        return self._blocks_per_segment
+
+    def loop_for(self, file_name: str) -> ScanLoop:
+        """The loop scanning ``file_name`` (created on first use)."""
+        loop = self._loops.get(file_name)
+        if loop is None:
+            dfs_file = self._namenode.get_file(file_name)
+            loop = ScanLoop(dfs_file, self._blocks_per_segment)
+            self._loops[file_name] = loop
+            self._rotation.append(file_name)
+        return loop
+
+    def loops(self) -> list[ScanLoop]:
+        return [self._loops[name] for name in self._rotation]
+
+    def admit(self, job: JobSpec, now: float) -> S3JobState:
+        """Route an arriving job to its file's scan loop."""
+        return self.loop_for(job.file_name).add_job(job, now)
+
+    def has_work(self) -> bool:
+        return any(loop.has_work() for loop in self._loops.values())
+
+    def next_loop_with_work(self) -> ScanLoop | None:
+        """Round-robin over files: the next loop that has jobs to serve."""
+        if not self._rotation:
+            return None
+        count = len(self._rotation)
+        for step in range(count):
+            name = self._rotation[(self._next_loop_index + step) % count]
+            loop = self._loops[name]
+            if loop.has_work():
+                self._next_loop_index = (self._next_loop_index + step + 1) % count
+                return loop
+        return None
+
+    def pending_jobs(self) -> int:
+        """Total jobs currently scanning or waiting (for tests/monitoring)."""
+        return sum(len(loop.active) + len(loop.waiting)
+                   for loop in self._loops.values())

@@ -1,0 +1,183 @@
+"""The per-file circular scan loop.
+
+One :class:`ScanLoop` exists per input file.  It owns the scan pointer, the
+active job list and the construction of *iterations* — the merged sub-jobs
+of Algorithm 1.  Building an iteration is where sub-job **alignment**
+happens: jobs admitted since the previous build get ``start_block`` set to
+the current pointer, so their first sub-job lines up with the next segment
+to be processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...common.errors import SchedulingError
+from ...dfs.block import DfsFile
+from ...dfs.segments import SegmentPlan
+from ...mapreduce.job import JobSpec
+from ...mapreduce.profile import JobProfile
+from ..assignment import BlockAssigner
+from .state import S3JobState
+
+
+@dataclass
+class Iteration:
+    """One merged sub-job: a chunk of blocks plus the jobs sharing it.
+
+    ``block_jobs`` maps each block index to the ids of the jobs whose scan
+    needs that block — the per-block batch whose size drives the shared-scan
+    cost model.  Jobs finishing their scan inside this iteration are listed
+    in ``finishing_jobs``; they complete when this iteration's merged reduce
+    phase ends.
+    """
+
+    iteration_id: str
+    file_name: str
+    chunk: tuple[int, ...]
+    block_jobs: dict[int, tuple[str, ...]]
+    profiles: dict[str, JobProfile]
+    participants: tuple[str, ...]
+    finishing_jobs: tuple[str, ...]
+    file_fraction: float
+    assigner: BlockAssigner
+    maps_outstanding: int = field(init=False)
+    reduces_to_launch: int = 0
+    reduces_outstanding: int = 0
+    reduce_started: bool = False
+
+    def __post_init__(self) -> None:
+        self.maps_outstanding = len(self.chunk)
+        if not self.chunk:
+            raise SchedulingError(f"{self.iteration_id}: empty chunk")
+        if set(self.block_jobs) != set(self.chunk):
+            raise SchedulingError(f"{self.iteration_id}: block/job map mismatch")
+
+    @property
+    def batch_size(self) -> int:
+        """Number of distinct jobs sharing this iteration."""
+        return len(self.participants)
+
+    def batch_size_for(self, block_index: int) -> int:
+        return len(self.block_jobs[block_index])
+
+    def profile_for(self, block_index: int) -> JobProfile:
+        """Cost profile for one block: the priciest participant's profile."""
+        jobs = self.block_jobs[block_index]
+        return max((self.profiles[j] for j in jobs),
+                   key=lambda p: (p.map_cpu_s_per_mb, p.reduce_total_s))
+
+    @property
+    def profile(self) -> JobProfile:
+        """Profile used for the merged reduce phase."""
+        return max(self.profiles.values(),
+                   key=lambda p: (p.reduce_total_s, p.map_cpu_s_per_mb))
+
+    @property
+    def maps_all_complete(self) -> bool:
+        return self.maps_outstanding == 0
+
+
+class ScanLoop:
+    """Circular scan state for one file (pointer + active jobs)."""
+
+    def __init__(self, dfs_file: DfsFile, blocks_per_segment: int) -> None:
+        self.dfs_file = dfs_file
+        self.plan = SegmentPlan(dfs_file, blocks_per_segment)
+        self.pointer = 0
+        self.active: list[S3JobState] = []
+        #: Jobs waiting for admission (only when max_jobs_per_iteration caps).
+        self.waiting: list[S3JobState] = []
+        self._iteration_counter = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return self.dfs_file.num_blocks
+
+    def has_work(self) -> bool:
+        return bool(self.active or self.waiting)
+
+    def add_job(self, spec: JobSpec, now: float) -> S3JobState:
+        """Register a newly submitted job; admission happens at next build."""
+        state = S3JobState(spec=spec, total_blocks=self.num_blocks,
+                           arrival_time=now)
+        self.waiting.append(state)
+        return state
+
+    # ---------------------------------------------------------------- build
+    def build_iteration(self, chunk_size: int, *,
+                        max_jobs: int | None = None) -> Iteration | None:
+        """Construct (and commit) the next merged sub-job.
+
+        Advances the pointer and each participant's coverage immediately —
+        the iteration object is a self-contained execution plan.  Returns
+        ``None`` when no job needs scanning.
+        """
+        if chunk_size <= 0:
+            raise SchedulingError(f"chunk_size must be positive, got {chunk_size}")
+        self._admit_waiting(max_jobs)
+        if not self.active:
+            return None
+        n = self.num_blocks
+        # Never wrap inside a chunk: segment boundaries stay aligned with the
+        # file end, as in the fixed-segment grid (the last segment is ragged).
+        chunk_len = min(chunk_size, n - self.pointer)
+        # Never scan blocks nobody needs.
+        chunk_len = min(chunk_len, max(job.remaining for job in self.active))
+        chunk = tuple(range(self.pointer, self.pointer + chunk_len))
+
+        block_jobs: dict[int, list[str]] = {b: [] for b in chunk}
+        profiles: dict[str, JobProfile] = {}
+        finishing: list[str] = []
+        participants: list[str] = []
+        for job in self.active:
+            take = min(chunk_len, job.remaining)
+            if take <= 0:
+                raise SchedulingError(
+                    f"{job.job_id}: active job with nothing remaining")
+            for offset in range(take):
+                block_jobs[self.pointer + offset].append(job.job_id)
+            participants.append(job.job_id)
+            profiles[job.job_id] = job.spec.profile
+            job.advance(take)
+            if job.done_scanning:
+                finishing.append(job.job_id)
+        self.active = [job for job in self.active if not job.done_scanning]
+        self.pointer = (self.pointer + chunk_len) % n
+        self._iteration_counter += 1
+        iteration = Iteration(
+            iteration_id=f"{self.dfs_file.name}:iter_{self._iteration_counter:05d}",
+            file_name=self.dfs_file.name,
+            chunk=chunk,
+            block_jobs={b: tuple(jobs) for b, jobs in block_jobs.items()},
+            profiles=profiles,
+            participants=tuple(participants),
+            finishing_jobs=tuple(finishing),
+            file_fraction=chunk_len / n,
+            assigner=BlockAssigner(self.dfs_file, chunk),
+        )
+        return iteration
+
+    def _admit_waiting(self, max_jobs: int | None) -> None:
+        """Admit waiting jobs at the current pointer, respecting the cap.
+
+        Jobs already scanning are never paused (that would break the
+        contiguous-coverage invariant); the cap only gates *new* admissions.
+        Among waiting jobs, higher priority first, then arrival order.
+        """
+        if not self.waiting:
+            return
+        capacity = None if max_jobs is None else max(0, max_jobs - len(self.active))
+        candidates = sorted(
+            self.waiting,
+            key=lambda job: (-job.spec.priority, job.arrival_time))
+        admitted: list[S3JobState] = []
+        for job in candidates:
+            if capacity is not None and len(admitted) >= capacity:
+                break
+            job.admit(self.pointer)
+            admitted.append(job)
+        if admitted:
+            admitted_ids = {job.job_id for job in admitted}
+            self.waiting = [j for j in self.waiting if j.job_id not in admitted_ids]
+            self.active.extend(admitted)

@@ -1,0 +1,308 @@
+"""The S3 shared scan scheduler (Section IV).
+
+Control flow
+------------
+* A job arrival is routed to its file's scan loop by the Job Queue Manager
+  and waits for the next iteration boundary (sub-job alignment).
+* At most one *iteration* (merged sub-job) is in flight on the map slots at
+  a time.  When the running iteration's map tasks complete, the next
+  iteration is **armed**: after ``subjob_overhead_s`` (job-initialisation /
+  communication latency — the cost that makes MRShare's single batch win
+  under dense arrivals) the Partial Job Initialisation step materialises the
+  merged sub-job from whatever jobs are queued *at that moment*, which is
+  the paper's dynamic sub-job adjustment.
+* Each iteration runs a merged reduce phase on the separate reduce-slot
+  pool; it overlaps the next iteration's maps.  A job completes when the
+  reduce of the iteration covering its final block finishes.
+* Optional periodical slot checking excludes slow nodes from future
+  assignments; with ``adaptive_segments`` the next iteration is sized to the
+  slots actually available.
+"""
+
+from __future__ import annotations
+
+from ...cluster.node import Node
+from ...common import ids
+from ...common.errors import SchedulingError
+from ...mapreduce.driver import Scheduler
+from ...mapreduce.job import JobSpec
+from ...mapreduce.task import TaskKind, TaskLaunch
+from ..assignment import pick_reduce_node
+from .config import S3Config
+from .jobqueue import JobQueueManager
+from .scanloop import Iteration
+from .slotcheck import SlotChecker
+
+
+class S3Scheduler(Scheduler):
+    """Shared Scan Scheduler: segments, sub-job alignment, partial init."""
+
+    name = "S3"
+
+    def __init__(self, config: S3Config | None = None) -> None:
+        super().__init__()
+        self.config = config or S3Config()
+        self.jqm: JobQueueManager | None = None
+        self.slot_checker = SlotChecker(threshold=self.config.slowness_threshold)
+        self._current: Iteration | None = None
+        self._armed = False
+        #: Iterations whose merged reduce phase is launching / running.
+        self._reducing: list[Iteration] = []
+        self._reduce_counter = 0
+        #: Whether the periodic slot-check timer is currently scheduled.
+        self._ticker_running = False
+        self._attempt_counts: dict[str, int] = {}
+
+    def _next_attempt_id(self, task_id: str) -> str:
+        """Unique attempt id per task (retries and backups increment)."""
+        count = self._attempt_counts.get(task_id, 0)
+        self._attempt_counts[task_id] = count + 1
+        return ids.attempt_id(task_id, count)
+
+    # ---------------------------------------------------------------- setup
+    def on_bind(self) -> None:
+        ctx = self.ctx
+        blocks_per_segment = self.config.blocks_per_segment
+        if blocks_per_segment is None:
+            # The paper's ideal segment size: one block per concurrent map
+            # slot, so a segment is exactly one cluster-wide map wave.
+            blocks_per_segment = ctx.cluster.total_map_slots()
+        self.jqm = JobQueueManager(ctx.namenode, blocks_per_segment)
+        # The slot-check ticker starts lazily with the first job (see
+        # _start_ticker): an unconditional periodic event would keep the
+        # event queue non-empty forever and the simulation would never drain.
+
+    @property
+    def queue(self) -> JobQueueManager:
+        if self.jqm is None:
+            raise SchedulingError("S3 scheduler not bound")
+        return self.jqm
+
+    # -------------------------------------------------------------- arrivals
+    def on_job_submitted(self, job: JobSpec, now: float) -> None:
+        self.queue.admit(job, now)
+        self.ctx.trace.record(now, "s3.queue", job.job_id,
+                              pending=self.queue.pending_jobs())
+        self._start_ticker()
+        if self._current is None and not self._armed:
+            self._arm(now)
+
+    # ------------------------------------------------------------ iterations
+    def _arm(self, now: float) -> None:
+        """Schedule the build of the next merged sub-job after the overhead.
+
+        Jobs arriving inside the overhead window are still included — the
+        iteration is materialised only when the timer fires.
+        """
+        if self._armed or self._current is not None:
+            raise SchedulingError("S3: arming while an iteration is active")
+        self._armed = True
+        self.ctx.sim.after(self.ctx.cost.subjob_overhead_s,
+                           self._launch_iteration, label="s3.arm")
+
+    def _launch_iteration(self, now: float) -> None:
+        self._armed = False
+        if self._current is not None:
+            raise SchedulingError("S3: iteration launch while one is running")
+        loop = self.queue.next_loop_with_work()
+        if loop is None:
+            return  # all queues drained while armed; go idle
+        chunk_size = self.queue.blocks_per_segment
+        if self.config.adaptive_segments:
+            available = self.ctx.cluster.free_map_slots(include_excluded=False)
+            if available > 0:
+                chunk_size = min(chunk_size, available)
+        iteration = loop.build_iteration(
+            chunk_size, max_jobs=self.config.max_jobs_per_iteration)
+        if iteration is None:
+            # Only waiting jobs blocked by the admission cap: retry when the
+            # cap frees up (i.e. when a scanning job finishes).
+            return
+        self._current = iteration
+        self.ctx.trace.record(
+            now, "s3.subjob.launch", iteration.iteration_id,
+            blocks=len(iteration.chunk), jobs=iteration.batch_size,
+            finishing=len(iteration.finishing_jobs))
+        self.ctx.request_dispatch()
+
+    # -------------------------------------------------------------- dispatch
+    def next_launch(self, now: float) -> TaskLaunch | None:
+        launch = self._next_reduce(now)
+        if launch is not None:
+            return launch
+        return self._next_map(now)
+
+    def _next_map(self, now: float) -> TaskLaunch | None:
+        iteration = self._current
+        if iteration is None or len(iteration.assigner) == 0:
+            return None
+        ctx = self.ctx
+        respect_exclusions = self.config.slot_check_enabled
+        assignment = iteration.assigner.next_assignment(
+            ctx.cluster, include_excluded=not respect_exclusions)
+        if assignment is None:
+            return None
+        node, block_index, local = assignment
+        dfs_file = ctx.namenode.get_file(iteration.file_name)
+        block = dfs_file.block(block_index)
+        profile = iteration.profile_for(block_index)
+        duration = ctx.cost.map_task_duration(
+            profile, block.size_mb, iteration.batch_size_for(block_index),
+            node_speed=node.speed, local=local)
+        return TaskLaunch(
+            attempt_id=self._next_attempt_id(
+                ids.map_task_id(iteration.iteration_id, block_index)),
+            kind=TaskKind.MAP,
+            node_id=node.node_id,
+            duration=duration,
+            job_ids=iteration.block_jobs[block_index],
+            block_index=block_index,
+            local=local,
+            payload=iteration,
+        )
+
+    def _next_reduce(self, now: float) -> TaskLaunch | None:
+        ctx = self.ctx
+        for iteration in self._reducing:
+            if iteration.reduces_to_launch <= 0:
+                continue
+            node = pick_reduce_node(ctx.cluster)
+            if node is None:
+                return None
+            iteration.reduces_to_launch -= 1
+            self._reduce_counter += 1
+            duration = ctx.cost.reduce_task_duration(
+                iteration.profile, iteration.batch_size,
+                file_fraction=iteration.file_fraction,
+                node_speed=node.speed)
+            return TaskLaunch(
+                attempt_id=self._next_attempt_id(
+                    ids.reduce_task_id(iteration.iteration_id,
+                                       self._reduce_counter)),
+                kind=TaskKind.REDUCE,
+                node_id=node.node_id,
+                duration=duration,
+                job_ids=iteration.participants,
+                payload=iteration,
+            )
+        return None
+
+    # ------------------------------------------------------ faults/speculation
+    def on_task_failed(self, launch: TaskLaunch, now: float) -> None:
+        """Re-enqueue failed work within its merged sub-job.
+
+        A failed map can only belong to the *current* iteration (maps run
+        nowhere else), and a failed reduce to an iteration still in the
+        reducing list, so re-adding to the same structures is always valid.
+        """
+        iteration = launch.payload
+        if not isinstance(iteration, Iteration):
+            raise SchedulingError(f"S3: foreign task {launch.attempt_id}")
+        if launch.kind is TaskKind.MAP:
+            if iteration is not self._current:
+                raise SchedulingError(
+                    f"{launch.attempt_id}: map failure outside the current "
+                    "iteration")
+            if launch.block_index is None:
+                raise SchedulingError(f"{launch.attempt_id}: map without block")
+            iteration.assigner.add(launch.block_index)
+        else:
+            iteration.reduces_to_launch += 1
+
+    def backup_launch(self, launch: TaskLaunch, node: Node,
+                      now: float) -> TaskLaunch | None:
+        """Speculative copy of a running merged-sub-job map task."""
+        iteration = launch.payload
+        if not isinstance(iteration, Iteration):
+            return None
+        if launch.kind is not TaskKind.MAP or launch.block_index is None:
+            return None
+        if iteration is not self._current:
+            return None
+        ctx = self.ctx
+        block = ctx.namenode.get_file(iteration.file_name).block(
+            launch.block_index)
+        local = node.node_id in block.locations
+        duration = ctx.cost.map_task_duration(
+            iteration.profile_for(launch.block_index), block.size_mb,
+            iteration.batch_size_for(launch.block_index),
+            node_speed=node.speed, local=local)
+        return TaskLaunch(
+            attempt_id=self._next_attempt_id(
+                ids.map_task_id(iteration.iteration_id, launch.block_index)),
+            kind=TaskKind.MAP,
+            node_id=node.node_id,
+            duration=duration,
+            job_ids=iteration.block_jobs[launch.block_index],
+            block_index=launch.block_index,
+            local=local,
+            payload=iteration,
+        )
+
+    # ------------------------------------------------------------ completion
+    def on_task_complete(self, launch: TaskLaunch, now: float) -> None:
+        iteration = launch.payload
+        if not isinstance(iteration, Iteration):
+            raise SchedulingError(f"S3: foreign task {launch.attempt_id}")
+        if launch.kind is TaskKind.MAP:
+            self.slot_checker.observe(launch.node_id, launch.duration)
+            iteration.maps_outstanding -= 1
+            if iteration.maps_outstanding < 0:
+                raise SchedulingError(
+                    f"{iteration.iteration_id}: map over-completion")
+            if iteration.maps_all_complete:
+                self._finish_iteration_maps(iteration, now)
+        else:
+            iteration.reduces_outstanding -= 1
+            if iteration.reduces_outstanding < 0:
+                raise SchedulingError(
+                    f"{iteration.iteration_id}: reduce over-completion")
+            if iteration.reduces_outstanding == 0:
+                self._reducing.remove(iteration)
+                self.ctx.trace.record(now, "s3.subjob.complete",
+                                      iteration.iteration_id)
+                for job_id in iteration.finishing_jobs:
+                    self.ctx.job_completed(job_id)
+
+    def _finish_iteration_maps(self, iteration: Iteration, now: float) -> None:
+        """Maps of the current iteration done: queue its merged reduce and
+        arm the next iteration (reduces overlap the next maps)."""
+        if iteration is not self._current:
+            raise SchedulingError("S3: completed maps of a non-current iteration")
+        self._current = None
+        num_reduces = max(iteration.profiles[j].num_reduce_tasks
+                          for j in iteration.participants)
+        iteration.reduces_to_launch = num_reduces
+        iteration.reduces_outstanding = num_reduces
+        self._reducing.append(iteration)
+        self.ctx.trace.record(now, "s3.subjob.maps_done",
+                              iteration.iteration_id, reduces=num_reduces)
+        if self.queue.has_work():
+            self._arm(now)
+
+    # ------------------------------------------------------------ slot check
+    def _start_ticker(self) -> None:
+        """Start the periodic slot checker while there is work to watch."""
+        if not self.config.slot_check_enabled or self._ticker_running:
+            return
+        self._ticker_running = True
+        self.ctx.sim.every(self.config.slot_check_interval_s,
+                           self._slot_check, label="s3.slotcheck")
+
+    @property
+    def _idle(self) -> bool:
+        return (self._current is None and not self._armed
+                and not self._reducing and not self.queue.has_work())
+
+    def _slot_check(self, now: float) -> bool:
+        """Periodic tick; returns True (stopping the timer) once idle."""
+        if self._idle:
+            self._ticker_running = False
+            # Leave no node excluded while nothing runs.
+            for node in self.ctx.cluster:
+                node.excluded = False
+            return True
+        excluded = self.slot_checker.apply(self.ctx.cluster)
+        self.ctx.trace.record(now, "s3.slotcheck", "cluster",
+                              excluded=len(excluded))
+        return False

@@ -1,0 +1,6 @@
+"""Discrete-event simulation engine (clock, event queue, periodic timers)."""
+
+from .events import EventQueue, ScheduledEvent
+from .simulator import Simulator
+
+__all__ = ["EventQueue", "ScheduledEvent", "Simulator"]

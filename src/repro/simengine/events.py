@@ -1,0 +1,83 @@
+"""Event primitives for the discrete-event engine.
+
+The engine is a classic calendar queue: a binary heap of
+:class:`ScheduledEvent` ordered by ``(time, priority, seq)``.  The ``seq``
+tiebreaker makes execution order deterministic for events scheduled at the
+same instant (FIFO in scheduling order), which the test suite relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Signature of an event callback: receives the firing time.
+EventCallback = Callable[[float], None]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled to run at a simulation time.
+
+    Only the ordering key participates in comparisons; the callback itself is
+    excluded via ``compare=False``.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`ScheduledEvent`.
+
+    >>> q = EventQueue()
+    >>> fired = []
+    >>> _ = q.push(2.0, lambda t: fired.append(("b", t)))
+    >>> _ = q.push(1.0, lambda t: fired.append(("a", t)))
+    >>> ev = q.pop(); ev.callback(ev.time); fired
+    [('a', 1.0)]
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, callback: EventCallback, *,
+             priority: int = 0, label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` at absolute ``time``; returns a cancellable handle."""
+        ev = ScheduledEvent(time=time, priority=priority, seq=next(self._seq),
+                            callback=callback, label=label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises ``IndexError`` when the queue is empty.
+        """
+        while True:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

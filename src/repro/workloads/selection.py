@@ -1,0 +1,72 @@
+"""Structured selection workload (Section V.G).
+
+SQL-like selections over the TPC-H ``lineitem`` table, translated to
+MapReduce: the map function evaluates ``quantity < VAL`` per row (VAL chosen
+for 10 % selectivity) and the reduce phase collects the qualifying tuples.
+The paper stores 10 GB/node (400 GB total) at 64 MB blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import WorkloadError
+from ..common.units import gb
+from ..mapreduce.job import JobSpec
+from ..mapreduce.profile import JobProfile, selection
+
+#: Table file used by every selection experiment.
+LINEITEM_FILE = "tpch-lineitem.tbl"
+
+#: Paper geometry: 400 GB (10 GB/node x 40 nodes).
+LINEITEM_SIZE_MB = gb(400)
+
+#: The paper's target selectivity.
+DEFAULT_SELECTIVITY = 0.10
+
+
+@dataclass(frozen=True)
+class SelectionWorkload:
+    """A set of selection queries differing only in their predicate value."""
+
+    num_jobs: int
+    profile: JobProfile
+    selectivity: float = DEFAULT_SELECTIVITY
+    file_name: str = LINEITEM_FILE
+    file_size_mb: float = LINEITEM_SIZE_MB
+
+    def __post_init__(self) -> None:
+        if self.num_jobs <= 0:
+            raise WorkloadError("num_jobs must be positive")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise WorkloadError("selectivity must be in (0, 1]")
+        if self.file_size_mb <= 0:
+            raise WorkloadError("file_size_mb must be positive")
+
+    def make_jobs(self, prefix: str = "sel") -> list[JobSpec]:
+        jobs = []
+        for index in range(self.num_jobs):
+            jobs.append(JobSpec(
+                job_id=f"{prefix}_{index:04d}",
+                file_name=self.file_name,
+                profile=self.profile,
+                tag=f"SELECT * FROM lineitem WHERE quantity < VAL_{index} "
+                    f"(selectivity {self.selectivity:.0%})",
+            ))
+        return jobs
+
+
+def selection_workload(num_jobs: int = 10,
+                       selectivity: float = DEFAULT_SELECTIVITY) -> SelectionWorkload:
+    """The paper's selection workload: 10 queries at 10 % selectivity."""
+    profile = selection()
+    if selectivity != DEFAULT_SELECTIVITY:
+        # Output volume scales with selectivity; fold the change into the
+        # (informational) output fields and the reduce phase length.
+        scale = selectivity / DEFAULT_SELECTIVITY
+        profile = profile.with_(
+            map_output_mb_per_input_mb=profile.map_output_mb_per_input_mb * scale,
+            reduce_total_s=profile.reduce_total_s * (0.5 + 0.5 * scale),
+        )
+    return SelectionWorkload(num_jobs=num_jobs, profile=profile,
+                             selectivity=selectivity)

@@ -1,0 +1,122 @@
+"""Named workload suites: the experiment configurations as reusable values.
+
+A :class:`WorkloadSuite` bundles everything one scheduler run needs — the
+jobs, their arrival times and the input-file geometry — so callers can say
+``suites.get("sparse-normal")`` instead of re-assembling the pieces.  The
+registry ships the paper's configurations plus the extended ones; custom
+suites can be registered for downstream experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..common.errors import WorkloadError
+from ..mapreduce.job import JobSpec
+from .arrivals import dense, sparse_groups, validate_arrivals
+from .selection import selection_workload
+from .wordcount import heavy_workload, normal_workload
+
+
+@dataclass(frozen=True)
+class WorkloadSuite:
+    """A complete, timed workload over one shared input file."""
+
+    name: str
+    description: str
+    jobs_factory: Callable[[], list[JobSpec]]
+    arrivals_factory: Callable[[], list[float]]
+    file_name: str
+    file_size_mb: float
+    block_size_mb: float = 64.0
+
+    def materialize(self) -> tuple[list[JobSpec], list[float]]:
+        """Build fresh jobs + validated arrivals for one run."""
+        jobs = self.jobs_factory()
+        arrivals = validate_arrivals(self.arrivals_factory())
+        if len(jobs) != len(arrivals):
+            raise WorkloadError(
+                f"suite {self.name!r}: {len(jobs)} jobs but "
+                f"{len(arrivals)} arrivals")
+        return jobs, arrivals
+
+
+class SuiteRegistry:
+    """Mutable name -> suite mapping with the paper suites pre-registered."""
+
+    def __init__(self) -> None:
+        self._suites: dict[str, WorkloadSuite] = {}
+
+    def register(self, suite: WorkloadSuite, *, replace: bool = False) -> None:
+        if not replace and suite.name in self._suites:
+            raise WorkloadError(f"suite {suite.name!r} already registered")
+        self._suites[suite.name] = suite
+
+    def get(self, name: str) -> WorkloadSuite:
+        try:
+            return self._suites[name]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown suite {name!r}; available: {self.names()}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._suites)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._suites
+
+
+def _paper_sparse() -> list[float]:
+    return sparse_groups((3, 3, 4), 200.0, 60.0)
+
+
+def build_default_registry() -> SuiteRegistry:
+    """The paper's six evaluation workloads as named suites."""
+    registry = SuiteRegistry()
+    wc = normal_workload(10)
+    heavy = heavy_workload(10)
+    sel = selection_workload(10)
+    registry.register(WorkloadSuite(
+        name="sparse-normal",
+        description="Fig 4(a): sparse pattern, normal wordcount, 64MB",
+        jobs_factory=lambda: normal_workload(10).make_jobs(),
+        arrivals_factory=_paper_sparse,
+        file_name=wc.file_name, file_size_mb=wc.file_size_mb))
+    registry.register(WorkloadSuite(
+        name="dense-normal",
+        description="Fig 4(b): dense pattern, normal wordcount, 64MB",
+        jobs_factory=lambda: normal_workload(10).make_jobs(),
+        arrivals_factory=lambda: dense(10, 2.0),
+        file_name=wc.file_name, file_size_mb=wc.file_size_mb))
+    registry.register(WorkloadSuite(
+        name="sparse-heavy",
+        description="Fig 4(c): sparse pattern, heavy wordcount, 64MB",
+        jobs_factory=lambda: heavy_workload(10).make_jobs(),
+        arrivals_factory=_paper_sparse,
+        file_name=heavy.file_name, file_size_mb=heavy.file_size_mb))
+    registry.register(WorkloadSuite(
+        name="sparse-normal-128mb",
+        description="Fig 4(d): sparse pattern, normal wordcount, 128MB",
+        jobs_factory=lambda: normal_workload(10).make_jobs(),
+        arrivals_factory=_paper_sparse,
+        file_name=wc.file_name, file_size_mb=wc.file_size_mb,
+        block_size_mb=128.0))
+    registry.register(WorkloadSuite(
+        name="sparse-normal-32mb",
+        description="Fig 4(e): sparse pattern, normal wordcount, 32MB",
+        jobs_factory=lambda: normal_workload(10).make_jobs(),
+        arrivals_factory=_paper_sparse,
+        file_name=wc.file_name, file_size_mb=wc.file_size_mb,
+        block_size_mb=32.0))
+    registry.register(WorkloadSuite(
+        name="sparse-selection",
+        description="Fig 4(f): sparse pattern, TPC-H selection, 64MB",
+        jobs_factory=lambda: selection_workload(10).make_jobs(),
+        arrivals_factory=_paper_sparse,
+        file_name=sel.file_name, file_size_mb=sel.file_size_mb))
+    return registry
+
+
+#: The shared default registry (module-level singleton).
+suites = build_default_registry()

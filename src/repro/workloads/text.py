@@ -1,0 +1,87 @@
+"""Synthetic text corpus generator (stand-in for Project Gutenberg).
+
+The paper scans 160 GB of Gutenberg novels; the local runtime scans a
+scaled-down synthetic corpus with the statistical properties wordcount
+cares about: a Zipf-distributed vocabulary (natural language word
+frequencies are approximately Zipfian) over realistic line lengths.
+Substitution rationale: wordcount is I/O-bound and pattern-restricted —
+only word frequencies and byte volume matter, not actual prose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..common.errors import WorkloadError
+from ..common.rng import RngLike, make_rng
+
+#: Consonant-vowel syllables used to build pronounceable pseudo-words.
+_SYLLABLES = [c + v for c in "bcdfghjklmnprstvw" for v in "aeiou"]
+
+
+def make_vocabulary(size: int, seed: RngLike = None) -> list[str]:
+    """Generate ``size`` distinct pseudo-English words.
+
+    Words are syllable concatenations ("wordlike" enough that the pattern
+    mappers ``^th.*`` / ``.*ing$`` etc. match a realistic fraction).
+    """
+    if size <= 0:
+        raise WorkloadError("vocabulary size must be positive")
+    rng = make_rng(seed)
+    words: list[str] = []
+    seen: set[str] = set()
+    # Common suffixes so pattern jobs (.*ing$, .*ed$, ...) select subsets.
+    suffixes = ["", "", "", "ing", "ed", "ly", "tion", "ness", "s", "e"]
+    while len(words) < size:
+        n_syllables = int(rng.integers(1, 4))
+        stem = "".join(rng.choice(_SYLLABLES) for _ in range(n_syllables))
+        word = stem + suffixes[int(rng.integers(0, len(suffixes)))]
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+class TextCorpusGenerator:
+    """Streams Zipf-weighted lines of text, reproducibly."""
+
+    def __init__(self, vocabulary_size: int = 5000, zipf_s: float = 1.2,
+                 words_per_line: int = 12, seed: RngLike = None) -> None:
+        if vocabulary_size <= 0:
+            raise WorkloadError("vocabulary_size must be positive")
+        if zipf_s <= 1.0:
+            raise WorkloadError("zipf_s must exceed 1.0")
+        if words_per_line <= 0:
+            raise WorkloadError("words_per_line must be positive")
+        self._rng = make_rng(seed)
+        self.vocabulary = make_vocabulary(vocabulary_size, self._rng)
+        ranks = np.arange(1, vocabulary_size + 1, dtype=float)
+        weights = ranks ** (-zipf_s)
+        self._probs = weights / weights.sum()
+        self.words_per_line = words_per_line
+
+    def lines(self, approx_bytes: int) -> Iterator[str]:
+        """Yield newline-free lines until ~``approx_bytes`` emitted."""
+        if approx_bytes <= 0:
+            raise WorkloadError("approx_bytes must be positive")
+        emitted = 0
+        vocab = np.asarray(self.vocabulary, dtype=object)
+        while emitted < approx_bytes:
+            count = max(1, int(self._rng.normal(self.words_per_line,
+                                                self.words_per_line / 4)))
+            picks = self._rng.choice(vocab, size=count, p=self._probs)
+            line = " ".join(picks.tolist())
+            emitted += len(line) + 1  # +1 for the newline the writer adds
+            yield line
+
+    def write(self, path, approx_bytes: int) -> int:
+        """Write ~``approx_bytes`` of corpus to ``path``; returns bytes written."""
+        written = 0
+        with open(path, "w", encoding="ascii") as handle:
+            for line in self.lines(approx_bytes):
+                handle.write(line)
+                handle.write("\n")
+                written += len(line) + 1
+        return written

@@ -1,0 +1,90 @@
+"""Wordcount workload factories (Sections V.B, V.D, V.E).
+
+The paper's unstructured workload: pattern-restricted wordcount jobs over a
+160 GB Gutenberg corpus (4 GB/node x 40 nodes).  Jobs differ only in their
+match pattern, so any set of them shares the full input scan.
+
+For the simulator this module builds :class:`~repro.mapreduce.job.JobSpec`
+sequences over the shared corpus file; for the real local runtime the
+pattern-matching mappers live in :mod:`repro.localrt.jobs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import WorkloadError
+from ..common.units import gb
+from ..mapreduce.job import JobSpec
+from ..mapreduce.profile import JobProfile, heavy_wordcount, normal_wordcount
+
+#: The corpus file name used by every wordcount experiment.
+CORPUS_FILE = "gutenberg-corpus.txt"
+
+#: Paper geometry: 160 GB total input (Table I).
+CORPUS_SIZE_MB = gb(160)
+
+#: Patterns mimicking the paper's "count only words matching a
+#: user-specified pattern" job family; one per job, cycled as needed.
+DEFAULT_PATTERNS = (
+    "^th.*", "^wh.*", ".*ing$", ".*ed$", "^[aeiou].*",
+    ".*tion$", "^s.*e$", ".*ness$", "^pre.*", ".*ly$",
+)
+
+
+@dataclass(frozen=True)
+class WordcountWorkload:
+    """A reusable description of one wordcount experiment's job set."""
+
+    num_jobs: int
+    profile: JobProfile
+    file_name: str = CORPUS_FILE
+    file_size_mb: float = CORPUS_SIZE_MB
+
+    def __post_init__(self) -> None:
+        if self.num_jobs <= 0:
+            raise WorkloadError("num_jobs must be positive")
+        if self.file_size_mb <= 0:
+            raise WorkloadError("file_size_mb must be positive")
+
+    def make_jobs(self, prefix: str = "job") -> list[JobSpec]:
+        """Build the job specs (all over the shared corpus file)."""
+        jobs = []
+        for index in range(self.num_jobs):
+            pattern = DEFAULT_PATTERNS[index % len(DEFAULT_PATTERNS)]
+            jobs.append(JobSpec(
+                job_id=f"{prefix}_{index:04d}",
+                file_name=self.file_name,
+                profile=self.profile,
+                tag=f"wordcount[{pattern}]",
+            ))
+        return jobs
+
+
+def normal_workload(num_jobs: int = 10) -> WordcountWorkload:
+    """The paper's normal wordcount workload (Table I)."""
+    return WordcountWorkload(num_jobs=num_jobs, profile=normal_wordcount())
+
+
+def heavy_workload(num_jobs: int = 10) -> WordcountWorkload:
+    """The paper's heavy wordcount workload (Section V.E)."""
+    return WordcountWorkload(num_jobs=num_jobs, profile=heavy_wordcount())
+
+
+def table1_statistics(profile: JobProfile | None = None,
+                      input_size_mb: float = CORPUS_SIZE_MB) -> dict[str, float]:
+    """The derived workload statistics reported in Table I.
+
+    Returns map/reduce record counts and sizes plus the average processing
+    time implied by the cost profile — the quantities the paper tabulates.
+    """
+    if input_size_mb <= 0:
+        raise WorkloadError("input_size_mb must be positive")
+    profile = profile or normal_wordcount()
+    return {
+        "input_size_mb": input_size_mb,
+        "map_output_records": profile.map_output_records_per_mb * input_size_mb,
+        "map_output_size_mb": profile.map_output_mb_per_input_mb * input_size_mb,
+        "reduce_output_records": profile.reduce_output_records,
+        "reduce_output_size_mb": profile.reduce_output_mb,
+    }

@@ -1,0 +1,43 @@
+"""Heartbeat progress-report tests."""
+
+from repro.cluster.heartbeat import HeartbeatReport, TaskProgress
+
+
+def test_progress_linear():
+    p = TaskProgress("a", "n0", start_time=10.0, expected_duration=20.0)
+    assert p.progress_at(10.0) == 0.0
+    assert p.progress_at(20.0) == 0.5
+    assert p.progress_at(30.0) == 1.0
+    assert p.progress_at(100.0) == 1.0  # clamped
+
+
+def test_progress_before_start_clamped():
+    p = TaskProgress("a", "n0", start_time=10.0, expected_duration=20.0)
+    assert p.progress_at(5.0) == 0.0
+
+
+def test_zero_duration_is_complete():
+    p = TaskProgress("a", "n0", start_time=0.0, expected_duration=0.0)
+    assert p.progress_at(0.0) == 1.0
+
+
+def test_estimated_completion_never_past():
+    p = TaskProgress("a", "n0", start_time=0.0, expected_duration=10.0)
+    assert p.estimated_completion(5.0) == 10.0
+    assert p.estimated_completion(15.0) == 15.0  # overdue -> at least now
+
+
+def test_report_slowest_completion():
+    report = HeartbeatReport(
+        node_id="n0", time=5.0, free_map_slots=0, free_reduce_slots=1,
+        running=(
+            TaskProgress("a", "n0", 0.0, 10.0),
+            TaskProgress("b", "n0", 2.0, 30.0),
+        ))
+    assert report.slowest_estimated_completion(5.0) == 32.0
+
+
+def test_report_idle_has_no_estimate():
+    report = HeartbeatReport(node_id="n0", time=0.0,
+                             free_map_slots=1, free_reduce_slots=1)
+    assert report.slowest_estimated_completion(0.0) is None

@@ -1,0 +1,83 @@
+"""Node slot-accounting tests."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.common.errors import ConfigError
+
+
+def make_node(**kwargs) -> Node:
+    defaults = dict(node_id="node_000", rack="rack_0")
+    defaults.update(kwargs)
+    return Node(**defaults)
+
+
+def test_defaults():
+    node = make_node()
+    assert node.speed == 1.0
+    assert node.free_map_slots == 1
+    assert node.free_reduce_slots == 1
+    assert node.idle
+
+
+def test_speed_must_be_positive():
+    with pytest.raises(ConfigError):
+        make_node(speed=0.0)
+
+
+def test_negative_slots_rejected():
+    with pytest.raises(ConfigError):
+        make_node(map_slots=-1)
+
+
+def test_map_slot_lifecycle():
+    node = make_node(map_slots=2)
+    node.acquire_map_slot("a")
+    assert node.free_map_slots == 1 and not node.idle
+    node.acquire_map_slot("b")
+    assert node.free_map_slots == 0
+    node.release_map_slot("a")
+    assert node.free_map_slots == 1
+    node.release_map_slot("b")
+    assert node.idle
+
+
+def test_map_overcommit_rejected():
+    node = make_node()
+    node.acquire_map_slot("a")
+    with pytest.raises(ConfigError, match="no free map slot"):
+        node.acquire_map_slot("b")
+
+
+def test_duplicate_attempt_rejected():
+    node = make_node(map_slots=2)
+    node.acquire_map_slot("a")
+    with pytest.raises(ConfigError, match="duplicate"):
+        node.acquire_map_slot("a")
+
+
+def test_release_unknown_attempt_rejected():
+    node = make_node()
+    with pytest.raises(ConfigError, match="unknown"):
+        node.release_map_slot("ghost")
+
+
+def test_reduce_slots_independent_of_map_slots():
+    node = make_node()
+    node.acquire_map_slot("m")
+    node.acquire_reduce_slot("r")
+    assert node.free_map_slots == 0 and node.free_reduce_slots == 0
+    node.release_reduce_slot("r")
+    assert node.free_reduce_slots == 1 and node.free_map_slots == 0
+
+
+def test_reduce_overcommit_rejected():
+    node = make_node()
+    node.acquire_reduce_slot("r1")
+    with pytest.raises(ConfigError):
+        node.acquire_reduce_slot("r2")
+
+
+def test_release_unknown_reduce_rejected():
+    with pytest.raises(ConfigError):
+        make_node().release_reduce_slot("ghost")

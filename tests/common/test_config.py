@@ -1,0 +1,67 @@
+"""Configuration validation tests."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, DfsConfig, paper_cluster, paper_dfs
+from repro.common.errors import ConfigError
+
+
+def test_paper_cluster_defaults():
+    config = paper_cluster()
+    assert config.num_nodes == 40
+    assert config.total_map_slots == 40
+    assert sum(config.rack_sizes) == 40
+    assert len(config.rack_sizes) == 3
+
+
+def test_paper_dfs_defaults():
+    config = paper_dfs()
+    assert config.block_size_mb == 64.0
+    assert config.replication == 1
+
+
+def test_rack_sizes_must_sum_to_nodes():
+    with pytest.raises(ConfigError, match="rack_sizes"):
+        ClusterConfig(num_nodes=10, rack_sizes=(4, 4))
+
+
+def test_empty_rack_rejected():
+    with pytest.raises(ConfigError):
+        ClusterConfig(num_nodes=4, rack_sizes=(4, 0))
+
+
+def test_node_speeds_length_checked():
+    with pytest.raises(ConfigError, match="node_speeds"):
+        ClusterConfig(num_nodes=4, rack_sizes=(4,), node_speeds=[1.0, 1.0])
+
+
+def test_non_positive_speed_rejected():
+    with pytest.raises(ConfigError):
+        ClusterConfig(num_nodes=2, rack_sizes=(2,), node_speeds=[1.0, 0.0])
+
+
+def test_non_positive_nodes_rejected():
+    with pytest.raises(ConfigError):
+        ClusterConfig(num_nodes=0, rack_sizes=())
+
+
+def test_slot_counts_validated():
+    with pytest.raises(ConfigError):
+        ClusterConfig(num_nodes=2, rack_sizes=(2,), map_slots_per_node=0)
+
+
+def test_total_slots_scale_with_slots_per_node():
+    config = ClusterConfig(num_nodes=4, rack_sizes=(4,),
+                           map_slots_per_node=2, reduce_slots_per_node=3)
+    assert config.total_map_slots == 8
+    assert config.total_reduce_slots == 12
+
+
+def test_dfs_block_size_positive():
+    with pytest.raises(ConfigError):
+        DfsConfig(block_size_mb=0)
+
+
+def test_dfs_replication_at_least_one():
+    with pytest.raises(ConfigError):
+        DfsConfig(replication=0)

@@ -1,0 +1,69 @@
+"""Trace log behaviour tests."""
+
+import pytest
+
+from repro.common.tracelog import TraceLog
+
+
+def test_record_and_iterate():
+    log = TraceLog()
+    log.record(0.0, "job.submit", "j1", file="f")
+    log.record(1.0, "task.start.map", "t1")
+    assert len(log) == 2
+    assert [r.kind for r in log] == ["job.submit", "task.start.map"]
+
+
+def test_time_must_not_go_backwards():
+    log = TraceLog()
+    log.record(5.0, "a", "x")
+    with pytest.raises(ValueError, match="backwards"):
+        log.record(4.0, "b", "y")
+
+
+def test_equal_times_allowed():
+    log = TraceLog()
+    log.record(5.0, "a", "x")
+    log.record(5.0, "b", "y")
+    assert len(log) == 2
+
+
+def test_filter_by_kind_and_subject():
+    log = TraceLog()
+    log.record(0.0, "a", "x")
+    log.record(1.0, "a", "y")
+    log.record(2.0, "b", "x")
+    assert len(log.filter(kind="a")) == 2
+    assert len(log.filter(subject="x")) == 2
+    assert len(log.filter(kind="a", subject="x")) == 1
+
+
+def test_filter_with_predicate():
+    log = TraceLog()
+    log.record(0.0, "a", "x", n=1)
+    log.record(1.0, "a", "x", n=5)
+    heavy = log.filter(predicate=lambda r: r.detail.get("n", 0) > 2)
+    assert len(heavy) == 1 and heavy[0].detail["n"] == 5
+
+
+def test_first_and_last():
+    log = TraceLog()
+    log.record(0.0, "k", "a")
+    log.record(1.0, "k", "b")
+    assert log.first("k").subject == "a"
+    assert log.last("k").subject == "b"
+    assert log.first("missing") is None
+    assert log.last("k", subject="a").time == 0.0
+
+
+def test_dump_renders_and_limits():
+    log = TraceLog()
+    for i in range(5):
+        log.record(float(i), "k", f"s{i}", v=i)
+    text = log.dump(limit=2)
+    assert "s0" in text and "s1" in text and "s4" not in text
+
+
+def test_getitem():
+    log = TraceLog()
+    log.record(0.0, "k", "a")
+    assert log[0].subject == "a"

@@ -1,0 +1,61 @@
+"""Replica placement policy tests."""
+
+import pytest
+
+from repro.cluster.topology import Topology
+from repro.common.errors import DfsError
+from repro.dfs.placement import RackAwarePlacement, RoundRobinPlacement
+
+NODES = [f"n{i}" for i in range(6)]
+TOPO = Topology({"n0": "r0", "n1": "r0", "n2": "r0",
+                 "n3": "r1", "n4": "r1", "n5": "r1"})
+
+
+def test_round_robin_spreads_evenly():
+    policy = RoundRobinPlacement(NODES)
+    placements = [policy.place(i, 1)[0] for i in range(12)]
+    # Each node hosts exactly two of twelve blocks.
+    assert all(placements.count(n) == 2 for n in NODES)
+
+
+def test_round_robin_replication_distinct():
+    policy = RoundRobinPlacement(NODES)
+    replicas = policy.place(4, 3)
+    assert len(set(replicas)) == 3
+    assert replicas[0] == "n4"
+
+
+def test_round_robin_replication_exceeding_nodes():
+    with pytest.raises(DfsError):
+        RoundRobinPlacement(NODES).place(0, 7)
+
+
+def test_round_robin_needs_nodes():
+    with pytest.raises(DfsError):
+        RoundRobinPlacement([])
+
+
+def test_rack_aware_second_replica_off_rack():
+    policy = RackAwarePlacement(NODES, TOPO)
+    for block in range(12):
+        replicas = policy.place(block, 2)
+        assert TOPO.rack_of(replicas[0]) != TOPO.rack_of(replicas[1])
+
+
+def test_rack_aware_third_replica_near_second():
+    policy = RackAwarePlacement(NODES, TOPO)
+    for block in range(12):
+        replicas = policy.place(block, 3)
+        assert len(set(replicas)) == 3
+        assert TOPO.rack_of(replicas[1]) == TOPO.rack_of(replicas[2])
+
+
+def test_rack_aware_many_replicas_distinct():
+    policy = RackAwarePlacement(NODES, TOPO)
+    replicas = policy.place(3, 5)
+    assert len(set(replicas)) == 5
+
+
+def test_rack_aware_replication_exceeding_nodes():
+    with pytest.raises(DfsError):
+        RackAwarePlacement(NODES, TOPO).place(0, 7)

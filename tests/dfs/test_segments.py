@@ -1,0 +1,87 @@
+"""Segment plan and circular-order tests (the S3 storage layer)."""
+
+import pytest
+
+from repro.common.config import DfsConfig
+from repro.common.errors import DfsError
+from repro.dfs.namenode import NameNode
+from repro.dfs.placement import RoundRobinPlacement
+from repro.dfs.segments import SegmentPlan
+
+
+def make_file(num_blocks: int):
+    namenode = NameNode(DfsConfig(block_size_mb=64.0),
+                        RoundRobinPlacement(["n0", "n1"]))
+    return namenode.create_file("f", 64.0 * num_blocks)
+
+
+def test_even_segmentation():
+    plan = SegmentPlan(make_file(12), 4)
+    assert plan.num_segments == 3
+    assert all(seg.num_blocks == 4 for seg in plan.segments)
+    assert plan.segment(1).block_indices == (4, 5, 6, 7)
+
+
+def test_ragged_final_segment():
+    plan = SegmentPlan(make_file(10), 4)
+    assert plan.num_segments == 3
+    assert plan.segment(2).block_indices == (8, 9)
+
+
+def test_segment_of_block():
+    plan = SegmentPlan(make_file(10), 4)
+    assert plan.segment_of_block(0) == 0
+    assert plan.segment_of_block(7) == 1
+    assert plan.segment_of_block(9) == 2
+    with pytest.raises(DfsError):
+        plan.segment_of_block(10)
+
+
+def test_invalid_blocks_per_segment():
+    with pytest.raises(DfsError):
+        SegmentPlan(make_file(4), 0)
+
+
+def test_next_segment_wraps():
+    plan = SegmentPlan(make_file(12), 4)
+    assert plan.next_segment(0) == 1
+    assert plan.next_segment(2) == 0
+
+
+def test_circular_order_is_permutation():
+    plan = SegmentPlan(make_file(20), 4)  # 5 segments
+    for start in range(5):
+        order = plan.circular_order(start)
+        assert sorted(order) == list(range(5))
+        assert order[0] == start
+        # Consecutive elements step by one, modulo k.
+        assert all((b - a) % 5 == 1 for a, b in zip(order, order[1:]))
+
+
+def test_segments_between_counts_inclusive():
+    plan = SegmentPlan(make_file(20), 4)  # 5 segments
+    assert plan.segments_between(2, 2) == 1   # just finished its first
+    assert plan.segments_between(2, 4) == 3
+    assert plan.segments_between(2, 1) == 5   # wrapped all the way
+
+
+def test_is_last_segment_for():
+    plan = SegmentPlan(make_file(20), 4)
+    assert plan.is_last_segment_for(2, 1)
+    assert not plan.is_last_segment_for(2, 3)
+    assert plan.is_last_segment_for(0, 4)
+
+
+def test_validates_segment_index():
+    plan = SegmentPlan(make_file(8), 4)
+    with pytest.raises(DfsError):
+        plan.segment(2)
+    with pytest.raises(DfsError):
+        plan.circular_order(9)
+
+
+def test_single_segment_file():
+    plan = SegmentPlan(make_file(3), 10)
+    assert plan.num_segments == 1
+    assert plan.circular_order(0) == [0]
+    assert plan.is_last_segment_for(0, 0)

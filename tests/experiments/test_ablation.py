@@ -1,0 +1,45 @@
+"""Ablation experiment tests."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    heterogeneous_cluster,
+    run_segment_size_sweep,
+    run_slot_check_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def seg_sweep():
+    return run_segment_size_sweep(segment_sizes=(10, 40, 80))
+
+
+def test_segment_sweep_structure(seg_sweep):
+    assert seg_sweep.extra["segment_sizes"] == [10, 40, 80]
+    assert len(seg_sweep.extra["tet"]) == 3
+
+
+def test_tiny_segments_underutilise_cluster(seg_sweep):
+    """Segments far below the slot count leave map slots idle every wave."""
+    tet = dict(zip(seg_sweep.extra["segment_sizes"], seg_sweep.extra["tet"]))
+    assert tet[10] > 1.5 * tet[40]
+
+
+def test_paper_ideal_near_knee(seg_sweep):
+    """Going beyond slot-count segments buys little (< 10%)."""
+    tet = dict(zip(seg_sweep.extra["segment_sizes"], seg_sweep.extra["tet"]))
+    assert tet[80] > 0.9 * tet[40]
+
+
+def test_heterogeneous_cluster_builder():
+    config = heterogeneous_cluster(num_slow=4, slow_speed=0.5)
+    assert config.num_nodes == 40
+    assert sum(1 for s in config.node_speeds if s == 0.5) == 4
+
+
+def test_slot_check_improves_straggler_cluster():
+    result = run_slot_check_ablation(num_slow=5, slow_speed=0.45)
+    base = result.metric("S3")
+    checked = result.metric("S3+check")
+    assert checked.tet < base.tet
+    assert checked.art < base.art

@@ -1,0 +1,83 @@
+"""Run-comparison / regression-detection tests."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.compare import (
+    compare_payloads,
+    format_comparison,
+    load_result_json,
+    main,
+    regressions,
+)
+
+
+def payload(experiment_id="fig4x", **tets):
+    return {
+        "experiment_id": experiment_id,
+        "metrics": [
+            {"scheduler": name, "tet": tet, "art": tet / 2,
+             "max_response": tet, "mean_waiting": 1.0, "num_jobs": 10}
+            for name, tet in tets.items()],
+    }
+
+
+def test_identical_runs_have_no_regressions():
+    deltas = compare_payloads(payload(FIFO=100.0, S3=50.0),
+                              payload(FIFO=100.0, S3=50.0))
+    assert len(deltas) == 4  # 2 schedulers x 2 metrics
+    assert regressions(deltas) == []
+
+
+def test_drift_detected():
+    deltas = compare_payloads(payload(S3=50.0), payload(S3=60.0))
+    flagged = regressions(deltas, tolerance=0.05)
+    assert {(d.scheduler, d.metric) for d in flagged} == {
+        ("S3", "tet"), ("S3", "art")}
+    assert flagged[0].relative == pytest.approx(0.2)
+
+
+def test_tolerance_respected():
+    deltas = compare_payloads(payload(S3=100.0), payload(S3=101.0))
+    assert regressions(deltas, tolerance=0.02) == []
+    assert regressions(deltas, tolerance=0.005)
+
+
+def test_mismatched_experiments_rejected():
+    with pytest.raises(ExperimentError, match="mismatch"):
+        compare_payloads(payload("a", S3=1.0), payload("b", S3=1.0))
+
+
+def test_only_common_schedulers_compared():
+    deltas = compare_payloads(payload(FIFO=100.0, S3=50.0),
+                              payload(S3=50.0))
+    assert {d.scheduler for d in deltas} == {"S3"}
+
+
+def test_format_marks_drift():
+    deltas = compare_payloads(payload(S3=50.0), payload(S3=80.0))
+    text = format_comparison(deltas, tolerance=0.02)
+    assert "DRIFT" in text and "+60.0%" in text
+
+
+def test_load_rejects_garbage(tmp_path):
+    bad = tmp_path / "x.json"
+    bad.write_text("{}")
+    with pytest.raises(ExperimentError, match="not a serialised"):
+        load_result_json(bad)
+    with pytest.raises(ExperimentError):
+        load_result_json(tmp_path / "missing.json")
+
+
+def test_cli_round_trip(tmp_path, capsys):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(payload(S3=50.0)))
+    new.write_text(json.dumps(payload(S3=50.4)))
+    assert main([str(old), str(new)]) == 0
+    new.write_text(json.dumps(payload(S3=75.0)))
+    assert main([str(old), str(new)]) == 1
+    assert main(["--tolerance", "0.6", str(old), str(new)]) == 0
+    assert main([str(old)]) == 2

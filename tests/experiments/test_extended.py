@@ -1,0 +1,93 @@
+"""Extended experiment tests (scheduler landscape, speculation, faults)."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.extended import (
+    run_dispatch_ablation,
+    run_fault_recovery,
+    run_scheduler_landscape,
+    run_speculation_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    return run_scheduler_landscape()
+
+
+def test_landscape_covers_six_policies(landscape):
+    names = {m.scheduler for m in landscape.metrics}
+    assert names == {"FIFO", "Fair", "Capacity", "MRS-opt[tet]",
+                     "MRS-opt[art]", "S3"}
+
+
+def test_s3_beats_optimal_mrshare_on_art(landscape):
+    """Even a cost-optimally grouped MRShare cannot match S3's ART."""
+    assert landscape.ratio("MRS-opt[tet]")[1] > 1.2
+    assert landscape.ratio("MRS-opt[art]")[1] > 1.1
+
+
+def test_optimal_mrshare_matches_s3_tet(landscape):
+    """The TET-optimal grouping closes the TET gap to within a few %."""
+    tet_ratio, _ = landscape.ratio("MRS-opt[tet]")
+    assert tet_ratio < 1.05
+
+
+def test_partial_utilisation_critique_quantified(landscape):
+    """Section II.B: splitting the cluster makes each (large) job slower;
+    with no sharing the pooled baselines do not beat FIFO here."""
+    for policy in ("Fair", "Capacity"):
+        tet_ratio, art_ratio = landscape.ratio(policy)
+        assert tet_ratio >= landscape.ratio("FIFO")[0] - 0.05
+        assert art_ratio > 2.0
+
+
+@pytest.fixture(scope="module")
+def speculation():
+    return run_speculation_ablation()
+
+
+def test_speculation_helps_s3_on_stragglers(speculation):
+    s3 = speculation.metric("S3")
+    spec = speculation.metric("S3+spec")
+    assert spec.tet < s3.tet
+    assert spec.art < s3.art
+    launched, won = speculation.extra["speculation"]["S3+spec"]
+    assert launched > 0 and won > 0
+
+
+def test_slot_checking_beats_speculation(speculation):
+    """S3's own mechanism outperforms generic speculation — the design
+    choice the paper makes implicitly by disabling speculative tasks."""
+    assert (speculation.metric("S3+check").tet
+            < speculation.metric("S3+spec").tet)
+
+
+def test_fifo_speculation_slot_starved(speculation):
+    """FIFO keeps every slot busy, so speculation barely fires."""
+    launched, _ = speculation.extra["speculation"]["FIFO+spec"]
+    s3_launched, _ = speculation.extra["speculation"]["S3+spec"]
+    assert launched < s3_launched / 10
+
+
+def test_fault_recovery_overhead_bounded():
+    result = run_fault_recovery()
+    assert result.extra["task_failures"] > 0
+    # Recovery costs something but nowhere near a rerun.
+    assert 0.0 < result.extra["overhead"] < 0.5
+
+
+def test_fault_recovery_validation():
+    with pytest.raises(ExperimentError):
+        run_fault_recovery(failure_prob=1.0)
+
+
+def test_dispatch_latency_costs_time():
+    """Heartbeat assignment measurably inflates TET — the latency that the
+    calibrated task_startup_s folds into event-mode durations."""
+    result = run_dispatch_ablation()
+    assert result.extra["tet_overhead"] > 0.05
+    event = result.metric("S3-event")
+    heartbeat = result.metric("S3-hb")
+    assert heartbeat.art > event.art

@@ -1,0 +1,40 @@
+"""Figure 3 reproduction tests (combined-job cost)."""
+
+import pytest
+
+from repro.experiments.fig3 import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(batch_sizes=(1, 5, 10))
+
+
+def test_series_lengths(result):
+    assert len(result.extra["total_execution_s"]) == 3
+    assert result.extra["batch_sizes"] == [1, 5, 10]
+
+
+def test_monotone_increase(result):
+    tet = result.extra["total_execution_s"]
+    assert tet == sorted(tet)
+
+
+def test_paper_headline_ratios(result):
+    """At n=10: map +28.8%, reduce +23.5%, TET ~+25.5% (we land ~+27%)."""
+    map_ratio = result.extra["avg_map_task_s_ratio"][-1]
+    reduce_ratio = result.extra["avg_reduce_task_s_ratio"][-1]
+    tet_ratio = result.extra["total_execution_s_ratio"][-1]
+    assert map_ratio == pytest.approx(1.288, abs=0.01)
+    assert reduce_ratio == pytest.approx(1.235, abs=0.01)
+    assert tet_ratio == pytest.approx(1.255, abs=0.05)
+
+
+def test_overhead_far_below_sequential(result):
+    """Combining 10 jobs costs ~1.27x one job, vs 10x sequentially."""
+    assert result.extra["total_execution_s_ratio"][-1] < 1.5
+
+
+def test_report_renders(result):
+    assert "Figure 3" in result.report
+    assert "1.288" in result.report

@@ -1,0 +1,57 @@
+"""Figure 4 panel harness tests.
+
+The full shape assertions against the paper live in
+``tests/integration/test_paper_results.py``; here we cover the harness
+mechanics on the two cheapest panels.
+"""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.fig4 import panel_specs, run_panel, scheduler_factories
+
+
+def test_panel_specs_cover_all_six():
+    specs = panel_specs()
+    assert set(specs) == {"4a", "4b", "4c", "4d", "4e", "4f"}
+    assert specs["4d"].block_size_mb == 128.0
+    assert specs["4e"].block_size_mb == 32.0
+    assert specs["4f"].file_size_mb == 400 * 1024
+
+
+def test_scheduler_factories_order():
+    names = [f().name for f in scheduler_factories()]
+    assert names == ["FIFO", "MRS1", "MRS2", "MRS3", "S3"]
+
+
+def test_unknown_panel_rejected():
+    with pytest.raises(ExperimentError):
+        run_panel("4z")
+
+
+@pytest.fixture(scope="module")
+def panel_4a():
+    return run_panel("4a")
+
+
+def test_panel_result_structure(panel_4a):
+    assert panel_4a.experiment_id == "fig4a"
+    assert {m.scheduler for m in panel_4a.metrics} == {
+        "FIFO", "MRS1", "MRS2", "MRS3", "S3"}
+    assert all(m.num_jobs == 10 for m in panel_4a.metrics)
+
+
+def test_panel_ratio_helper(panel_4a):
+    tet_ratio, art_ratio = panel_4a.ratio("FIFO")
+    assert tet_ratio > 1.0 and art_ratio > 1.0
+    assert panel_4a.ratio("S3") == (1.0, 1.0)
+
+
+def test_metric_lookup_unknown(panel_4a):
+    with pytest.raises(ExperimentError):
+        panel_4a.metric("ghost")
+
+
+def test_report_contains_normalized_columns(panel_4a):
+    assert "TET/S3" in panel_4a.report
+    assert "Figure 4a" in panel_4a.report

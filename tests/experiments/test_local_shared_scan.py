@@ -1,0 +1,47 @@
+"""Real-data shared-scan experiment tests."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.local_shared_scan import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(num_jobs=4, corpus_bytes=200_000, block_size_bytes=15_000)
+
+
+def test_s3_reads_less_on_both_metrics(result):
+    rows = result.extra["rows"]
+    assert rows["S3"]["tet_blocks"] < rows["FIFO"]["tet_blocks"]
+    assert rows["S3"]["art_blocks"] < rows["FIFO"]["art_blocks"]
+    assert result.extra["saving"] > 0.2
+
+
+def test_fifo_reads_jobs_times_file(result):
+    rows = result.extra["rows"]
+    assert rows["FIFO"]["tet_blocks"] == 4 * result.extra["num_blocks"]
+
+
+def test_s3_reads_at_least_one_full_scan(result):
+    rows = result.extra["rows"]
+    assert rows["S3"]["tet_blocks"] >= result.extra["num_blocks"]
+
+
+def test_report_renders(result):
+    assert "byte-identical" in result.report
+    assert "FIFO" in result.report and "S3" in result.report
+
+
+def test_single_job_no_saving():
+    solo = run(num_jobs=1, corpus_bytes=100_000, block_size_bytes=15_000)
+    rows = solo.extra["rows"]
+    assert rows["S3"]["tet_blocks"] == rows["FIFO"]["tet_blocks"]
+    assert solo.extra["saving"] == pytest.approx(0.0)
+
+
+def test_validation():
+    with pytest.raises(ExperimentError):
+        run(num_jobs=0)
+    with pytest.raises(ExperimentError):
+        run(num_jobs=99)

@@ -1,0 +1,44 @@
+"""Canonical experiment configuration tests."""
+
+from repro.experiments.paperconfig import (
+    dense_pattern,
+    paper_cluster_config,
+    paper_cost_model,
+    paper_dfs_config,
+    sparse_pattern,
+)
+
+
+def test_cluster_matches_section_5a():
+    config = paper_cluster_config()
+    assert config.num_nodes == 40
+    assert config.map_slots_per_node == 1
+    assert config.total_map_slots == 40
+    assert len(config.rack_sizes) == 3
+    assert all(10 <= size <= 15 for size in config.rack_sizes)
+
+
+def test_dfs_defaults_and_sweep():
+    assert paper_dfs_config().block_size_mb == 64.0
+    assert paper_dfs_config(128.0).block_size_mb == 128.0
+    assert paper_dfs_config().replication == 1
+
+
+def test_sparse_pattern_is_three_groups_of_ten():
+    arrivals = sparse_pattern()
+    assert len(arrivals) == 10
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    # Two large inter-group gaps, the rest small intra-group spacing.
+    large = [g for g in gaps if g > 60]
+    assert len(large) == 2
+
+
+def test_dense_pattern_tight():
+    arrivals = dense_pattern()
+    assert len(arrivals) == 10
+    assert arrivals[-1] - arrivals[0] <= 30.0
+
+
+def test_cost_model_overheads():
+    cost = paper_cost_model()
+    assert cost.job_submit_overhead_s > cost.subjob_overhead_s > 0

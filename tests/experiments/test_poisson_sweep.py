@@ -1,0 +1,44 @@
+"""Poisson arrival-rate sweep tests."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.poisson_sweep import run
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run(num_jobs=6, gaps_s=(15.0, 150.0, 600.0), seed=7)
+
+
+def test_saturated_regime_batching_and_s3_tie(sweep):
+    """At saturation both sharing policies crush FIFO on TET."""
+    assert sweep.extra["S3_tet"][0] < 0.5 * sweep.extra["FIFO_tet"][0]
+    assert sweep.extra["MRSopt_tet"][0] < 0.5 * sweep.extra["FIFO_tet"][0]
+
+
+def test_s3_art_never_worse_than_batching(sweep):
+    for s3, mrs in zip(sweep.extra["S3_art"], sweep.extra["MRSopt_art"]):
+        assert s3 <= mrs * 1.02
+
+
+def test_isolated_regime_converges(sweep):
+    """With gaps >> job time every policy degenerates to ~FIFO."""
+    fifo = sweep.extra["FIFO_tet"][-1]
+    assert sweep.extra["MRSopt_tet"][-1] == pytest.approx(fifo, rel=0.02)
+    assert sweep.extra["S3_tet"][-1] == pytest.approx(fifo, rel=0.02)
+
+
+def test_fifo_art_improves_with_sparsity(sweep):
+    """Less queueing as arrivals spread out."""
+    arts = sweep.extra["FIFO_art"]
+    assert arts[0] > arts[-1]
+
+
+def test_validation():
+    with pytest.raises(ExperimentError):
+        run(num_jobs=1)
+    with pytest.raises(ExperimentError):
+        run(gaps_s=())
+    with pytest.raises(ExperimentError):
+        run(gaps_s=(0.0,))

@@ -1,0 +1,45 @@
+"""Registry and CLI tests."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.cli import main
+from repro.experiments.registry import ALL, REGISTRY, get_runner, run_experiment
+
+
+def test_registry_covers_every_figure_and_table():
+    assert {"table1", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e",
+            "fig4f"} <= set(REGISTRY)
+    assert set(ALL) == set(REGISTRY)
+
+
+def test_get_runner_unknown():
+    with pytest.raises(ExperimentError, match="unknown experiment"):
+        get_runner("fig99")
+
+
+def test_run_experiment_by_id():
+    result = run_experiment("table1")
+    assert result.experiment_id == "table1"
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4a" in out and "table1" in out
+
+
+def test_cli_runs_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "[table1] completed" in out
+
+
+def test_cli_unknown_experiment_fails(capsys):
+    assert main(["fig99"]) == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_cli_no_args_shows_help(capsys):
+    assert main([]) == 2

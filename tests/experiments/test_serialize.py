@@ -1,0 +1,53 @@
+"""Result serialisation and CLI flag tests."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.registry import run_experiment
+from repro.experiments.serialize import result_to_dict, result_to_json
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_experiment("table1")
+
+
+def test_result_to_dict_shape(table1_result):
+    payload = result_to_dict(table1_result)
+    assert payload["experiment_id"] == "table1"
+    assert "report" in payload and "Table I" in payload["report"]
+    assert isinstance(payload["extra"], dict)
+
+
+def test_result_to_json_parses(table1_result):
+    parsed = json.loads(result_to_json(table1_result))
+    assert parsed["experiment_id"] == "table1"
+
+
+def test_normalized_block_for_scheduler_results():
+    result = run_experiment("fig4a")
+    payload = result_to_dict(result)
+    assert payload["normalized"]["S3"] == {"tet_ratio": 1.0, "art_ratio": 1.0}
+    assert payload["normalized"]["FIFO"]["tet_ratio"] > 1.0
+
+
+def test_extra_payload_jsonable():
+    result = run_experiment("abl-seg")
+    parsed = json.loads(result_to_json(result))
+    assert parsed["extra"]["segment_sizes"] == [10, 20, 40, 80, 160]
+
+
+def test_cli_json_flag(capsys):
+    assert main(["table1", "--json"]) == 0
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed["experiment_id"] == "table1"
+
+
+def test_cli_report_flag(tmp_path, capsys):
+    path = tmp_path / "report.md"
+    assert main(["table1", "fig3", "--report", str(path)]) == 0
+    text = path.read_text()
+    assert "# S3 reproduction" in text
+    assert "## table1" in text and "## fig3" in text

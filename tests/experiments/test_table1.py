@@ -1,0 +1,30 @@
+"""Table I reproduction tests."""
+
+import pytest
+
+from repro.experiments.table1 import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run()
+
+
+def test_rows_match_paper(result):
+    assert result.extra["map_output_records"] == pytest.approx(250e6, rel=0.02)
+    assert result.extra["map_output_size_mb"] == pytest.approx(2.4 * 1024,
+                                                               rel=0.02)
+    assert 60_000 <= result.extra["reduce_output_records"] <= 80_000
+    assert result.extra["reduce_output_size_mb"] == pytest.approx(1.5)
+    assert result.extra["per_node_mb"] == pytest.approx(4 * 1024)
+
+
+def test_processing_time_near_paper(result):
+    """Paper: ~240s; our calibration includes dispatch latency (~285s)."""
+    assert 230 <= result.extra["processing_time_s"] <= 320
+
+
+def test_report_renders_all_rows(result):
+    for fragment in ("Input Size", "Map Output Records", "160.0GB",
+                     "~250 million", "Processing Time"):
+        assert fragment in result.report

@@ -1,0 +1,45 @@
+"""Analytic worked-example model tests (Section III)."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.worked_examples import analytic_two_jobs
+
+
+def test_example1_numbers():
+    """D=100, t2=20: the exact numbers from the paper's Examples 1 and 3."""
+    points = analytic_two_jobs(100.0, 20.0)
+    assert points["FIFO"].tet == 200 and points["FIFO"].art == 140
+    assert points["MRShare"].tet == 120 and points["MRShare"].art == 110
+    assert points["S3"].tet == 120 and points["S3"].art == 100
+
+
+def test_example2_numbers():
+    """D=100, t2=80: Examples 2 and 3."""
+    points = analytic_two_jobs(100.0, 80.0)
+    assert points["FIFO"].tet == 200 and points["FIFO"].art == 110
+    assert points["MRShare"].tet == 180 and points["MRShare"].art == 140
+    assert points["S3"].tet == 180 and points["S3"].art == 100
+
+
+def test_s3_art_independent_of_offset():
+    """S3's ART equals the single-job duration for any offset."""
+    for t2 in (0.0, 25.0, 50.0, 99.0):
+        assert analytic_two_jobs(100.0, t2)["S3"].art == 100.0
+
+
+def test_s3_never_worse_than_mrshare():
+    for t2 in (0.0, 30.0, 60.0, 90.0):
+        points = analytic_two_jobs(100.0, t2)
+        assert points["S3"].tet == points["MRShare"].tet
+        assert points["S3"].art <= points["MRShare"].art
+        assert points["S3"].tet <= points["FIFO"].tet
+
+
+def test_validation():
+    with pytest.raises(ExperimentError):
+        analytic_two_jobs(0.0, 0.0)
+    with pytest.raises(ExperimentError):
+        analytic_two_jobs(100.0, 100.0)
+    with pytest.raises(ExperimentError):
+        analytic_two_jobs(100.0, -5.0)

@@ -1,0 +1,66 @@
+"""Section V.G output-collection extension tests."""
+
+import pytest
+
+from repro.ext.aggregation import compare_collection_schemes, fold_partial_aggregates
+from repro.localrt.engine import JobRunState, count_pending_values, run_map_on_block
+from repro.localrt.jobs import aggregation_job, wordcount_job
+from repro.localrt.records import DelimitedReader, TextLineReader
+from repro.localrt.storage import BlockStore
+from repro.workloads.tpch import LINEITEM_COLUMNS, LineitemGenerator
+
+
+@pytest.fixture(scope="module")
+def lineitem_store(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("agg-lineitem")
+    return BlockStore.create(directory,
+                             LineitemGenerator(seed=11).rows_for_bytes(90_000),
+                             block_size_bytes=12_000)
+
+
+@pytest.fixture
+def reader():
+    return DelimitedReader("|", len(LINEITEM_COLUMNS))
+
+
+def test_fold_collapses_to_one_value_per_key():
+    state = JobRunState(wordcount_job("w", ".*"))
+    run_map_on_block([state], TextLineReader(), "x x y\nx y z\n")
+    # The combiner already collapsed within the block; add a second block.
+    run_map_on_block([state], TextLineReader(), "x z z\n")
+    assert count_pending_values(state) > 3
+    fold_partial_aggregates([state])
+    assert count_pending_values(state) == 3  # one partial per distinct key
+
+
+def test_fold_skips_jobs_without_combiner():
+    state = JobRunState(wordcount_job("w", ".*", use_combiner=False))
+    run_map_on_block([state], TextLineReader(), "x x y\n")
+    before = count_pending_values(state)
+    fold_partial_aggregates([state])
+    assert count_pending_values(state) == before
+
+
+def test_progressive_scheme_matches_at_end(lineitem_store, reader):
+    comparison = compare_collection_schemes(
+        lineitem_store, lambda: [aggregation_job("agg")],
+        reader=reader, blocks_per_segment=2)
+    assert comparison.outputs_match()
+
+
+def test_progressive_scheme_shrinks_final_merge(lineitem_store, reader):
+    comparison = compare_collection_schemes(
+        lineitem_store, lambda: [aggregation_job("agg")],
+        reader=reader, blocks_per_segment=2)
+    reduction = comparison.final_merge_reduction("agg")
+    assert reduction > 0.5  # progressive folding removes most of the merge
+
+
+def test_staggered_arrivals_still_match(lineitem_store, reader):
+    comparison = compare_collection_schemes(
+        lineitem_store,
+        lambda: [aggregation_job("a"), aggregation_job("b")],
+        reader=reader, blocks_per_segment=2,
+        arrival_iterations={"b": 2})
+    assert comparison.outputs_match()
+    assert comparison.final_merge_reduction("b") > 0.0

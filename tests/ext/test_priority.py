@@ -1,0 +1,29 @@
+"""Priority-admission extension tests (Section VI future work)."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.ext.priority import run_priority_demo
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_priority_demo(num_per_class=2, cap=2)
+
+
+def test_priority_classes_ordered(outcome):
+    """Higher priority -> lower (or equal) mean response time."""
+    assert outcome.respects_priority
+    assert outcome.art_by_priority[2] < outcome.art_by_priority[0]
+
+
+def test_all_classes_measured(outcome):
+    assert set(outcome.art_by_priority) == {0, 1, 2}
+    assert all(v > 0 for v in outcome.art_by_priority.values())
+
+
+def test_validation():
+    with pytest.raises(ExperimentError):
+        run_priority_demo(num_per_class=0)
+    with pytest.raises(ExperimentError):
+        run_priority_demo(cap=0)

@@ -1,0 +1,153 @@
+"""Integration: the paper's Figure 4 orderings on the full-size geometry.
+
+These are the headline reproduction checks — each panel's *shape* (who
+wins, in what order, by roughly what factor).  EXPERIMENTS.md records the
+exact measured numbers next to the paper's.
+"""
+
+import pytest
+
+from repro.experiments.fig4 import run_panel
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return {p: run_panel(p) for p in ("4a", "4b", "4c", "4d", "4e", "4f")}
+
+
+# ------------------------------------------------------------------- 4(a)
+def test_4a_s3_best_on_both_metrics(panels):
+    result = panels["4a"]
+    s3 = result.metric("S3")
+    for other in ("FIFO", "MRS1", "MRS2", "MRS3"):
+        tet_ratio, art_ratio = result.ratio(other)
+        assert tet_ratio >= 1.0, f"{other} beat S3 on TET"
+        assert art_ratio > 1.0, f"{other} beat S3 on ART"
+
+
+def test_4a_fifo_factors(panels):
+    """Paper: FIFO 2.2x TET / 2.5x ART; we land in the 2-3.6x band."""
+    tet_ratio, art_ratio = panels["4a"].ratio("FIFO")
+    assert 2.0 <= tet_ratio <= 3.6
+    assert 2.0 <= art_ratio <= 3.8
+
+
+def test_4a_mrshare_tet_band(panels):
+    """Paper: MRShare 1.03-1.32x TET."""
+    for variant in ("MRS1", "MRS2", "MRS3"):
+        tet_ratio, _ = panels["4a"].ratio(variant)
+        assert 1.0 <= tet_ratio <= 1.4
+
+
+def test_4a_mrs1_worst_mrshare_art(panels):
+    """Paper: single-batching inflates early jobs' waiting time most."""
+    result = panels["4a"]
+    assert result.ratio("MRS1")[1] > result.ratio("MRS2")[1]
+    assert result.ratio("MRS1")[1] > result.ratio("MRS3")[1]
+
+
+def test_4a_mrs3_best_mrshare_art(panels):
+    """Paper: MRS3 gives the best ART among the MRShare variants (~1.26x)."""
+    result = panels["4a"]
+    art = result.ratio("MRS3")[1]
+    assert art <= result.ratio("MRS2")[1]
+    assert 1.1 <= art <= 1.5
+
+
+# ------------------------------------------------------------------- 4(b)
+def test_4b_mrs1_beats_s3_dense(panels):
+    """Paper: under dense arrivals MRS1 is best, 'even better than S3'."""
+    result = panels["4b"]
+    tet_ratio, art_ratio = result.ratio("MRS1")
+    assert tet_ratio < 1.0
+    assert art_ratio < 1.0
+
+
+def test_4b_mrs3_much_worse_dense(panels):
+    """Paper: MRS3 extends TET/ART significantly (batch queuing)."""
+    tet_ratio, art_ratio = panels["4b"].ratio("MRS3")
+    assert tet_ratio > 1.8
+    assert art_ratio > 1.3
+
+
+def test_4b_fifo_absolute_tet_unchanged(panels):
+    """Paper: FIFO's absolute TET 'does not change much' dense vs sparse
+    (all ten jobs queue either way)."""
+    sparse_tet = panels["4a"].metric("FIFO").tet
+    dense_tet = panels["4b"].metric("FIFO").tet
+    assert dense_tet == pytest.approx(sparse_tet, rel=0.05)
+
+
+# ------------------------------------------------------------------- 4(c)
+def test_4c_heavy_extends_s3_tet(panels):
+    """Paper: S3's TET grows ~40% under the heavy workload (we see ~30%)."""
+    normal = panels["4a"].metric("S3").tet
+    heavy = panels["4c"].metric("S3").tet
+    assert 1.2 <= heavy / normal <= 1.55
+
+
+def test_4c_mrshare_art_still_poor(panels):
+    for variant in ("MRS1", "MRS2", "MRS3"):
+        assert panels["4c"].ratio(variant)[1] > 1.25
+
+
+def test_4c_mrs3_extends_tet(panels):
+    """Paper: MRS3 extends TET ~40% over S3 in the heavy workload."""
+    assert 1.2 <= panels["4c"].ratio("MRS3")[0] <= 1.6
+
+
+# ------------------------------------------------------------------- 4(d)
+def test_4d_128mb_fastest_absolute(panels):
+    """Paper: 128MB blocks give the fastest actual processing time."""
+    assert panels["4d"].metric("S3").tet < panels["4a"].metric("S3").tet
+    assert panels["4d"].metric("S3").tet < panels["4e"].metric("S3").tet
+    assert panels["4d"].metric("FIFO").tet < panels["4a"].metric("FIFO").tet
+
+
+def test_4d_s3_still_wins_art(panels):
+    for other in ("FIFO", "MRS1", "MRS2", "MRS3"):
+        assert panels["4d"].ratio(other)[1] > 1.2
+
+
+def test_4d_mrshare_beats_neither_metric(panels):
+    """Paper: 'MRShare approaches ... cannot beat S3 in either TET or ART'."""
+    for variant in ("MRS1", "MRS2", "MRS3"):
+        tet_ratio, art_ratio = panels["4d"].ratio(variant)
+        assert tet_ratio >= 1.0
+        assert art_ratio > 1.0
+
+
+# ------------------------------------------------------------------- 4(e)
+def test_4e_32mb_slowest_for_everyone(panels):
+    """Paper: small blocks inflate per-task overhead for all schemes."""
+    for scheduler in ("FIFO", "S3"):
+        assert (panels["4e"].metric(scheduler).tet
+                > panels["4a"].metric(scheduler).tet)
+        assert (panels["4e"].metric(scheduler).tet
+                > panels["4d"].metric(scheduler).tet)
+
+
+def test_4e_s3_gain_still_holds(panels):
+    """Paper: 'the performance gain in S3 still holds' at 32MB."""
+    tet_ratio, art_ratio = panels["4e"].ratio("FIFO")
+    assert tet_ratio > 2.5
+    assert art_ratio > 2.5
+    for variant in ("MRS2", "MRS3"):
+        assert panels["4e"].ratio(variant)[0] > 1.0
+        assert panels["4e"].ratio(variant)[1] > 1.1
+
+
+# ------------------------------------------------------------------- 4(f)
+def test_4f_fifo_much_worse_selection(panels):
+    """Paper: long selection jobs make FIFO blocking dramatic."""
+    tet_ratio, art_ratio = panels["4f"].ratio("FIFO")
+    assert tet_ratio > 3.0
+    assert art_ratio > 2.5
+
+
+def test_4f_s3_beats_mrshare_both_metrics(panels):
+    """Paper: 'S3 outperforms MRShare in both TET and ART'."""
+    for variant in ("MRS1", "MRS2", "MRS3"):
+        tet_ratio, art_ratio = panels["4f"].ratio(variant)
+        assert tet_ratio > 1.0
+        assert art_ratio > 1.1

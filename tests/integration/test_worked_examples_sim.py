@@ -1,0 +1,35 @@
+"""Integration: the simulator reproduces Section III's worked examples."""
+
+import pytest
+
+from repro.experiments.worked_examples import analytic_two_jobs, run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(offsets=(0.2, 0.8))
+
+
+@pytest.mark.parametrize("case,scheme", [
+    ("offset 20%", "FIFO"), ("offset 20%", "MRShare"), ("offset 20%", "S3"),
+    ("offset 80%", "FIFO"), ("offset 80%", "MRShare"), ("offset 80%", "S3"),
+])
+def test_simulation_matches_analytic(result, case, scheme):
+    """Simulated TET/ART within 4% of the closed form (wave granularity)."""
+    tet_analytic, art_analytic, tet_sim, art_sim = result.extra["rows"][case][scheme]
+    assert tet_sim == pytest.approx(tet_analytic, rel=0.04)
+    assert art_sim == pytest.approx(art_analytic, rel=0.04)
+
+
+def test_relative_orderings_match_paper(result):
+    """Example 1: TET FIFO > MRShare ~ S3; ART FIFO > MRShare > S3."""
+    rows = result.extra["rows"]["offset 20%"]
+    assert rows["FIFO"][2] > rows["MRShare"][2]
+    assert rows["FIFO"][3] > rows["MRShare"][3] > rows["S3"][3]
+
+
+def test_sparse_case_flips_fifo_mrshare_art(result):
+    """Example 2: with a late second job, FIFO's ART beats MRShare's."""
+    rows = result.extra["rows"]["offset 80%"]
+    assert rows["FIFO"][3] < rows["MRShare"][3]
+    assert rows["S3"][3] < rows["FIFO"][3]

@@ -1,0 +1,56 @@
+"""Local runtime API tests."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.localrt.api import (
+    IdentityReducer,
+    JobResult,
+    LocalJob,
+    SumReducer,
+    default_partitioner,
+)
+from repro.localrt.jobs import PatternWordCount
+
+
+def test_local_job_validation():
+    mapper, reducer = PatternWordCount(".*"), SumReducer()
+    with pytest.raises(ExecutionError):
+        LocalJob(job_id="", mapper=mapper, reducer=reducer)
+    with pytest.raises(ExecutionError):
+        LocalJob(job_id="j", mapper=mapper, reducer=reducer, num_partitions=0)
+
+
+def test_sum_reducer():
+    assert list(SumReducer().reduce("k", [1, 2, 3])) == [("k", 6)]
+
+
+def test_identity_reducer():
+    assert list(IdentityReducer().reduce("k", ["a", "b"])) == [
+        ("k", "a"), ("k", "b")]
+
+
+def test_partitioner_stable_for_strings():
+    assert (default_partitioner("hello", 7)
+            == default_partitioner("hello", 7))
+    assert 0 <= default_partitioner("hello", 7) < 7
+
+
+def test_partitioner_distributes():
+    partitions = {default_partitioner(f"word{i}", 8) for i in range(100)}
+    assert len(partitions) > 1
+
+
+def test_partitioner_ints():
+    assert default_partitioner(42, 5) == 42 % 5
+
+
+def test_job_result_as_dict():
+    result = JobResult(job_id="j", output=[("a", 1), ("b", 2)])
+    assert result.as_dict() == {"a": 1, "b": 2}
+
+
+def test_job_result_as_dict_duplicate_keys():
+    result = JobResult(job_id="j", output=[("a", 1), ("a", 2)])
+    with pytest.raises(ExecutionError, match="duplicate"):
+        result.as_dict()

@@ -1,0 +1,73 @@
+"""Map/combine/shuffle/reduce engine tests."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.localrt.api import LocalJob, SumReducer
+from repro.localrt.engine import (
+    JobRunState,
+    count_pending_values,
+    run_map_on_block,
+    run_reduce,
+)
+from repro.localrt.jobs import PatternWordCount
+from repro.localrt.records import TextLineReader
+
+
+def make_state(pattern=".*", combiner=False):
+    job = LocalJob(job_id="j", mapper=PatternWordCount(pattern),
+                   reducer=SumReducer(),
+                   combiner=SumReducer() if combiner else None,
+                   num_partitions=3)
+    return JobRunState(job)
+
+
+def test_map_counts_records():
+    state = make_state()
+    run_map_on_block([state], TextLineReader(), "a b\nc\n")
+    assert state.map_input_records == 2
+    assert state.map_output_records == 3
+
+
+def test_shared_block_feeds_all_jobs():
+    s1, s2 = make_state("^a.*"), make_state("^b.*")
+    run_map_on_block([s1, s2], TextLineReader(), "aa bb\naa\n")
+    assert s1.map_output_records == 2  # two "aa"
+    assert s2.map_output_records == 1  # one "bb"
+    assert s1.map_input_records == s2.map_input_records == 2
+
+
+def test_combiner_shrinks_shuffle():
+    plain, combined = make_state(), make_state(combiner=True)
+    text = "x x x y\nx y\n"
+    run_map_on_block([plain], TextLineReader(), text)
+    run_map_on_block([combined], TextLineReader(), text)
+    assert count_pending_values(plain) == 6
+    assert count_pending_values(combined) == 2  # one partial sum per key
+    assert run_reduce(plain) == run_reduce(combined)
+
+
+def test_reduce_sorted_within_partition():
+    state = make_state()
+    run_map_on_block([state], TextLineReader(), "b a c a\n")
+    output = run_reduce(state)
+    assert dict(output) == {"a": 2, "b": 1, "c": 1}
+    # Keys within each partition appear in sorted order.
+    from repro.localrt.api import default_partitioner
+    by_partition = {}
+    for key, _ in output:
+        by_partition.setdefault(default_partitioner(key, 3), []).append(key)
+    for keys in by_partition.values():
+        assert keys == sorted(keys)
+
+
+def test_empty_participants_rejected():
+    with pytest.raises(ExecutionError):
+        run_map_on_block([], TextLineReader(), "x\n")
+
+
+def test_multiple_blocks_accumulate():
+    state = make_state()
+    run_map_on_block([state], TextLineReader(), "x\n")
+    run_map_on_block([state], TextLineReader(), "x y\n")
+    assert dict(run_reduce(state)) == {"x": 2, "y": 1}

@@ -1,0 +1,88 @@
+"""Ready-made local job tests (wordcount, selection, aggregation)."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.localrt.jobs import (
+    PatternWordCount,
+    aggregation_job,
+    selection_job,
+    wordcount_job,
+)
+from repro.localrt.records import DelimitedReader
+from repro.localrt.runners import FifoLocalRunner
+from repro.localrt.storage import BlockStore
+from repro.workloads.tpch import (
+    LINEITEM_COLUMNS,
+    LineitemGenerator,
+    quantity_threshold_for_selectivity,
+)
+
+
+@pytest.fixture(scope="module")
+def lineitem_store(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("lineitem")
+    generator = LineitemGenerator(seed=5)
+    return BlockStore.create(directory, generator.rows_for_bytes(120_000),
+                             block_size_bytes=15_000)
+
+
+def test_pattern_wordcount_filters():
+    mapper = PatternWordCount("^th.*")
+    out = list(mapper.map(0, "the thing other"))
+    assert out == [("the", 1), ("thing", 1)]
+
+
+def test_pattern_wordcount_bad_regex():
+    with pytest.raises(ExecutionError):
+        PatternWordCount("([")
+
+
+def test_wordcount_job_has_combiner_by_default():
+    assert wordcount_job("a", ".*").combiner is not None
+    assert wordcount_job("a", ".*", use_combiner=False).combiner is None
+
+
+def test_selection_selectivity(lineitem_store):
+    threshold = quantity_threshold_for_selectivity(0.10)
+    reader = DelimitedReader("|", len(LINEITEM_COLUMNS))
+    report = FifoLocalRunner(lineitem_store, reader=reader).run(
+        [selection_job("s", threshold)])
+    result = report.results["s"]
+    measured = result.reduce_output_records / result.map_input_records
+    assert measured == pytest.approx(0.10, abs=0.03)
+
+
+def test_selection_rows_pass_through_unchanged(lineitem_store):
+    reader = DelimitedReader("|", len(LINEITEM_COLUMNS))
+    report = FifoLocalRunner(lineitem_store, reader=reader).run(
+        [selection_job("s", 51.0)])  # selects everything
+    result = report.results["s"]
+    assert result.reduce_output_records == result.map_input_records
+    _, row = result.output[0]
+    assert len(row) == len(LINEITEM_COLUMNS)
+
+
+def test_selection_threshold_validated():
+    with pytest.raises(ExecutionError):
+        selection_job("s", 0.0)
+
+
+def test_aggregation_sums_by_returnflag(lineitem_store):
+    reader = DelimitedReader("|", len(LINEITEM_COLUMNS))
+    report = FifoLocalRunner(lineitem_store, reader=reader).run(
+        [aggregation_job("agg")])
+    totals = dict(report.results["agg"].output)
+    assert set(totals) <= {"R", "A", "N"}
+    assert all(v > 0 for v in totals.values())
+    # Cross-check against a direct scan.
+    expected = {}
+    qty_index = LINEITEM_COLUMNS.index("l_returnflag")
+    price_index = LINEITEM_COLUMNS.index("l_extendedprice")
+    for i in range(lineitem_store.num_blocks):
+        for line in lineitem_store.read_block(i).splitlines():
+            fields = line.split("|")
+            expected[fields[qty_index]] = (expected.get(fields[qty_index], 0.0)
+                                           + float(fields[price_index]))
+    for flag, total in totals.items():
+        assert total == pytest.approx(expected[flag])

@@ -1,0 +1,70 @@
+"""Parallel map execution: thread-pool runs must equal serial runs."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.localrt.engine import JobRunState
+from repro.localrt.jobs import wordcount_job
+from repro.localrt.parallel import MapTaskSpec, execute_map_wave
+from repro.localrt.records import TextLineReader
+from repro.localrt.runners import FifoLocalRunner, SharedScanRunner
+
+PATTERNS = ["^b.*", ".*ing$", "^[aeiou].*"]
+
+
+def make_jobs():
+    return [wordcount_job(f"wc{i}", p) for i, p in enumerate(PATTERNS)]
+
+
+def test_parallel_fifo_equals_serial(corpus_store):
+    serial = FifoLocalRunner(corpus_store, workers=1).run(make_jobs())
+    parallel = FifoLocalRunner(corpus_store, workers=4).run(make_jobs())
+    for job_id in ("wc0", "wc1", "wc2"):
+        assert (serial.results[job_id].output
+                == parallel.results[job_id].output)
+    assert parallel.blocks_read == serial.blocks_read
+
+
+def test_parallel_shared_scan_equals_serial(corpus_store):
+    arrivals = {"wc1": 1, "wc2": 2}
+    serial = SharedScanRunner(corpus_store, blocks_per_segment=3,
+                              workers=1).run(make_jobs(), arrivals)
+    parallel = SharedScanRunner(corpus_store, blocks_per_segment=3,
+                                workers=4).run(make_jobs(), arrivals)
+    for job_id in ("wc0", "wc1", "wc2"):
+        assert (serial.results[job_id].output
+                == parallel.results[job_id].output)
+    assert parallel.bytes_read == serial.bytes_read
+    assert parallel.iterations == serial.iterations
+
+
+def test_read_counters_thread_safe(corpus_store):
+    """Concurrent read_block calls must not lose counter increments."""
+    before = corpus_store.stats.blocks_read
+    FifoLocalRunner(corpus_store, workers=8).run(make_jobs())
+    delta = corpus_store.stats.blocks_read - before
+    assert delta == 3 * corpus_store.num_blocks
+
+
+def test_execute_map_wave_validation(corpus_store):
+    reader = TextLineReader()
+    state = JobRunState(wordcount_job("a", ".*"))
+    with pytest.raises(ExecutionError, match="workers"):
+        execute_map_wave(corpus_store, reader,
+                         [MapTaskSpec(0, (state,))], workers=0)
+    with pytest.raises(ExecutionError, match="duplicate"):
+        execute_map_wave(corpus_store, reader,
+                         [MapTaskSpec(0, (state,)), MapTaskSpec(0, (state,))])
+    with pytest.raises(ExecutionError, match="no jobs"):
+        MapTaskSpec(0, ())
+
+
+def test_empty_wave_is_noop(corpus_store):
+    execute_map_wave(corpus_store, TextLineReader(), [], workers=4)
+
+
+def test_invalid_workers_on_runners(corpus_store):
+    with pytest.raises(ExecutionError):
+        FifoLocalRunner(corpus_store, workers=0)
+    with pytest.raises(ExecutionError):
+        SharedScanRunner(corpus_store, workers=0)

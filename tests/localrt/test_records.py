@@ -1,0 +1,40 @@
+"""Record reader tests."""
+
+import pytest
+
+from repro.localrt.records import DelimitedReader, TextLineReader
+
+
+def test_text_line_reader_offsets():
+    records = list(TextLineReader().read("ab\ncdef\n"))
+    assert records == [(0, "ab"), (3, "cdef")]
+
+
+def test_text_line_reader_base_offset():
+    records = list(TextLineReader().read("x\ny\n", base_offset=100))
+    assert records == [(100, "x"), (102, "y")]
+
+
+def test_text_line_reader_empty_block():
+    assert list(TextLineReader().read("")) == []
+
+
+def test_delimited_reader_splits_fields():
+    records = list(DelimitedReader("|").read("a|b|c\nd|e|f\n"))
+    assert records == [(0, ("a", "b", "c")), (6, ("d", "e", "f"))]
+
+
+def test_delimited_reader_field_count_enforced():
+    reader = DelimitedReader("|", expected_fields=3)
+    with pytest.raises(ValueError, match="malformed"):
+        list(reader.read("a|b\n"))
+
+
+def test_delimited_reader_custom_delimiter():
+    records = list(DelimitedReader(",").read("1,2\n"))
+    assert records == [(0, ("1", "2"))]
+
+
+def test_delimited_reader_empty_delimiter_rejected():
+    with pytest.raises(ValueError):
+        DelimitedReader("")

@@ -1,0 +1,88 @@
+"""Block store tests."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.localrt.storage import BlockStore
+
+
+def lines(n, width=20):
+    return [f"line {i:04d} ".ljust(width, "x") for i in range(n)]
+
+
+def test_create_and_reload(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(100), block_size_bytes=210)
+    assert store.num_blocks > 1
+    reloaded = BlockStore(tmp_path / "s")
+    assert reloaded.num_blocks == store.num_blocks
+    assert reloaded.total_bytes == store.total_bytes
+
+
+def test_blocks_are_line_aligned(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(50), block_size_bytes=97)
+    for index in range(store.num_blocks):
+        assert store.read_block(index).endswith("\n")
+
+
+def test_content_round_trip(tmp_path):
+    data = lines(37)
+    store = BlockStore.create(tmp_path / "s", data, block_size_bytes=100)
+    joined = "".join(store.read_block(i) for i in range(store.num_blocks))
+    assert joined.splitlines() == data
+
+
+def test_read_stats_accumulate(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(20), block_size_bytes=100)
+    store.read_block(0)
+    store.read_block(0)
+    assert store.stats.blocks_read == 2
+    assert store.stats.bytes_read == 2 * store.block_size_bytes(0)
+    store.stats.reset()
+    assert store.stats.blocks_read == 0
+
+
+def test_block_offsets_monotonic(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(60), block_size_bytes=150)
+    offsets = [store.block_offset(i) for i in range(store.num_blocks)]
+    assert offsets[0] == 0
+    assert offsets == sorted(offsets)
+    assert (offsets[-1] + store.block_size_bytes(store.num_blocks - 1)
+            == store.total_bytes)
+
+
+def test_iter_blocks(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(10), block_size_bytes=80)
+    seen = list(store.iter_blocks())
+    assert [i for i, _ in seen] == list(range(store.num_blocks))
+
+
+def test_out_of_range_rejected(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(5), block_size_bytes=500)
+    with pytest.raises(ExecutionError):
+        store.read_block(99)
+
+
+def test_create_on_existing_rejected(tmp_path):
+    BlockStore.create(tmp_path / "s", lines(5), block_size_bytes=500)
+    with pytest.raises(ExecutionError, match="already contains"):
+        BlockStore.create(tmp_path / "s", lines(5), block_size_bytes=500)
+
+
+def test_create_empty_rejected(tmp_path):
+    with pytest.raises(ExecutionError):
+        BlockStore.create(tmp_path / "s", [], block_size_bytes=100)
+
+
+def test_newline_in_input_rejected(tmp_path):
+    with pytest.raises(ExecutionError, match="newline"):
+        BlockStore.create(tmp_path / "s", ["bad\nline"], block_size_bytes=100)
+
+
+def test_open_missing_dir_rejected(tmp_path):
+    with pytest.raises(ExecutionError):
+        BlockStore(tmp_path / "missing")
+
+
+def test_invalid_block_size(tmp_path):
+    with pytest.raises(ExecutionError):
+        BlockStore.create(tmp_path / "s", lines(5), block_size_bytes=0)

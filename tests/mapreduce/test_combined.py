@@ -1,0 +1,53 @@
+"""CombinedJob (MRShare batch) tests."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.mapreduce.combined import make_batch
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.profile import heavy_wordcount, normal_wordcount
+
+
+def make_jobs(n, file_name="f", profile=None):
+    profile = profile or normal_wordcount()
+    return [JobSpec(job_id=f"j{i}", file_name=file_name, profile=profile)
+            for i in range(n)]
+
+
+def test_batch_basics():
+    batch = make_batch("b0", make_jobs(3))
+    assert batch.size == 3
+    assert batch.file_name == "f"
+    assert batch.job_ids == ("j0", "j1", "j2")
+
+
+def test_empty_batch_rejected():
+    with pytest.raises(SchedulingError):
+        make_batch("b0", [])
+
+
+def test_mixed_files_rejected():
+    jobs = make_jobs(2) + [JobSpec(job_id="x", file_name="other",
+                                   profile=normal_wordcount())]
+    with pytest.raises(SchedulingError, match="different files"):
+        make_batch("b0", jobs)
+
+
+def test_duplicate_members_rejected():
+    jobs = make_jobs(2)
+    with pytest.raises(SchedulingError, match="duplicate"):
+        make_batch("b0", jobs + [jobs[0]])
+
+
+def test_profile_takes_most_expensive_member():
+    jobs = make_jobs(2) + [JobSpec(job_id="h", file_name="f",
+                                   profile=heavy_wordcount())]
+    batch = make_batch("b0", jobs)
+    assert batch.profile.name == "wordcount-heavy"
+
+
+def test_num_reduce_tasks_is_max():
+    light = normal_wordcount().with_(num_reduce_tasks=10)
+    jobs = [JobSpec(job_id="a", file_name="f", profile=light),
+            JobSpec(job_id="b", file_name="f", profile=normal_wordcount())]
+    assert make_batch("b0", jobs).num_reduce_tasks == 30

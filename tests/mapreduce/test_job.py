@@ -1,0 +1,36 @@
+"""JobSpec / JobTimeline tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.mapreduce.job import JobSpec, JobTimeline
+from repro.mapreduce.profile import normal_wordcount
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        JobSpec(job_id="", file_name="f", profile=normal_wordcount())
+    with pytest.raises(ConfigError):
+        JobSpec(job_id="j", file_name="", profile=normal_wordcount())
+
+
+def test_spec_reduce_tasks_from_profile():
+    spec = JobSpec(job_id="j", file_name="f", profile=normal_wordcount())
+    assert spec.num_reduce_tasks == 30
+
+
+def test_timeline_response_and_waiting():
+    t = JobTimeline(job_id="j", submitted=10.0, first_launch=15.0,
+                    completed=100.0)
+    assert t.response_time == 90.0
+    assert t.waiting_time == 5.0
+    assert t.is_complete
+
+
+def test_timeline_incomplete_raises():
+    t = JobTimeline(job_id="j", submitted=0.0)
+    assert not t.is_complete
+    with pytest.raises(ConfigError):
+        _ = t.response_time
+    with pytest.raises(ConfigError):
+        _ = t.waiting_time

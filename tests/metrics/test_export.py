@@ -1,0 +1,87 @@
+"""Trace export/import tests."""
+
+import io
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.common.tracelog import TraceLog
+from repro.metrics.export import dump_trace, load_trace, trace_summary
+
+
+def make_trace() -> TraceLog:
+    log = TraceLog()
+    log.record(0.0, "job.submit", "j0", file="f")
+    log.record(1.0, "task.start.map", "a", node="n0", duration=2.0)
+    log.record(3.0, "task.finish.map", "a", node="n0")
+    log.record(3.5, "job.complete", "j0")
+    return log
+
+
+def test_round_trip_via_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    count = dump_trace(make_trace(), path)
+    assert count == 4
+    loaded = load_trace(path)
+    assert len(loaded) == 4
+    assert loaded[1].detail == {"node": "n0", "duration": 2.0}
+    assert loaded[3].kind == "job.complete"
+
+
+def test_round_trip_via_stream():
+    buffer = io.StringIO()
+    dump_trace(make_trace(), buffer)
+    buffer.seek(0)
+    loaded = load_trace(buffer)
+    assert [r.kind for r in loaded] == [r.kind for r in make_trace()]
+
+
+def test_blank_lines_skipped():
+    loaded = load_trace(io.StringIO(
+        '{"t": 0.0, "kind": "a", "subject": "x"}\n\n'
+        '{"t": 1.0, "kind": "b", "subject": "y", "detail": {"n": 1}}\n'))
+    assert len(loaded) == 2
+    assert loaded[1].detail == {"n": 1}
+
+
+def test_malformed_line_rejected():
+    with pytest.raises(ExperimentError, match="bad trace line 1"):
+        load_trace(io.StringIO("not json\n"))
+    with pytest.raises(ExperimentError, match="bad trace line 1"):
+        load_trace(io.StringIO('{"t": 0.0}\n'))
+
+
+def test_summary():
+    summary = trace_summary(make_trace())
+    assert summary["records"] == 4
+    assert summary["jobs_submitted"] == 1
+    assert summary["jobs_completed"] == 1
+    assert summary["map_tasks"] == 1
+    assert summary["failures"] == 0
+    assert summary["span"] == pytest.approx(3.5)
+
+
+def test_summary_empty():
+    summary = trace_summary(TraceLog())
+    assert summary["records"] == 0 and summary["span"] == 0.0
+
+
+def test_real_run_round_trip(tmp_path, small_cluster_config, small_dfs_config,
+                             fast_profile, job_factory):
+    from repro.mapreduce.costmodel import CostModel
+    from repro.mapreduce.driver import SimulationDriver
+    from repro.schedulers.s3 import S3Scheduler
+
+    driver = SimulationDriver(S3Scheduler(),
+                              cluster_config=small_cluster_config,
+                              dfs_config=small_dfs_config,
+                              cost_model=CostModel(job_submit_overhead_s=0.0,
+                                                   subjob_overhead_s=0.0))
+    driver.register_file("f", 64.0 * 16)
+    driver.submit_all(job_factory(fast_profile, 2), [0.0, 2.0])
+    result = driver.run()
+    path = tmp_path / "run.jsonl"
+    dump_trace(result.trace, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(result.trace)
+    assert trace_summary(loaded) == trace_summary(result.trace)

@@ -1,0 +1,80 @@
+"""Per-job phase breakdown tests."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.mapreduce.costmodel import CostModel
+from repro.mapreduce.driver import SimulationDriver
+from repro.metrics.jobstats import (
+    format_phase_table,
+    job_phase_stats,
+    mean_sharing_fraction,
+)
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.s3 import S3Scheduler
+
+
+def run(scheduler, small_cluster_config, small_dfs_config, jobs, arrivals,
+        blocks=16):
+    driver = SimulationDriver(
+        scheduler, cluster_config=small_cluster_config,
+        dfs_config=small_dfs_config,
+        cost_model=CostModel(job_submit_overhead_s=0.0, subjob_overhead_s=0.0))
+    driver.register_file("f", 64.0 * blocks)
+    driver.submit_all(jobs, arrivals)
+    return driver.run()
+
+
+def test_fifo_jobs_have_zero_sharing(small_cluster_config, small_dfs_config,
+                                     fast_profile, job_factory):
+    result = run(FifoScheduler(), small_cluster_config, small_dfs_config,
+                 job_factory(fast_profile, 2), [0.0, 0.0])
+    stats = job_phase_stats(result)
+    assert all(s.sharing_fraction == 0.0 for s in stats.values())
+    assert all(s.map_tasks == 16 for s in stats.values())
+    assert mean_sharing_fraction(result) == 0.0
+
+
+def test_s3_simultaneous_jobs_fully_shared(small_cluster_config,
+                                           small_dfs_config, fast_profile,
+                                           job_factory):
+    result = run(S3Scheduler(), small_cluster_config, small_dfs_config,
+                 job_factory(fast_profile, 2), [0.0, 0.0])
+    stats = job_phase_stats(result)
+    assert all(s.sharing_fraction == 1.0 for s in stats.values())
+    assert all(s.map_tasks == 16 for s in stats.values())
+
+
+def test_s3_staggered_job_partially_shared(small_cluster_config,
+                                           small_dfs_config, fast_profile,
+                                           job_factory):
+    """A late joiner shares until the first job finishes, then scans alone."""
+    result = run(S3Scheduler(), small_cluster_config, small_dfs_config,
+                 job_factory(fast_profile, 2), [0.0, 2.5], blocks=32)
+    stats = job_phase_stats(result)
+    late = stats["j1"]
+    assert late.map_tasks == 32
+    assert 0.0 < late.sharing_fraction < 1.0
+
+
+def test_phase_decomposition_sums(small_cluster_config, small_dfs_config,
+                                  fast_profile, job_factory):
+    result = run(FifoScheduler(), small_cluster_config, small_dfs_config,
+                 job_factory(fast_profile, 2), [0.0, 1.0])
+    for s in job_phase_stats(result).values():
+        assert s.waiting_time + s.processing_time == pytest.approx(
+            s.response_time)
+        assert s.waiting_time >= 0
+
+
+def test_format_phase_table(small_cluster_config, small_dfs_config,
+                            fast_profile, job_factory):
+    result = run(S3Scheduler(), small_cluster_config, small_dfs_config,
+                 job_factory(fast_profile, 2), [0.0, 0.0])
+    table = format_phase_table(job_phase_stats(result))
+    assert "j0" in table and "shared-scan" in table and "100%" in table
+
+
+def test_format_empty_rejected():
+    with pytest.raises(ExperimentError):
+        format_phase_table({})

@@ -1,0 +1,48 @@
+"""Report formatting tests."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.mapreduce.job import JobTimeline
+from repro.metrics.measures import compute_metrics
+from repro.metrics.report import format_series, format_table, normalize_all
+
+
+def metrics(name, tet, art):
+    t = JobTimeline(job_id="j", submitted=0.0, first_launch=0.0, completed=tet)
+    m = compute_metrics(name, [t])
+    # compute_metrics derives art == tet for a single job; rebuild with two
+    # jobs when a distinct ART is needed.
+    return m
+
+
+def test_normalize_all_ratios():
+    rows = [metrics("FIFO", 200, 200), metrics("S3", 100, 100)]
+    normalized = normalize_all(rows, baseline_name="S3")
+    by_name = {m.scheduler: (tet, art) for m, tet, art in normalized}
+    assert by_name["FIFO"] == (2.0, 2.0)
+    assert by_name["S3"] == (1.0, 1.0)
+
+
+def test_normalize_missing_baseline():
+    with pytest.raises(ExperimentError, match="baseline"):
+        normalize_all([metrics("FIFO", 200, 200)], baseline_name="S3")
+
+
+def test_format_table_contains_all_rows():
+    rows = [metrics("FIFO", 200, 200), metrics("S3", 100, 100)]
+    text = format_table("My title", rows)
+    assert "My title" in text
+    assert "FIFO" in text and "S3" in text
+    assert "2.00" in text and "1.00" in text
+
+
+def test_format_series():
+    text = format_series("Fig", "n", [1, 2], {"tet": [10.0, 20.0]})
+    assert "Fig" in text and "tet" in text
+    assert "10.0" in text and "20.0" in text
+
+
+def test_format_series_length_mismatch():
+    with pytest.raises(ExperimentError):
+        format_series("Fig", "n", [1, 2], {"tet": [10.0]})

@@ -1,0 +1,108 @@
+"""Utilization analytics tests."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.common.tracelog import TraceLog
+from repro.metrics.utilization import (
+    busy_slots_series,
+    render_gantt,
+    render_utilization_strip,
+    slot_utilization,
+    task_intervals,
+)
+
+
+def synthetic_trace() -> TraceLog:
+    """Two map tasks on two nodes: n0 busy 0-10, n1 busy 5-10."""
+    log = TraceLog()
+    log.record(0.0, "task.start.map", "a", node="n0", duration=10.0)
+    log.record(5.0, "task.start.map", "b", node="n1", duration=5.0)
+    log.record(10.0, "task.finish.map", "a", node="n0")
+    log.record(10.0, "task.finish.map", "b", node="n1")
+    return log
+
+
+def test_task_intervals_extracted():
+    intervals = task_intervals(synthetic_trace())
+    assert len(intervals) == 2
+    by_id = {i.attempt_id: i for i in intervals}
+    assert by_id["a"].duration == 10.0
+    assert by_id["b"].start == 5.0
+
+
+def test_failed_and_killed_count_as_occupancy():
+    log = TraceLog()
+    log.record(0.0, "task.start.map", "a", node="n0", duration=10.0)
+    log.record(4.0, "task.fail.map", "a", node="n0")
+    log.record(5.0, "task.start.map", "b", node="n1", duration=10.0)
+    log.record(6.0, "task.killed.map", "b", node="n1")
+    intervals = task_intervals(log)
+    assert {(i.attempt_id, i.duration) for i in intervals} == {
+        ("a", 4.0), ("b", 1.0)}
+
+
+def test_unmatched_end_rejected():
+    log = TraceLog()
+    log.record(1.0, "task.finish.map", "ghost", node="n0")
+    with pytest.raises(ExperimentError, match="unopened"):
+        task_intervals(log)
+
+
+def test_never_closed_rejected():
+    log = TraceLog()
+    log.record(0.0, "task.start.map", "a", node="n0", duration=1.0)
+    with pytest.raises(ExperimentError, match="never closed"):
+        task_intervals(log)
+
+
+def test_slot_utilization_fraction():
+    # 2 slots over 10s window; busy = 10 + 5 = 15 slot-seconds of 20.
+    assert slot_utilization(synthetic_trace(), 2) == pytest.approx(0.75)
+
+
+def test_slot_utilization_with_window():
+    util = slot_utilization(synthetic_trace(), 2, start=0.0, end=5.0)
+    assert util == pytest.approx(0.5)  # only task a busy in [0,5)
+
+
+def test_slot_utilization_validation():
+    with pytest.raises(ExperimentError):
+        slot_utilization(synthetic_trace(), 0)
+
+
+def test_busy_slots_series_shape():
+    times, series = busy_slots_series(synthetic_trace(), bins=10)
+    assert len(times) == len(series) == 10
+    assert series[0] == pytest.approx(1.0)   # only task a
+    assert series[-1] == pytest.approx(2.0)  # both tasks
+
+
+def test_render_strip_and_gantt():
+    strip = render_utilization_strip(synthetic_trace(), 2, width=20)
+    assert len(strip) == 20
+    gantt = render_gantt(synthetic_trace(), width=40)
+    assert "n0" in gantt and "n1" in gantt and "#" in gantt
+
+
+def test_empty_trace_renders_placeholder():
+    assert render_gantt(TraceLog()) == "(no tasks)"
+    assert busy_slots_series(TraceLog()) == ([], [])
+
+
+def test_real_simulation_utilization(small_cluster_config, small_dfs_config,
+                                     fast_profile, job_factory):
+    """A single job saturates map slots during its map phase."""
+    from repro.mapreduce.costmodel import CostModel
+    from repro.mapreduce.driver import SimulationDriver
+    from repro.schedulers.fifo import FifoScheduler
+
+    driver = SimulationDriver(
+        FifoScheduler(), cluster_config=small_cluster_config,
+        dfs_config=small_dfs_config,
+        cost_model=CostModel(job_submit_overhead_s=0.0))
+    driver.register_file("f", 64.0 * 32)
+    driver.submit_all(job_factory(fast_profile, 1), [0.0])
+    result = driver.run()
+    util = slot_utilization(result.trace, 8, kind="map")
+    assert util > 0.95

@@ -1,0 +1,89 @@
+"""Planning advisor tests: analytic predictions vs simulation."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.base import run_scheduler
+from repro.experiments.paperconfig import (
+    dense_pattern,
+    paper_cost_model,
+    sparse_pattern,
+)
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.profile import normal_wordcount
+from repro.planning.advisor import advise, format_recommendation, predict_fifo
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.s3 import S3Scheduler
+
+GEOMETRY = dict(profile=normal_wordcount(), cost=paper_cost_model(),
+                num_blocks=2560, block_mb=64.0, map_slots=40)
+
+
+def simulate(scheduler, arrivals):
+    jobs = [JobSpec(job_id=f"j{i}", file_name="f",
+                    profile=GEOMETRY["profile"])
+            for i in range(len(arrivals))]
+    metrics, _ = run_scheduler(scheduler, jobs, arrivals,
+                               file_name="f", file_size_mb=2560 * 64.0)
+    return metrics
+
+
+@pytest.mark.parametrize("pattern", [sparse_pattern, dense_pattern],
+                         ids=["sparse", "dense"])
+def test_fifo_prediction_matches_simulation(pattern):
+    arrivals = pattern()
+    predicted = predict_fifo(arrivals, **GEOMETRY)
+    simulated = simulate(FifoScheduler(), arrivals)
+    assert predicted.tet == pytest.approx(simulated.tet, rel=0.02)
+    assert predicted.art == pytest.approx(simulated.art, rel=0.02)
+
+
+@pytest.mark.parametrize("pattern", [sparse_pattern, dense_pattern],
+                         ids=["sparse", "dense"])
+def test_s3_prediction_matches_simulation(pattern):
+    arrivals = pattern()
+    recommendation = advise(arrivals, **GEOMETRY)
+    predicted = recommendation.prediction("S3")
+    simulated = simulate(S3Scheduler(), arrivals)
+    assert predicted.tet == pytest.approx(simulated.tet, rel=0.02)
+    assert predicted.art == pytest.approx(simulated.art, rel=0.02)
+
+
+def test_sparse_workload_recommends_s3():
+    """On the paper's sparse pattern S3 wins ART outright and the overall
+    recommendation follows."""
+    recommendation = advise(sparse_pattern(), **GEOMETRY)
+    assert recommendation.best_art == "S3"
+    assert recommendation.overall == "S3"
+
+
+def test_dense_workload_batching_wins_tet():
+    """All-at-once arrivals: a single optimal batch minimises TET (the
+    paper's Figure 4(b) MRS1 result, reproduced analytically)."""
+    recommendation = advise([0.0] * 10, **GEOMETRY)
+    assert recommendation.best_tet.startswith("MRShare-opt")
+    fifo = recommendation.prediction("FIFO")
+    batch = recommendation.prediction("MRShare-opt[tet]")
+    assert batch.tet < fifo.tet / 5
+
+
+def test_singleton_workload_near_tie():
+    recommendation = advise([0.0], **GEOMETRY)
+    tets = [p.tet for p in recommendation.predictions]
+    assert max(tets) <= min(tets) * 1.15
+
+
+def test_format_recommendation():
+    text = format_recommendation(advise(sparse_pattern(), **GEOMETRY))
+    assert "best ART: S3" in text and "FIFO" in text
+
+
+def test_unknown_policy_lookup():
+    recommendation = advise([0.0, 10.0], **GEOMETRY)
+    with pytest.raises(ExperimentError):
+        recommendation.prediction("ghost")
+
+
+def test_empty_arrivals_rejected():
+    with pytest.raises(ExperimentError):
+        advise([], **GEOMETRY)

@@ -1,0 +1,55 @@
+"""Property-based tests for the event engine and unit helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import bytes_to_mb, fmt_duration, mb_to_bytes
+from repro.localrt.api import default_partitioner
+from repro.simengine.events import EventQueue
+from repro.simengine.simulator import Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=80)
+def test_event_queue_pops_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda _t: None)
+    popped = [q.pop().time for _ in range(len(times))]
+    assert popped == sorted(times)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+                min_size=1, max_size=40))
+@settings(max_examples=60)
+def test_simulator_clock_monotone(times):
+    sim = Simulator()
+    observed = []
+    for t in times:
+        sim.at(t, lambda now: observed.append(now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.events_processed == len(times)
+
+
+@given(st.floats(min_value=0.001, max_value=1e7, allow_nan=False))
+@settings(max_examples=80)
+def test_mb_bytes_round_trip(mb):
+    assert abs(bytes_to_mb(mb_to_bytes(mb)) - mb) < 1e-5
+
+
+@given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+@settings(max_examples=80)
+def test_fmt_duration_total_function(seconds):
+    text = fmt_duration(seconds)
+    assert isinstance(text, str) and text
+
+
+@given(st.text(min_size=0, max_size=30), st.integers(1, 64))
+@settings(max_examples=100)
+def test_partitioner_in_range_and_stable(key, partitions):
+    first = default_partitioner(key, partitions)
+    second = default_partitioner(key, partitions)
+    assert first == second
+    assert 0 <= first < partitions

@@ -1,0 +1,68 @@
+"""Property-based fault-injection tests.
+
+For any failure seed and moderate failure probability, every scheduler must
+complete every job with exactly one effective completion per task, and the
+S3 coverage invariant must survive retries.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import ClusterConfig, DfsConfig
+from repro.mapreduce.costmodel import CostModel
+from repro.mapreduce.driver import SimulationDriver
+from repro.mapreduce.faults import FaultModel
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.profile import normal_wordcount
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.mrshare import MRShareScheduler
+from repro.schedulers.s3 import S3Scheduler
+
+PROFILE = normal_wordcount().with_(num_reduce_tasks=4, reduce_total_s=2.0)
+
+
+def run_with_seed(scheduler_kind: str, seed: int, prob: float,
+                  num_jobs: int, blocks: int):
+    if scheduler_kind == "fifo":
+        scheduler = FifoScheduler()
+    elif scheduler_kind == "mrshare":
+        scheduler = MRShareScheduler.single_batch(num_jobs)
+    else:
+        scheduler = S3Scheduler()
+    driver = SimulationDriver(
+        scheduler,
+        cluster_config=ClusterConfig(num_nodes=6, rack_sizes=(3, 3)),
+        dfs_config=DfsConfig(block_size_mb=64.0),
+        cost_model=CostModel(job_submit_overhead_s=0.5, subjob_overhead_s=0.1),
+        fault_model=FaultModel(task_failure_prob=prob, max_attempts=40,
+                               seed=seed))
+    driver.register_file("f", 64.0 * blocks)
+    jobs = [JobSpec(job_id=f"j{i}", file_name="f", profile=PROFILE)
+            for i in range(num_jobs)]
+    driver.submit_all(jobs, [3.0 * i for i in range(num_jobs)])
+    return driver.run()
+
+
+@given(seed=st.integers(0, 10_000),
+       scheduler_kind=st.sampled_from(["fifo", "mrshare", "s3"]),
+       prob=st.floats(0.0, 0.25),
+       num_jobs=st.integers(1, 3),
+       blocks=st.integers(4, 20))
+@settings(max_examples=30, deadline=None)
+def test_all_jobs_complete_under_any_failure_seed(seed, scheduler_kind, prob,
+                                                  num_jobs, blocks):
+    result = run_with_seed(scheduler_kind, seed, prob, num_jobs, blocks)
+    assert result.all_complete
+    # Exactly one effective completion per map task identity.
+    finishes = result.trace.filter(kind="task.finish.map")
+    tasks = {r.subject.rsplit(".attempt_", 1)[0] for r in finishes}
+    assert len(tasks) == len(finishes)
+
+
+@given(seed=st.integers(0, 10_000), prob=st.floats(0.05, 0.3))
+@settings(max_examples=20, deadline=None)
+def test_s3_sharing_accounting_survives_retries(seed, prob):
+    """Per-job map-task counts stay exact (one per block) under failures."""
+    result = run_with_seed("s3", seed, prob, num_jobs=2, blocks=12)
+    for job_id in ("j0", "j1"):
+        assert result.job_map_tasks[job_id] == 12

@@ -1,0 +1,72 @@
+"""Property-based optimality proof for the MRShare grouping DP.
+
+For small n we can enumerate *every* consecutive partition and verify the
+DP's plan is never beaten, for both objectives, under arbitrary sorted
+arrival vectors.
+"""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.paperconfig import paper_cost_model
+from repro.mapreduce.profile import normal_wordcount
+from repro.schedulers.mrshare_opt import optimal_grouping
+
+GEOMETRY = dict(profile=normal_wordcount(), cost=paper_cost_model(),
+                num_blocks=320, block_mb=64.0, map_slots=40)
+
+arrival_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=600.0, allow_nan=False),
+    min_size=1, max_size=6).map(sorted)
+
+
+def all_consecutive_partitions(n: int):
+    """Every way to split 0..n-1 into consecutive groups."""
+    for cut_count in range(n):
+        for cuts in combinations(range(1, n), cut_count):
+            bounds = [0, *cuts, n]
+            yield [tuple(range(a, b)) for a, b in zip(bounds, bounds[1:])]
+
+
+def evaluate(groups, arrivals, objective):
+    cost, profile = GEOMETRY["cost"], GEOMETRY["profile"]
+    finish, total_response = 0.0, 0.0
+    for group in groups:
+        ready = max(arrivals[j] for j in group)
+        makespan = cost.combined_job_makespan_s(
+            profile, len(group), GEOMETRY["num_blocks"],
+            GEOMETRY["block_mb"], GEOMETRY["map_slots"])
+        finish = max(finish, ready) + makespan
+        total_response += sum(finish - arrivals[j] for j in group)
+    return finish if objective == "tet" else total_response
+
+
+@given(arrivals=arrival_vectors)
+@settings(max_examples=40, deadline=None)
+def test_dp_is_optimal_for_tet(arrivals):
+    plan = optimal_grouping(arrivals, objective="tet", **GEOMETRY)
+    best = min(evaluate(groups, arrivals, "tet")
+               for groups in all_consecutive_partitions(len(arrivals)))
+    assert plan.predicted_cost <= best + 1e-6
+    assert evaluate(plan.groups, arrivals, "tet") <= best + 1e-6
+
+
+@given(arrivals=arrival_vectors)
+@settings(max_examples=40, deadline=None)
+def test_dp_is_optimal_for_art(arrivals):
+    plan = optimal_grouping(arrivals, objective="art", **GEOMETRY)
+    best = min(evaluate(groups, arrivals, "art")
+               for groups in all_consecutive_partitions(len(arrivals)))
+    assert plan.predicted_cost <= best + 1e-6
+    assert evaluate(plan.groups, arrivals, "art") <= best + 1e-6
+
+
+@given(arrivals=arrival_vectors)
+@settings(max_examples=40, deadline=None)
+def test_plan_always_partitions(arrivals):
+    for objective in ("tet", "art"):
+        plan = optimal_grouping(arrivals, objective=objective, **GEOMETRY)
+        flat = [j for g in plan.groups for j in g]
+        assert flat == list(range(len(arrivals)))

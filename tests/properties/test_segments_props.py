@@ -1,0 +1,71 @@
+"""Property-based tests for the segment plan (circular-scan arithmetic)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import DfsConfig
+from repro.dfs.namenode import NameNode
+from repro.dfs.placement import RoundRobinPlacement
+from repro.dfs.segments import SegmentPlan
+
+geometry = st.tuples(st.integers(1, 200), st.integers(1, 50))
+
+
+def make_plan(num_blocks, seg):
+    nn = NameNode(DfsConfig(block_size_mb=64.0),
+                  RoundRobinPlacement(["n0", "n1", "n2"]))
+    return SegmentPlan(nn.create_file("f", 64.0 * num_blocks), seg)
+
+
+@given(geometry)
+@settings(max_examples=60)
+def test_segments_partition_blocks(geo):
+    num_blocks, seg = geo
+    plan = make_plan(num_blocks, seg)
+    seen = [b for segment in plan.segments for b in segment.block_indices]
+    assert seen == list(range(num_blocks))
+
+
+@given(geometry)
+@settings(max_examples=60)
+def test_only_last_segment_ragged(geo):
+    num_blocks, seg = geo
+    plan = make_plan(num_blocks, seg)
+    sizes = [s.num_blocks for s in plan.segments]
+    assert all(size == seg for size in sizes[:-1])
+    assert 1 <= sizes[-1] <= seg
+
+
+@given(geometry, st.integers(0, 1000))
+@settings(max_examples=60)
+def test_circular_order_is_rotation(geo, start_seed):
+    num_blocks, seg = geo
+    plan = make_plan(num_blocks, seg)
+    start = start_seed % plan.num_segments
+    order = plan.circular_order(start)
+    assert sorted(order) == list(range(plan.num_segments))
+    assert order == [(start + i) % plan.num_segments
+                     for i in range(plan.num_segments)]
+
+
+@given(geometry, st.integers(0, 1000), st.integers(0, 1000))
+@settings(max_examples=60)
+def test_segments_between_bounds(geo, a, b):
+    num_blocks, seg = geo
+    plan = make_plan(num_blocks, seg)
+    start, current = a % plan.num_segments, b % plan.num_segments
+    between = plan.segments_between(start, current)
+    assert 1 <= between <= plan.num_segments
+    # The final segment in circular order is exactly one before start.
+    assert plan.is_last_segment_for(start, current) == (
+        between == plan.num_segments)
+
+
+@given(geometry, st.integers(0, 10_000))
+@settings(max_examples=60)
+def test_block_to_segment_consistent(geo, block_seed):
+    num_blocks, seg = geo
+    plan = make_plan(num_blocks, seg)
+    block = block_seed % num_blocks
+    segment_index = plan.segment_of_block(block)
+    assert block in plan.segment(segment_index).block_indices

@@ -1,0 +1,65 @@
+"""Analytic S3 predictor unit tests (accuracy tests live in planning)."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.experiments.paperconfig import paper_cost_model
+from repro.mapreduce.costmodel import CostModel
+from repro.mapreduce.profile import normal_wordcount
+from repro.schedulers.s3.analytic import predict_s3
+
+GEOMETRY = dict(profile=normal_wordcount(), cost=paper_cost_model(),
+                num_blocks=2560, block_mb=64.0, map_slots=40)
+
+
+def test_single_job_prediction():
+    pred = predict_s3([0.0], **GEOMETRY)
+    # 64 iterations of (0.75 overhead + 4.2 wave) + final reduce slice.
+    assert pred.iterations == 64
+    expected = 64 * (0.75 + 4.2) + 16.0 / 64
+    assert pred.tet == pytest.approx(expected, rel=0.01)
+    assert pred.art == pred.tet
+
+
+def test_simultaneous_jobs_share_everything():
+    solo = predict_s3([0.0], **GEOMETRY)
+    pair = predict_s3([0.0, 0.0], **GEOMETRY)
+    # Far cheaper than 2x solo; slightly above 1x (batch overhead).
+    assert solo.tet < pair.tet < 1.2 * solo.tet
+    assert pair.iterations == 64
+
+
+def test_staggered_job_wraps_around():
+    pred = predict_s3([0.0, 100.0], **GEOMETRY)
+    assert pred.iterations > 64
+    # The late job still completes one full cycle after joining.
+    assert pred.responses[1] >= 64 * 4.2
+
+
+def test_idle_gap_handled():
+    pred = predict_s3([0.0, 5000.0], **GEOMETRY)
+    assert pred.responses[0] == pytest.approx(pred.responses[1], rel=0.01)
+    assert pred.tet > 5000.0
+
+
+def test_zero_overhead_model():
+    cost = CostModel(job_submit_overhead_s=0.0, subjob_overhead_s=0.0)
+    pred = predict_s3([0.0], profile=GEOMETRY["profile"], cost=cost,
+                      num_blocks=2560, block_mb=64.0, map_slots=40)
+    assert pred.tet == pytest.approx(64 * 4.2 + 0.25, rel=0.01)
+
+
+def test_custom_segment_size():
+    pred = predict_s3([0.0], blocks_per_segment=80, **GEOMETRY)
+    assert pred.iterations == 32
+
+
+def test_validation():
+    with pytest.raises(SchedulingError):
+        predict_s3([], **GEOMETRY)
+    with pytest.raises(SchedulingError):
+        predict_s3([10.0, 0.0], **GEOMETRY)
+    with pytest.raises(SchedulingError):
+        predict_s3([0.0], profile=GEOMETRY["profile"],
+                   cost=GEOMETRY["cost"], num_blocks=0, block_mb=64.0,
+                   map_slots=40)

@@ -1,0 +1,94 @@
+"""Segment-size autotuner tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.schedulers.s3.autotune import (
+    SegmentCostModel,
+    paper_ideal_within,
+    recommend_blocks_per_segment,
+)
+
+#: The paper's geometry with the calibrated constants.
+PAPER = SegmentCostModel(num_blocks=2560, map_slots=40,
+                         task_time_s=4.2, iteration_overhead_s=0.75)
+
+
+def test_iteration_time_waves():
+    assert PAPER.iteration_time(40) == pytest.approx(4.95)
+    assert PAPER.iteration_time(41) == pytest.approx(2 * 4.2 + 0.75)
+    assert PAPER.iteration_time(80) == pytest.approx(2 * 4.2 + 0.75)
+
+
+def test_cycle_time_at_slot_count():
+    # 64 iterations of one wave each.
+    assert PAPER.cycle_time(40) == pytest.approx(64 * 4.95)
+
+
+def test_small_segments_penalised():
+    """m = M/4 idles 3/4 of the cluster: cycle blows up ~4x."""
+    assert PAPER.cycle_time(10) > 3.5 * PAPER.cycle_time(40)
+
+
+def test_recommendation_at_least_slot_count():
+    best = recommend_blocks_per_segment(PAPER)
+    assert best >= PAPER.map_slots
+    assert best % PAPER.map_slots == 0 or best == PAPER.num_blocks
+
+
+def test_paper_ideal_near_optimal():
+    """With the calibrated overhead, m = M is within ~12% of the optimum —
+    the analytic counterpart of the abl-seg sweep (whose simulated tail
+    gains <4%; the analytic model slightly overweights the overhead)."""
+    assert paper_ideal_within(PAPER, tolerance=0.12)
+    assert not paper_ideal_within(PAPER, tolerance=0.01)
+
+
+def test_heavy_overhead_pushes_optimum_up():
+    """Expensive sub-job launches favour larger segments."""
+    pricey = SegmentCostModel(num_blocks=2560, map_slots=40,
+                              task_time_s=4.2, iteration_overhead_s=10.0)
+    assert (recommend_blocks_per_segment(pricey)
+            > recommend_blocks_per_segment(PAPER))
+    assert not paper_ideal_within(pricey, tolerance=0.10)
+
+
+def test_zero_overhead_makes_slot_count_optimal():
+    free = SegmentCostModel(num_blocks=2560, map_slots=40,
+                            task_time_s=4.2, iteration_overhead_s=0.0)
+    assert recommend_blocks_per_segment(free) == 40
+
+
+def test_recommendation_capped_by_file():
+    tiny = SegmentCostModel(num_blocks=60, map_slots=40,
+                            task_time_s=4.2, iteration_overhead_s=5.0)
+    assert recommend_blocks_per_segment(tiny) <= 60
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        SegmentCostModel(num_blocks=0, map_slots=40, task_time_s=1.0,
+                         iteration_overhead_s=0.0)
+    with pytest.raises(ConfigError):
+        SegmentCostModel(num_blocks=10, map_slots=40, task_time_s=0.0,
+                         iteration_overhead_s=0.0)
+    with pytest.raises(ConfigError):
+        PAPER.iteration_time(0)
+    with pytest.raises(ConfigError):
+        recommend_blocks_per_segment(PAPER, max_multiple_of_slots=0)
+
+
+def test_model_agrees_with_simulation_ablation():
+    """The analytic cycle ratios track the simulated abl-seg sweep.
+
+    The sweep's TETs (2092 / 919 / 887 at m = 10/40/160; EXPERIMENTS.md)
+    include the ~520 s arrival span of the sparse pattern, so the model's
+    cycle-time ratios are compared against span-corrected TETs.
+    """
+    span = 520.0
+    sim_ratio_10 = (2092 - span) / (919 - span)
+    sim_ratio_160 = (887 - span) / (919 - span)
+    assert (PAPER.cycle_time(10) / PAPER.cycle_time(40)
+            == pytest.approx(sim_ratio_10, rel=0.1))
+    assert (PAPER.cycle_time(160) / PAPER.cycle_time(40)
+            == pytest.approx(sim_ratio_160, rel=0.1))

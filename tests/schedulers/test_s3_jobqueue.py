@@ -1,0 +1,85 @@
+"""Job Queue Manager (Algorithm 1) tests."""
+
+import pytest
+
+from repro.common.config import DfsConfig
+from repro.common.errors import SchedulingError
+from repro.dfs.namenode import NameNode
+from repro.dfs.placement import RoundRobinPlacement
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.profile import normal_wordcount
+from repro.schedulers.s3.jobqueue import JobQueueManager
+
+
+@pytest.fixture
+def namenode():
+    nn = NameNode(DfsConfig(block_size_mb=64.0),
+                  RoundRobinPlacement(["n0", "n1"]))
+    nn.create_file("f1", 64.0 * 8)
+    nn.create_file("f2", 64.0 * 4)
+    return nn
+
+
+def spec(job_id, file_name="f1"):
+    return JobSpec(job_id=job_id, file_name=file_name,
+                   profile=normal_wordcount())
+
+
+def test_loop_created_per_file(namenode):
+    jqm = JobQueueManager(namenode, 4)
+    loop1 = jqm.loop_for("f1")
+    loop2 = jqm.loop_for("f2")
+    assert loop1 is not loop2
+    assert jqm.loop_for("f1") is loop1  # cached
+
+
+def test_admit_routes_by_file(namenode):
+    jqm = JobQueueManager(namenode, 4)
+    jqm.admit(spec("a", "f1"), 0.0)
+    jqm.admit(spec("b", "f2"), 0.0)
+    assert len(jqm.loop_for("f1").waiting) == 1
+    assert len(jqm.loop_for("f2").waiting) == 1
+    assert jqm.pending_jobs() == 2
+
+
+def test_has_work(namenode):
+    jqm = JobQueueManager(namenode, 4)
+    assert not jqm.has_work()
+    jqm.admit(spec("a"), 0.0)
+    assert jqm.has_work()
+
+
+def test_next_loop_round_robin(namenode):
+    jqm = JobQueueManager(namenode, 4)
+    jqm.admit(spec("a", "f1"), 0.0)
+    jqm.admit(spec("b", "f2"), 0.0)
+    first = jqm.next_loop_with_work()
+    second = jqm.next_loop_with_work()
+    assert {first.dfs_file.name, second.dfs_file.name} == {"f1", "f2"}
+    assert first is not second
+
+
+def test_next_loop_skips_drained(namenode):
+    jqm = JobQueueManager(namenode, 4)
+    jqm.admit(spec("b", "f2"), 0.0)
+    loop = jqm.next_loop_with_work()
+    assert loop.dfs_file.name == "f2"
+    # Drain it: f2 has 4 blocks -> one iteration of 4.
+    loop.build_iteration(4)
+    assert jqm.next_loop_with_work() is None
+
+
+def test_empty_manager(namenode):
+    jqm = JobQueueManager(namenode, 4)
+    assert jqm.next_loop_with_work() is None
+
+
+def test_unknown_file_rejected(namenode):
+    jqm = JobQueueManager(namenode, 4)
+    with pytest.raises(Exception):
+        jqm.admit(spec("a", "ghost"), 0.0)
+
+
+def test_invalid_segment_size(namenode):
+    with pytest.raises(SchedulingError):
+        JobQueueManager(namenode, 0)

@@ -1,0 +1,66 @@
+"""Event queue ordering and cancellation tests."""
+
+import pytest
+
+from repro.simengine.events import EventQueue
+
+
+def _noop(_t: float) -> None:
+    pass
+
+
+def test_pop_orders_by_time():
+    q = EventQueue()
+    q.push(2.0, _noop, label="b")
+    q.push(1.0, _noop, label="a")
+    q.push(3.0, _noop, label="c")
+    assert [q.pop().label for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_fifo_within_same_time():
+    q = EventQueue()
+    for name in "abc":
+        q.push(1.0, _noop, label=name)
+    assert [q.pop().label for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_priority_breaks_time_ties():
+    q = EventQueue()
+    q.push(1.0, _noop, priority=5, label="low")
+    q.push(1.0, _noop, priority=0, label="high")
+    assert q.pop().label == "high"
+
+
+def test_cancelled_events_skipped():
+    q = EventQueue()
+    ev = q.push(1.0, _noop, label="cancelled")
+    q.push(2.0, _noop, label="kept")
+    ev.cancel()
+    assert q.pop().label == "kept"
+
+
+def test_len_excludes_cancelled():
+    q = EventQueue()
+    ev = q.push(1.0, _noop)
+    q.push(2.0, _noop)
+    assert len(q) == 2
+    ev.cancel()
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    ev = q.push(1.0, _noop)
+    q.push(5.0, _noop)
+    ev.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+    assert not EventQueue()
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()

@@ -1,0 +1,154 @@
+"""Discrete-event simulator core tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simengine.simulator import Simulator
+
+
+def test_run_executes_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.at(2.0, lambda t: fired.append(("b", t)))
+    sim.at(1.0, lambda t: fired.append(("a", t)))
+    end = sim.run()
+    assert fired == [("a", 1.0), ("b", 2.0)]
+    assert end == 2.0
+
+
+def test_after_is_relative():
+    sim = Simulator()
+    fired = []
+    sim.at(5.0, lambda t: sim.after(3.0, lambda t2: fired.append(t2)))
+    sim.run()
+    assert fired == [8.0]
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.at(10.0, lambda t: None)
+    sim.run()
+    with pytest.raises(SimulationError, match="past"):
+        sim.at(5.0, lambda t: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda t: None)
+
+
+def test_nan_time_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.at(float("nan"), lambda t: None)
+
+
+def test_run_until_horizon():
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.at(t, lambda now: fired.append(now))
+    end = sim.run(until=2.5)
+    assert fired == [1.0, 2.0]
+    assert end == 2.5
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_events_cascade():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        def fire(t):
+            fired.append(n)
+            if n < 3:
+                sim.after(1.0, chain(n + 1))
+        return fire
+
+    sim.at(0.0, chain(0))
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_every_recurs_until_stopped():
+    sim = Simulator()
+    ticks = []
+
+    def on_tick(t):
+        ticks.append(t)
+        return len(ticks) >= 3  # stop after three firings
+
+    sim.every(2.0, on_tick)
+    sim.run()
+    assert ticks == [2.0, 4.0, 6.0]
+
+
+def test_every_with_start_delay():
+    sim = Simulator()
+    ticks = []
+    sim.every(5.0, lambda t: ticks.append(t) or len(ticks) >= 2,
+              start_delay=1.0)
+    sim.run()
+    assert ticks == [1.0, 6.0]
+
+
+def test_every_requires_positive_interval():
+    with pytest.raises(SimulationError):
+        Simulator().every(0.0, lambda t: True)
+
+
+def test_step_single_event():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, lambda t: fired.append(t))
+    sim.at(2.0, lambda t: fired.append(t))
+    assert sim.step() is True
+    assert fired == [1.0]
+    assert sim.step() and not sim.step()
+
+
+def test_cancelled_event_not_run():
+    sim = Simulator()
+    fired = []
+    handle = sim.at(1.0, lambda t: fired.append("cancelled"))
+    sim.at(2.0, lambda t: fired.append("kept"))
+    handle.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_max_events_guard():
+    sim = Simulator(max_events=10)
+
+    def loop(t):
+        sim.after(1.0, loop)
+
+    sim.at(0.0, loop)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run()
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested(t):
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(str(exc))
+
+    sim.at(0.0, nested)
+    sim.run()
+    assert errors and "re-entrant" in errors[0]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for t in range(5):
+        sim.at(float(t), lambda now: None)
+    sim.run()
+    assert sim.events_processed == 5

@@ -1,0 +1,23 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.common.ids
+import repro.common.units
+import repro.simengine.events
+
+MODULES = [
+    repro.common.units,
+    repro.common.ids,
+    repro.simengine.events,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0
+    assert result.attempted > 0

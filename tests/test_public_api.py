@@ -1,0 +1,46 @@
+"""Public API surface checks: the names a downstream user imports exist."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.common", "repro.simengine", "repro.cluster", "repro.dfs",
+    "repro.mapreduce", "repro.schedulers", "repro.schedulers.s3",
+    "repro.localrt", "repro.workloads", "repro.metrics", "repro.planning",
+    "repro.experiments", "repro.ext",
+])
+def test_subpackage_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), module_name
+    for name in module.__all__:
+        assert getattr(module, name) is not None, f"{module_name}.{name}"
+
+
+def test_minimal_user_journey():
+    """The README quickstart snippet, condensed."""
+    from repro import (FifoScheduler, JobSpec, S3Scheduler, SimulationDriver,
+                       compute_metrics)
+    from repro.mapreduce import normal_wordcount
+
+    driver = SimulationDriver(S3Scheduler())
+    driver.register_file("corpus.txt", 160 * 1024)
+    profile = normal_wordcount()
+    jobs = [JobSpec(job_id=f"j{i}", file_name="corpus.txt", profile=profile)
+            for i in range(3)]
+    driver.submit_all(jobs, [0.0, 30.0, 60.0])
+    metrics = compute_metrics("S3", driver.run().timelines)
+    assert metrics.num_jobs == 3
+    assert metrics.tet > 0

@@ -1,0 +1,73 @@
+"""Arrival pattern generator tests."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.arrivals import (
+    dense,
+    poisson,
+    sparse_groups,
+    uniform,
+    validate_arrivals,
+)
+
+
+def test_dense_spacing():
+    assert dense(4, 2.0) == [0.0, 2.0, 4.0, 6.0]
+
+
+def test_dense_with_start():
+    assert dense(2, 1.0, start=10.0) == [10.0, 11.0]
+
+
+def test_dense_validation():
+    with pytest.raises(WorkloadError):
+        dense(0)
+    with pytest.raises(WorkloadError):
+        dense(3, -1.0)
+
+
+def test_sparse_groups_paper_shape():
+    arrivals = sparse_groups((3, 3, 4), 200.0, 60.0)
+    assert len(arrivals) == 10
+    assert arrivals[:3] == [0.0, 60.0, 120.0]
+    assert arrivals[3:6] == [200.0, 260.0, 320.0]
+    assert arrivals[6:] == [400.0, 460.0, 520.0, 580.0]
+
+
+def test_sparse_groups_validation():
+    with pytest.raises(WorkloadError):
+        sparse_groups((), 100, 10)
+    with pytest.raises(WorkloadError):
+        sparse_groups((3, 0), 100, 10)
+    with pytest.raises(WorkloadError):
+        sparse_groups((3,), -1, 10)
+
+
+def test_uniform():
+    assert uniform(3, 5.0) == [0.0, 5.0, 10.0]
+
+
+def test_poisson_reproducible_and_sorted():
+    a = poisson(20, 10.0, seed=42)
+    b = poisson(20, 10.0, seed=42)
+    assert a == b
+    assert a == sorted(a)
+    assert a[0] == 0.0
+    assert len(a) == 20
+
+
+def test_poisson_mean_roughly_right():
+    arrivals = poisson(500, 10.0, seed=1)
+    mean_gap = (arrivals[-1] - arrivals[0]) / (len(arrivals) - 1)
+    assert mean_gap == pytest.approx(10.0, rel=0.2)
+
+
+def test_validate_arrivals():
+    assert validate_arrivals([0.0, 1.0, 1.0]) == [0.0, 1.0, 1.0]
+    with pytest.raises(WorkloadError):
+        validate_arrivals([])
+    with pytest.raises(WorkloadError):
+        validate_arrivals([1.0, 0.5])
+    with pytest.raises(WorkloadError):
+        validate_arrivals([-1.0, 0.0])

@@ -1,0 +1,43 @@
+"""Selection workload factory tests."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.selection import (
+    LINEITEM_FILE,
+    LINEITEM_SIZE_MB,
+    selection_workload,
+)
+
+
+def test_geometry_matches_paper():
+    assert LINEITEM_SIZE_MB == 400 * 1024  # 10GB x 40 nodes
+
+
+def test_jobs_share_table():
+    workload = selection_workload(10)
+    jobs = workload.make_jobs()
+    assert len(jobs) == 10
+    assert {j.file_name for j in jobs} == {LINEITEM_FILE}
+    assert all("SELECT" in j.tag for j in jobs)
+
+
+def test_default_selectivity():
+    assert selection_workload(1).selectivity == 0.10
+
+
+def test_higher_selectivity_bigger_outputs():
+    low = selection_workload(1, selectivity=0.10)
+    high = selection_workload(1, selectivity=0.50)
+    assert (high.profile.map_output_mb_per_input_mb
+            > low.profile.map_output_mb_per_input_mb)
+    assert high.profile.reduce_total_s > low.profile.reduce_total_s
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        selection_workload(0)
+    with pytest.raises(WorkloadError):
+        selection_workload(1, selectivity=0.0)
+    with pytest.raises(WorkloadError):
+        selection_workload(1, selectivity=1.5)

@@ -1,0 +1,82 @@
+"""Workload suite registry tests."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.suite import (
+    SuiteRegistry,
+    WorkloadSuite,
+    build_default_registry,
+    suites,
+)
+
+
+def test_default_registry_has_all_fig4_suites():
+    assert suites.names() == sorted([
+        "sparse-normal", "dense-normal", "sparse-heavy",
+        "sparse-normal-128mb", "sparse-normal-32mb", "sparse-selection"])
+
+
+def test_materialize_produces_matched_jobs_and_arrivals():
+    jobs, arrivals = suites.get("sparse-normal").materialize()
+    assert len(jobs) == len(arrivals) == 10
+    assert arrivals == sorted(arrivals)
+    assert len({j.job_id for j in jobs}) == 10
+
+
+def test_materialize_returns_fresh_objects():
+    suite = suites.get("dense-normal")
+    jobs1, _ = suite.materialize()
+    jobs2, _ = suite.materialize()
+    assert jobs1 is not jobs2
+
+
+def test_block_size_overrides():
+    assert suites.get("sparse-normal-128mb").block_size_mb == 128.0
+    assert suites.get("sparse-normal").block_size_mb == 64.0
+
+
+def test_unknown_suite():
+    with pytest.raises(WorkloadError, match="unknown suite"):
+        suites.get("ghost")
+
+
+def test_duplicate_registration_rejected():
+    registry = build_default_registry()
+    suite = registry.get("sparse-normal")
+    with pytest.raises(WorkloadError, match="already registered"):
+        registry.register(suite)
+    registry.register(suite, replace=True)  # explicit replace allowed
+
+
+def test_custom_suite_runs_end_to_end(small_cluster_config, small_dfs_config,
+                                      fast_profile, job_factory):
+    from repro.common.config import DfsConfig
+    from repro.experiments.base import run_scheduler
+    from repro.schedulers.s3 import S3Scheduler
+
+    registry = SuiteRegistry()
+    registry.register(WorkloadSuite(
+        name="mini",
+        description="test suite",
+        jobs_factory=lambda: job_factory(fast_profile, 2),
+        arrivals_factory=lambda: [0.0, 1.0],
+        file_name="f", file_size_mb=64.0 * 8))
+    suite = registry.get("mini")
+    jobs, arrivals = suite.materialize()
+    metrics, _ = run_scheduler(
+        S3Scheduler(), jobs, arrivals,
+        file_name=suite.file_name, file_size_mb=suite.file_size_mb,
+        cluster_config=small_cluster_config,
+        dfs_config=DfsConfig(block_size_mb=suite.block_size_mb))
+    assert metrics.num_jobs == 2
+
+
+def test_mismatched_suite_rejected():
+    bad = WorkloadSuite(
+        name="bad", description="",
+        jobs_factory=lambda: [],
+        arrivals_factory=lambda: [0.0],
+        file_name="f", file_size_mb=64.0)
+    with pytest.raises(WorkloadError):
+        bad.materialize()

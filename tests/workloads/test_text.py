@@ -1,0 +1,64 @@
+"""Synthetic text corpus generator tests."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.text import TextCorpusGenerator, make_vocabulary
+
+
+def test_vocabulary_distinct_words():
+    vocab = make_vocabulary(200, seed=1)
+    assert len(vocab) == 200
+    assert len(set(vocab)) == 200
+    assert all(word.isalpha() for word in vocab)
+
+
+def test_vocabulary_reproducible():
+    assert make_vocabulary(50, seed=9) == make_vocabulary(50, seed=9)
+
+
+def test_vocabulary_has_pattern_matchable_suffixes():
+    vocab = make_vocabulary(500, seed=2)
+    assert any(w.endswith("ing") for w in vocab)
+    assert any(w.endswith("tion") for w in vocab)
+
+
+def test_lines_hit_requested_volume():
+    gen = TextCorpusGenerator(vocabulary_size=100, seed=3)
+    total = sum(len(line) + 1 for line in gen.lines(10_000))
+    assert 10_000 <= total <= 12_000
+
+
+def test_lines_reproducible():
+    a = list(TextCorpusGenerator(vocabulary_size=100, seed=4).lines(2_000))
+    b = list(TextCorpusGenerator(vocabulary_size=100, seed=4).lines(2_000))
+    assert a == b
+
+
+def test_zipf_distribution_skewed():
+    gen = TextCorpusGenerator(vocabulary_size=200, zipf_s=1.3, seed=5)
+    counts = {}
+    for line in gen.lines(50_000):
+        for word in line.split():
+            counts[word] = counts.get(word, 0) + 1
+    frequencies = sorted(counts.values(), reverse=True)
+    # Top word should be much more frequent than the median word.
+    assert frequencies[0] > 10 * frequencies[len(frequencies) // 2]
+
+
+def test_write_to_file(tmp_path):
+    gen = TextCorpusGenerator(vocabulary_size=50, seed=6)
+    path = tmp_path / "corpus.txt"
+    written = gen.write(path, 5_000)
+    assert path.stat().st_size == written
+    assert written >= 5_000
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        TextCorpusGenerator(vocabulary_size=0)
+    with pytest.raises(WorkloadError):
+        TextCorpusGenerator(zipf_s=1.0)
+    gen = TextCorpusGenerator(vocabulary_size=10, seed=1)
+    with pytest.raises(WorkloadError):
+        list(gen.lines(0))

@@ -1,0 +1,58 @@
+"""Wordcount workload factory tests."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.wordcount import (
+    CORPUS_FILE,
+    CORPUS_SIZE_MB,
+    WordcountWorkload,
+    heavy_workload,
+    normal_workload,
+    table1_statistics,
+)
+
+
+def test_corpus_geometry_matches_paper():
+    assert CORPUS_SIZE_MB == 160 * 1024
+    # 64MB blocks -> 2560 map tasks, as in Figure 3's caption.
+    assert CORPUS_SIZE_MB / 64 == 2560
+
+
+def test_normal_workload_jobs_share_file():
+    jobs = normal_workload(10).make_jobs()
+    assert len(jobs) == 10
+    assert {j.file_name for j in jobs} == {CORPUS_FILE}
+    assert len({j.job_id for j in jobs}) == 10
+    # Jobs differ by pattern tag (different map functions, shared scan).
+    assert len({j.tag for j in jobs}) == 10
+
+
+def test_heavy_workload_uses_heavy_profile():
+    assert heavy_workload(2).profile.name == "wordcount-heavy"
+
+
+def test_workload_validation():
+    with pytest.raises(WorkloadError):
+        normal_workload(0)
+    with pytest.raises(WorkloadError):
+        WordcountWorkload(num_jobs=1, profile=normal_workload(1).profile,
+                          file_size_mb=0)
+
+
+def test_table1_statistics_match_paper():
+    stats = table1_statistics()
+    assert stats["map_output_records"] == pytest.approx(250e6, rel=0.02)
+    assert stats["map_output_size_mb"] == pytest.approx(2.4 * 1024, rel=0.02)
+    assert 60_000 <= stats["reduce_output_records"] <= 80_000
+    assert stats["reduce_output_size_mb"] == pytest.approx(1.5)
+
+
+def test_table1_statistics_scale_with_input():
+    half = table1_statistics(input_size_mb=CORPUS_SIZE_MB / 2)
+    assert half["map_output_records"] == pytest.approx(125e6, rel=0.02)
+
+
+def test_table1_validation():
+    with pytest.raises(WorkloadError):
+        table1_statistics(input_size_mb=0)
