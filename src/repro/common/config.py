@@ -91,6 +91,42 @@ class DfsConfig:
             raise ConfigError("replication must be >= 1")
 
 
+#: Map-wave execution strategies of the local runtime
+#: (:mod:`repro.localrt.parallel`).
+MAP_BACKENDS = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the local runtime executes map waves.
+
+    Attributes
+    ----------
+    map_backend:
+        ``"serial"`` (reference, single-threaded), ``"threads"`` (thread
+        pool: overlaps block I/O, but CPython's GIL serialises pure-Python
+        mapper CPU) or ``"processes"`` (process pool: true parallelism;
+        jobs and readers must be picklable).  All three are bit-identical
+        in output.
+    map_workers:
+        Pool size for the ``threads``/``processes`` backends.  ``None``
+        means one worker per CPU core; ``serial`` always runs one.
+    """
+
+    map_backend: str = "serial"
+    map_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.map_backend not in MAP_BACKENDS:
+            raise ConfigError(
+                f"map_backend must be one of {MAP_BACKENDS}, "
+                f"got {self.map_backend!r}")
+        if self.map_workers is not None and self.map_workers < 1:
+            raise ConfigError(
+                f"map_workers must be >= 1 (or None for one per core), "
+                f"got {self.map_workers}")
+
+
 def paper_cluster() -> ClusterConfig:
     """The 40-slave cluster of Section V.A."""
     return ClusterConfig()

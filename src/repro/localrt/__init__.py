@@ -19,7 +19,16 @@ from .engine import (
     run_map_on_block,
     run_reduce,
 )
-from .parallel import MapTaskSpec, execute_map_wave
+from .parallel import (
+    MapBackend,
+    MapTaskSpec,
+    ProcessMapBackend,
+    SerialMapBackend,
+    ThreadMapBackend,
+    backend_from_config,
+    execute_map_wave,
+    make_backend,
+)
 from .jobs import (
     AggregationMapper,
     PatternWordCount,
@@ -39,7 +48,9 @@ __all__ = [
     "FRAMEWORK_GROUP", "Counters", "CounterUser",
     "JobRunState", "collect_map_outputs", "count_pending_values",
     "run_map_on_block", "run_reduce",
-    "MapTaskSpec", "execute_map_wave",
+    "MapBackend", "MapTaskSpec", "ProcessMapBackend", "SerialMapBackend",
+    "ThreadMapBackend", "backend_from_config", "execute_map_wave",
+    "make_backend",
     "AggregationMapper", "PatternWordCount", "SelectionMapper",
     "aggregation_job", "selection_job", "wordcount_job",
     "SUCCESS_MARKER", "read_output", "write_output",

@@ -28,6 +28,16 @@ class Counters:
         self._groups: dict[str, dict[str, int]] = defaultdict(
             lambda: defaultdict(int))
 
+    def __getstate__(self) -> dict[str, dict[str, int]]:
+        """Pickle as plain dicts: the defaultdict factories are lambdas,
+        and counters must cross the process-backend boundary."""
+        return {group: dict(names) for group, names in self._groups.items()}
+
+    def __setstate__(self, state: dict[str, dict[str, int]]) -> None:
+        self._groups = defaultdict(lambda: defaultdict(int))
+        for group, names in state.items():
+            self._groups[group].update(names)
+
     def increment(self, group: str, name: str, amount: int = 1) -> None:
         """Add ``amount`` (may be negative, but totals must stay >= 0)."""
         if not group or not name:

@@ -1,27 +1,51 @@
-"""Thread-parallel map execution for the local runtime.
+"""Pluggable map-wave execution backends for the local runtime.
 
 Map tasks over distinct blocks are independent, so the collect phase
-(:func:`repro.localrt.engine.collect_map_outputs`) runs on a thread pool;
-the absorb phase then folds results into each job's shuffle state serially
-**in block order**, so a parallel run is bit-identical to the serial one
-(the equivalence is property-tested).
+(:func:`repro.localrt.engine.collect_map_outputs`) can run under any
+execution strategy; the absorb phase then folds results into each job's
+shuffle state serially **in block order**, so every backend is bit-identical
+to the serial one (the equivalence is property-tested).
 
-CPython's GIL limits the speedup for pure-Python mappers, but the
-structure is the real one: pure parallel map, deterministic ordered merge —
-and I/O-heavy readers do overlap.  ``workers=1`` bypasses the pool
-entirely.
+Three backends implement the :class:`MapBackend` strategy:
+
+* :class:`SerialMapBackend` — in-process loop, no pool (the reference
+  implementation all others must match byte-for-byte);
+* :class:`ThreadMapBackend` — a thread pool.  CPython's GIL limits the
+  speedup for pure-Python mappers, but I/O-heavy readers do overlap;
+* :class:`ProcessMapBackend` — a process pool that actually bypasses the
+  GIL.  Workers open the :class:`~repro.localrt.storage.BlockStore` path
+  themselves and read their block in-process (the parent never ships block
+  text across the pipe); jobs, readers and result buffers therefore must be
+  picklable, which :func:`ProcessMapBackend.run_wave` validates with a
+  by-name error before submitting work.
+
+Backends are context managers; ``close()`` releases any pool.  Pools are
+created lazily on first use, so a closed backend can be reused.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import abc
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
+from ..common.config import ExecutionConfig
 from ..common.errors import ExecutionError
 from .api import LocalJob, Record
+from .counters import Counters
 from .engine import JobRunState, absorb_map_result, collect_map_outputs
 from .records import RecordReader
 from .storage import BlockStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from concurrent.futures import Executor
+
+#: One map task's collected result: ``(record_count, outputs_per_job,
+#: counters_per_job)`` — the return shape of ``collect_map_outputs``.
+TaskResult = tuple[int, "list[list[Record]]", "list[Counters | None]"]
 
 
 @dataclass(frozen=True)
@@ -37,33 +61,245 @@ class MapTaskSpec:
                 f"map task for block {self.block_index} has no jobs")
 
 
-def execute_map_wave(store: BlockStore, reader: RecordReader,
-                     tasks: list[MapTaskSpec], *, workers: int = 1) -> None:
-    """Run a wave of block-level map tasks, optionally in parallel.
+class MapBackend(abc.ABC):
+    """Strategy for running the pure collect phase of a map wave.
 
-    Reads + maps + combines run concurrently (pure); shuffle absorption is
-    serial in ``tasks`` order for determinism.
+    ``run_wave`` must return exactly one :data:`TaskResult` per task, in
+    task order; the caller absorbs them serially so scheduling decisions
+    inside a backend can never change job outputs.
     """
+
+    #: Registry name ("serial", "threads", "processes").
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def run_wave(self, store: BlockStore, reader: RecordReader,
+                 tasks: Sequence[MapTaskSpec]) -> list[TaskResult]:
+        """Collect every task's map output (no shared-state mutation)."""
+
+    def close(self) -> None:
+        """Release pooled resources (pools are re-created lazily on reuse)."""
+
+    def __enter__(self) -> "MapBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialMapBackend(MapBackend):
+    """Reference backend: collect tasks one by one in the calling thread."""
+
+    name = "serial"
+
+    def run_wave(self, store: BlockStore, reader: RecordReader,
+                 tasks: Sequence[MapTaskSpec]) -> list[TaskResult]:
+        return [_collect_in_parent(store, reader, task) for task in tasks]
+
+
+class ThreadMapBackend(MapBackend):
+    """Thread-pool backend: overlapping I/O, GIL-bound mapper CPU."""
+
+    name = "threads"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = _resolve_workers(workers)
+        self._pool: "Executor | None" = None
+
+    def run_wave(self, store: BlockStore, reader: RecordReader,
+                 tasks: Sequence[MapTaskSpec]) -> list[TaskResult]:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return list(self._pool.map(
+            lambda task: _collect_in_parent(store, reader, task), tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessMapBackend(MapBackend):
+    """Process-pool backend: true parallelism for pure-Python mappers.
+
+    Each worker opens the block store from its on-disk path and reads its
+    own block, so only the (small) job/reader definitions travel to the
+    worker and only per-job output buffers travel back.  The parent folds
+    the bytes each worker read into the store's I/O counters, keeping the
+    scan-sharing accounting identical to the in-process backends.
+    """
+
+    name = "processes"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = _resolve_workers(workers)
+        self._pool: "Executor | None" = None
+        #: Job ids already proven picklable (validated once per job).
+        self._validated: set[str] = set()
+
+    def run_wave(self, store: BlockStore, reader: RecordReader,
+                 tasks: Sequence[MapTaskSpec]) -> list[TaskResult]:
+        self._validate_picklable(tasks, reader)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        directory = str(store.directory)
+        futures = [
+            self._pool.submit(_collect_in_worker, directory, task.block_index,
+                              tuple(s.job for s in task.states), reader)
+            for task in tasks]
+        results: list[TaskResult] = []
+        for future in futures:
+            record_count, outputs, task_counters, block_bytes = future.result()
+            # The read happened in the worker's store instance; mirror it
+            # into the parent's counters so I/O accounting stays exact.
+            store.note_external_read(blocks=1, nbytes=block_bytes)
+            results.append((record_count, outputs, task_counters))
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _validate_picklable(self, tasks: Sequence[MapTaskSpec],
+                            reader: RecordReader) -> None:
+        """Fail with a by-name error before work reaches the pool."""
+        for task in tasks:
+            for state in task.states:
+                job = state.job
+                if job.job_id in self._validated:
+                    continue
+                try:
+                    pickle.dumps((job, reader))
+                except Exception as exc:
+                    raise ExecutionError(
+                        f"job {job.job_id!r} cannot run on the 'processes' "
+                        f"backend: its mapper/combiner/reducer or the record "
+                        f"reader is not picklable ({exc})") from exc
+                self._validated.add(job.job_id)
+
+
+def _resolve_workers(workers: int | None) -> int:
+    if workers is None:
+        workers = os.cpu_count() or 1
     if workers < 1:
         raise ExecutionError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _collect_in_parent(store: BlockStore, reader: RecordReader,
+                       task: MapTaskSpec) -> TaskResult:
+    """Read + map + combine one block inside the parent process."""
+    text = store.read_block(task.block_index)
+    offset = store.block_offset(task.block_index)
+    return collect_map_outputs([s.job for s in task.states], reader,
+                               text, offset)
+
+
+#: Per-worker-process cache of opened stores (keyed by directory), so a
+#: long wave does not re-glob the block directory for every task.
+_WORKER_STORES: dict[str, BlockStore] = {}
+
+
+def _collect_in_worker(directory: str, block_index: int,
+                       jobs: tuple[LocalJob, ...], reader: RecordReader,
+                       ) -> tuple[int, "list[list[Record]]",
+                                  "list[Counters | None]", int]:
+    """Module-level worker entry point (must be importable for pickling)."""
+    store = _WORKER_STORES.get(directory)
+    if store is None:
+        store = BlockStore(directory)
+        _WORKER_STORES[directory] = store
+    text = store.read_block(block_index)
+    offset = store.block_offset(block_index)
+    record_count, outputs, task_counters = collect_map_outputs(
+        list(jobs), reader, text, offset)
+    return record_count, outputs, task_counters, len(text)
+
+
+#: Names accepted by :func:`make_backend` (mirrors ExecutionConfig).
+BACKEND_NAMES = ("serial", "threads", "processes")
+
+
+def make_backend(name: str, *, workers: int | None = None) -> MapBackend:
+    """Build a backend from its registry name.
+
+    ``workers`` defaults to ``os.cpu_count()`` for the pooled backends and
+    is ignored by ``serial``.
+    """
+    if name == "serial":
+        return SerialMapBackend()
+    if name == "threads":
+        return ThreadMapBackend(workers)
+    if name == "processes":
+        return ProcessMapBackend(workers)
+    raise ExecutionError(
+        f"unknown map backend {name!r}; expected one of {BACKEND_NAMES}")
+
+
+def backend_from_config(config: ExecutionConfig) -> MapBackend:
+    """Build the backend an :class:`~repro.common.config.ExecutionConfig`
+    describes."""
+    return make_backend(config.map_backend, workers=config.map_workers)
+
+
+def resolve_backend(backend: "MapBackend | str | None",
+                    workers: int = 1) -> tuple[MapBackend, bool]:
+    """Normalise a runner's ``backend=`` knob to an instance.
+
+    Returns ``(backend, owned)``: ``owned`` is True when this call created
+    the instance (the caller should close it when done).  ``backend=None``
+    preserves the historical ``workers=`` behaviour — 1 worker runs serial,
+    more run the thread pool.
+    """
+    if backend is None:
+        if workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        if workers == 1:
+            return SerialMapBackend(), True
+        return ThreadMapBackend(workers), True
+    if isinstance(backend, str):
+        return make_backend(backend, workers=workers), True
+    if isinstance(backend, MapBackend):
+        return backend, False
+    raise ExecutionError(
+        f"backend must be a MapBackend, a backend name or None, "
+        f"got {backend!r}")
+
+
+def execute_map_wave(store: BlockStore, reader: RecordReader,
+                     tasks: list[MapTaskSpec], *, workers: int = 1,
+                     backend: "MapBackend | str | None" = None) -> None:
+    """Run a wave of block-level map tasks under a map backend.
+
+    Collect (read + map + combine) runs under ``backend`` — defaulting to
+    serial/threads per ``workers`` for backwards compatibility — and shuffle
+    absorption is serial in ``tasks`` order for determinism.  A backend
+    returning the wrong number or shape of results fails loudly rather than
+    silently truncating the wave.
+    """
+    resolved, owned = resolve_backend(backend, workers)
     if not tasks:
         return
     seen_blocks = [t.block_index for t in tasks]
     if len(set(seen_blocks)) != len(seen_blocks):
         raise ExecutionError(f"duplicate blocks in wave: {seen_blocks}")
-
-    def collect(task: MapTaskSpec):
-        text = store.read_block(task.block_index)
-        offset = store.block_offset(task.block_index)
-        return collect_map_outputs([s.job for s in task.states], reader,
-                                   text, offset)
-
-    if workers == 1:
-        results = [collect(task) for task in tasks]
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(collect, tasks))
-    for task, (record_count, outputs, task_counters) in zip(tasks, results):
-        for state, buffer, counters in zip(task.states, outputs,
-                                           task_counters):
-            absorb_map_result(state, record_count, buffer, counters)
+    try:
+        results = resolved.run_wave(store, reader, tasks)
+    finally:
+        if owned:
+            resolved.close()
+    if len(results) != len(tasks):
+        raise ExecutionError(
+            f"map backend {resolved.name!r} returned {len(results)} results "
+            f"for {len(tasks)} tasks")
+    for task, (record_count, outputs, task_counters) in zip(tasks, results,
+                                                            strict=True):
+        try:
+            per_job = zip(task.states, outputs, task_counters, strict=True)
+            for state, buffer, counters in per_job:
+                absorb_map_result(state, record_count, buffer, counters)
+        except ValueError as exc:
+            raise ExecutionError(
+                f"map backend {resolved.name!r} returned a malformed result "
+                f"for block {task.block_index}: {exc}") from exc

@@ -13,6 +13,11 @@ many times the input bytes are read:
 
 The runners report byte-level I/O so tests and examples can verify the
 shared-scan saving directly.
+
+Both runners take a ``backend=`` knob selecting the map execution strategy
+(``"serial"`` / ``"threads"`` / ``"processes"``, see
+:mod:`repro.localrt.parallel`); every backend produces bit-identical
+outputs, part files and counters.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from typing import Callable, Mapping, Sequence
 from ..common.errors import ExecutionError
 from .api import JobResult, LocalJob
 from .engine import JobRunState, count_pending_values, run_reduce
-from .parallel import MapTaskSpec, execute_map_wave
+from .parallel import MapBackend, MapTaskSpec, execute_map_wave, resolve_backend
 from .records import RecordReader, TextLineReader
 from .storage import BlockStore
 
@@ -51,18 +56,23 @@ class RunReport:
 class FifoLocalRunner:
     """Runs each job independently, scanning the whole file per job.
 
-    ``workers`` > 1 executes block-level map tasks on a thread pool; the
-    result is identical to the serial run (deterministic ordered merge).
+    ``backend`` selects the map execution strategy (``"serial"``,
+    ``"threads"``, ``"processes"`` or a :class:`MapBackend` instance); all
+    backends are bit-identical to the serial run (deterministic ordered
+    merge).  ``backend=None`` keeps the historical ``workers=`` behaviour:
+    1 worker runs serial, more run the thread pool.
     """
 
     def __init__(self, store: BlockStore,
                  reader: RecordReader | None = None, *,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 backend: "MapBackend | str | None" = None) -> None:
         if workers < 1:
             raise ExecutionError(f"workers must be >= 1, got {workers}")
         self.store = store
         self.reader = reader or TextLineReader()
         self.workers = workers
+        self.backend, self._owns_backend = resolve_backend(backend, workers)
 
     def run(self, jobs: Sequence[LocalJob]) -> RunReport:
         if not jobs:
@@ -73,12 +83,27 @@ class FifoLocalRunner:
         before_blocks = self.store.stats.blocks_read
         before_bytes = self.store.stats.bytes_read
         results: dict[str, JobResult] = {}
+        try:
+            self._run_jobs(jobs, results)
+        finally:
+            # Pools re-create lazily, so closing keeps the runner reusable.
+            if self._owns_backend:
+                self.backend.close()
+        return RunReport(
+            results=results,
+            blocks_read=self.store.stats.blocks_read - before_blocks,
+            bytes_read=self.store.stats.bytes_read - before_bytes,
+        )
+
+    def _run_jobs(self, jobs: Sequence[LocalJob],
+                  results: dict[str, JobResult]) -> None:
+        before_blocks = self.store.stats.blocks_read
         for job in jobs:
             state = JobRunState(job)
             tasks = [MapTaskSpec(block_index=index, states=(state,))
                      for index in range(self.store.num_blocks)]
             execute_map_wave(self.store, self.reader, tasks,
-                             workers=self.workers)
+                             backend=self.backend)
             reduce_input = count_pending_values(state)
             output = run_reduce(state)
             results[job.job_id] = JobResult(
@@ -92,11 +117,6 @@ class FifoLocalRunner:
                                        - before_blocks),
                 counters=state.counters,
             )
-        return RunReport(
-            results=results,
-            blocks_read=self.store.stats.blocks_read - before_blocks,
-            bytes_read=self.store.stats.bytes_read - before_bytes,
-        )
 
 
 @dataclass
@@ -128,12 +148,18 @@ class SharedScanRunner:
     blocks_per_segment:
         Iteration chunk size (the simulator's segment size).  Defaults to
         4 so small test fixtures exercise multiple iterations.
+    backend / workers:
+        Map execution strategy, as in :class:`FifoLocalRunner`: a backend
+        name (``"serial"``/``"threads"``/``"processes"``), a
+        :class:`MapBackend` instance, or ``None`` to derive serial/threads
+        from ``workers``.
     """
 
     def __init__(self, store: BlockStore, *,
                  reader: RecordReader | None = None,
                  blocks_per_segment: int = 4,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 backend: "MapBackend | str | None" = None) -> None:
         if blocks_per_segment <= 0:
             raise ExecutionError("blocks_per_segment must be positive")
         if workers < 1:
@@ -142,6 +168,7 @@ class SharedScanRunner:
         self.reader = reader or TextLineReader()
         self.blocks_per_segment = blocks_per_segment
         self.workers = workers
+        self.backend, self._owns_backend = resolve_backend(backend, workers)
 
     def run(self, jobs: Sequence[LocalJob],
             arrival_iterations: Mapping[str, int] | None = None, *,
@@ -170,7 +197,6 @@ class SharedScanRunner:
         if any(v < 0 for v in arrivals.values()):
             raise ExecutionError("arrival iterations must be non-negative")
 
-        n = self.store.num_blocks
         pending: dict[int, list[LocalJob]] = {}
         for job in jobs:
             pending.setdefault(arrivals.get(job.job_id, 0), []).append(job)
@@ -178,6 +204,30 @@ class SharedScanRunner:
         before_bytes = self.store.stats.bytes_read
         results: dict[str, JobResult] = {}
         active: list[_ScanState] = []
+        pointer = 0
+        iteration = 0
+        try:
+            iteration = self._scan_loop(pending, active, results,
+                                        before_blocks, on_iteration_end)
+        finally:
+            # Pools re-create lazily, so closing keeps the runner reusable.
+            if self._owns_backend:
+                self.backend.close()
+        return RunReport(
+            results=results,
+            blocks_read=self.store.stats.blocks_read - before_blocks,
+            bytes_read=self.store.stats.bytes_read - before_bytes,
+            iterations=iteration,
+        )
+
+    def _scan_loop(self, pending: dict[int, list[LocalJob]],
+                   active: list[_ScanState],
+                   results: dict[str, JobResult],
+                   before_blocks: int,
+                   on_iteration_end: "IterationHook | None",
+                   ) -> int:
+        """The circular segment loop; returns the iteration count."""
+        n = self.store.num_blocks
         pointer = 0
         iteration = 0
         while pending or active:
@@ -196,7 +246,7 @@ class SharedScanRunner:
                 tasks.append(MapTaskSpec(block_index=pointer + offset,
                                          states=participants))
             execute_map_wave(self.store, self.reader, tasks,
-                             workers=self.workers)
+                             backend=self.backend)
             if on_iteration_end is not None:
                 on_iteration_end(iteration, [s.run_state for s in active])
             for state in active:
@@ -220,9 +270,4 @@ class SharedScanRunner:
                 )
             pointer = (pointer + chunk_len) % n
             iteration += 1
-        return RunReport(
-            results=results,
-            blocks_read=self.store.stats.blocks_read - before_blocks,
-            bytes_read=self.store.stats.bytes_read - before_bytes,
-            iterations=iteration,
-        )
+        return iteration

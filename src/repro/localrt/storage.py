@@ -123,6 +123,21 @@ class BlockStore:
             self.stats.bytes_read += len(text)
         return text
 
+    def note_external_read(self, blocks: int, nbytes: int) -> None:
+        """Fold reads performed outside this process into the I/O counters.
+
+        The process map backend reads blocks in worker processes, whose
+        store instances (and counters) are private copies; the parent calls
+        this per completed task so scan-sharing accounting stays exact.
+        """
+        if blocks < 0 or nbytes < 0:
+            raise ExecutionError(
+                f"external read counts must be non-negative, "
+                f"got blocks={blocks}, nbytes={nbytes}")
+        with self._stats_lock:
+            self.stats.blocks_read += blocks
+            self.stats.bytes_read += nbytes
+
     def iter_blocks(self) -> Iterator[tuple[int, str]]:
         """Sequentially read every block (counts toward the I/O stats)."""
         for index in range(self.num_blocks):

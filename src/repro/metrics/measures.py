@@ -68,11 +68,17 @@ def compute_metrics(scheduler: str,
     last_complete = max(t.completed for t in items)  # type: ignore[type-var]
     responses = [t.response_time for t in items]
     waits = [t.waiting_time for t in items if t.first_launch is not None]
+    if not waits:
+        # A mean over zero waits is undefined; reporting 0.0 here would be
+        # indistinguishable from "every job launched instantly".
+        raise ExperimentError(
+            f"{scheduler}: no job recorded a first launch; "
+            "mean_waiting is undefined")
     return ScheduleMetrics(
         scheduler=scheduler,
         tet=last_complete - first_submit,
         art=sum(responses) / len(responses),
         max_response=max(responses),
-        mean_waiting=sum(waits) / len(waits) if waits else 0.0,
+        mean_waiting=sum(waits) / len(waits),
         num_jobs=len(items),
     )

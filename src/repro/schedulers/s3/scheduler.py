@@ -115,8 +115,9 @@ class S3Scheduler(Scheduler):
         iteration = loop.build_iteration(
             chunk_size, max_jobs=self.config.max_jobs_per_iteration)
         if iteration is None:
-            # Only waiting jobs blocked by the admission cap: retry when the
-            # cap frees up (i.e. when a scanning job finishes).
+            # Only waiting jobs blocked by the admission cap: the reduce
+            # branch of on_task_complete re-arms when a job completion
+            # frees the cap (see the liveness note there).
             return
         self._current = iteration
         self.ctx.trace.record(
@@ -263,6 +264,14 @@ class S3Scheduler(Scheduler):
                                       iteration.iteration_id)
                 for job_id in iteration.finishing_jobs:
                     self.ctx.job_completed(job_id)
+                # Liveness: when the admission cap deferred every waiting
+                # job, _launch_iteration returned with nothing armed; a job
+                # completion is what frees the cap, so it must re-arm or
+                # the waiting jobs are stranded forever (no map completion
+                # or arrival may ever come).
+                if (self._current is None and not self._armed
+                        and self.queue.has_work()):
+                    self._arm(now)
 
     def _finish_iteration_maps(self, iteration: Iteration, now: float) -> None:
         """Maps of the current iteration done: queue its merged reduce and

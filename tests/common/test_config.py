@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.common.config import ClusterConfig, DfsConfig, paper_cluster, paper_dfs
+from repro.common.config import (ClusterConfig, DfsConfig, ExecutionConfig,
+                                 paper_cluster, paper_dfs)
 from repro.common.errors import ConfigError
 
 
@@ -65,3 +66,20 @@ def test_dfs_block_size_positive():
 def test_dfs_replication_at_least_one():
     with pytest.raises(ConfigError):
         DfsConfig(replication=0)
+
+
+def test_execution_config_defaults():
+    config = ExecutionConfig()
+    assert config.map_backend == "serial"
+    assert config.map_workers is None
+
+
+def test_execution_config_validates_backend_name():
+    ExecutionConfig(map_backend="processes", map_workers=4)
+    with pytest.raises(ConfigError):
+        ExecutionConfig(map_backend="gpu")
+
+
+def test_execution_config_validates_workers():
+    with pytest.raises(ConfigError):
+        ExecutionConfig(map_workers=0)

@@ -1,11 +1,23 @@
-"""Parallel map execution: thread-pool runs must equal serial runs."""
+"""Parallel map execution: every backend must equal the serial run."""
 
 import pytest
 
+from repro.common.config import ExecutionConfig
 from repro.common.errors import ExecutionError
 from repro.localrt.engine import JobRunState
 from repro.localrt.jobs import wordcount_job
-from repro.localrt.parallel import MapTaskSpec, execute_map_wave
+from repro.localrt.parallel import (
+    BACKEND_NAMES,
+    MapBackend,
+    MapTaskSpec,
+    ProcessMapBackend,
+    SerialMapBackend,
+    ThreadMapBackend,
+    backend_from_config,
+    execute_map_wave,
+    make_backend,
+    resolve_backend,
+)
 from repro.localrt.records import TextLineReader
 from repro.localrt.runners import FifoLocalRunner, SharedScanRunner
 
@@ -68,3 +80,101 @@ def test_invalid_workers_on_runners(corpus_store):
         FifoLocalRunner(corpus_store, workers=0)
     with pytest.raises(ExecutionError):
         SharedScanRunner(corpus_store, workers=0)
+
+
+# ---------------------------------------------------------------- backends
+def test_process_backend_fifo_equals_serial(corpus_store):
+    serial = FifoLocalRunner(corpus_store, backend="serial").run(make_jobs())
+    procs = FifoLocalRunner(corpus_store, backend="processes",
+                            workers=2).run(make_jobs())
+    for job_id in ("wc0", "wc1", "wc2"):
+        assert serial.results[job_id].output == procs.results[job_id].output
+        assert (list(serial.results[job_id].counters)
+                == list(procs.results[job_id].counters))
+    assert procs.blocks_read == serial.blocks_read
+    assert procs.bytes_read == serial.bytes_read
+
+
+def test_process_backend_shared_scan_equals_serial(corpus_store):
+    arrivals = {"wc1": 1, "wc2": 2}
+    serial = SharedScanRunner(corpus_store, blocks_per_segment=3,
+                              backend="serial").run(make_jobs(), arrivals)
+    procs = SharedScanRunner(corpus_store, blocks_per_segment=3,
+                             backend="processes", workers=2).run(
+        make_jobs(), arrivals)
+    for job_id in ("wc0", "wc1", "wc2"):
+        assert serial.results[job_id].output == procs.results[job_id].output
+    assert procs.bytes_read == serial.bytes_read
+    assert procs.iterations == serial.iterations
+
+
+def test_make_backend_names():
+    for name in BACKEND_NAMES:
+        backend = make_backend(name, workers=2)
+        assert backend.name == name
+        backend.close()
+    with pytest.raises(ExecutionError, match="unknown map backend"):
+        make_backend("gpu")
+
+
+def test_backend_from_config():
+    backend = backend_from_config(ExecutionConfig(map_backend="threads",
+                                                  map_workers=3))
+    assert isinstance(backend, ThreadMapBackend)
+    assert backend.workers == 3
+    backend.close()
+
+
+def test_resolve_backend_contract():
+    serial, owned = resolve_backend(None, 1)
+    assert isinstance(serial, SerialMapBackend) and owned
+    threads, owned = resolve_backend(None, 4)
+    assert isinstance(threads, ThreadMapBackend) and owned
+    threads.close()
+    mine = SerialMapBackend()
+    same, owned = resolve_backend(mine, 4)
+    assert same is mine and not owned
+    with pytest.raises(ExecutionError, match="backend"):
+        resolve_backend(42, 1)  # type: ignore[arg-type]
+
+
+def test_unpicklable_job_fails_by_name(corpus_store):
+    job = wordcount_job("closure", ".*")
+    # A lambda-held mapper attribute cannot cross the process boundary.
+    job.mapper.poison = lambda: None
+    runner = FifoLocalRunner(corpus_store, backend="processes", workers=2)
+    with pytest.raises(ExecutionError, match="'closure'.*processes"):
+        runner.run([job])
+
+
+def test_backend_result_shape_is_validated(corpus_store):
+    class TruncatingBackend(MapBackend):
+        name = "truncating"
+
+        def run_wave(self, store, reader, tasks):
+            return []  # silently drops every task
+
+    class MalformedBackend(MapBackend):
+        name = "malformed"
+
+        def run_wave(self, store, reader, tasks):
+            # One output list per task but too few per-job buffers.
+            return [(0, [], []) for _ in tasks]
+
+    state = JobRunState(wordcount_job("a", ".*"))
+    tasks = [MapTaskSpec(0, (state,))]
+    with pytest.raises(ExecutionError, match="0 results for 1 tasks"):
+        execute_map_wave(corpus_store, TextLineReader(), tasks,
+                         backend=TruncatingBackend())
+    with pytest.raises(ExecutionError, match="malformed"):
+        execute_map_wave(corpus_store, TextLineReader(), tasks,
+                         backend=MalformedBackend())
+
+
+def test_backend_context_manager_reusable(corpus_store):
+    with ProcessMapBackend(workers=2) as backend:
+        runner = SharedScanRunner(corpus_store, backend=backend)
+        first = runner.run(make_jobs())
+        second = runner.run(make_jobs())  # pool reused across runs
+    for job_id in ("wc0", "wc1", "wc2"):
+        assert first.results[job_id].output == second.results[job_id].output

@@ -61,3 +61,20 @@ def test_normalized_to_baseline():
 def test_tet_uses_first_submission():
     timelines = [timeline("a", 50, 50, 100), timeline("b", 60, 70, 130)]
     assert compute_metrics("x", timelines).tet == 80
+
+
+def test_no_first_launch_rejected():
+    """A completed-but-never-launched set has no defined mean wait; a
+    silent 0.0 would read as 'every job launched instantly'."""
+    never_launched = JobTimeline(job_id="a", submitted=0.0,
+                                 first_launch=None, completed=10.0)
+    with pytest.raises(ExperimentError, match="first launch"):
+        compute_metrics("x", [never_launched])
+
+
+def test_partial_first_launch_uses_only_launched_jobs():
+    timelines = [timeline("a", 0, 5, 10),
+                 JobTimeline(job_id="b", submitted=0.0, completed=10.0)]
+    metrics = compute_metrics("x", timelines)
+    assert metrics.mean_waiting == 5.0
+    assert metrics.num_jobs == 2
