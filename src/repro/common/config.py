@@ -11,7 +11,7 @@ The defaults reproduce the paper's testbed (Section V.A):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from .errors import ConfigError
@@ -111,10 +111,24 @@ class ExecutionConfig:
     map_workers:
         Pool size for the ``threads``/``processes`` backends.  ``None``
         means one worker per CPU core; ``serial`` always runs one.
+    cache_capacity_bytes:
+        When set, the runners attach a byte-bounded LRU
+        :class:`~repro.localrt.cache.BlockCache` of this capacity to the
+        block store, so repeat block visits are served from memory.
+        ``None`` (the default) disables caching.  Logical read counters
+        are unaffected either way.  Note that the ``processes`` backend's
+        workers read in their own processes and bypass the parent cache.
+    prefetch_depth:
+        When > 0, a read-ahead prefetcher warms upcoming blocks into the
+        cache while the current map wave runs, never running more than
+        this many blocks ahead of the demand reads.  Requires
+        ``cache_capacity_bytes``.  0 (the default) disables prefetching.
     """
 
     map_backend: str = "serial"
     map_workers: int | None = None
+    cache_capacity_bytes: int | None = None
+    prefetch_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.map_backend not in MAP_BACKENDS:
@@ -125,6 +139,18 @@ class ExecutionConfig:
             raise ConfigError(
                 f"map_workers must be >= 1 (or None for one per core), "
                 f"got {self.map_workers}")
+        if (self.cache_capacity_bytes is not None
+                and self.cache_capacity_bytes <= 0):
+            raise ConfigError(
+                f"cache_capacity_bytes must be positive (or None to disable "
+                f"caching), got {self.cache_capacity_bytes}")
+        if self.prefetch_depth < 0:
+            raise ConfigError(
+                f"prefetch_depth must be >= 0, got {self.prefetch_depth}")
+        if self.prefetch_depth > 0 and self.cache_capacity_bytes is None:
+            raise ConfigError(
+                "prefetch_depth > 0 requires cache_capacity_bytes: the "
+                "prefetcher warms blocks into the block cache")
 
 
 def paper_cluster() -> ClusterConfig:

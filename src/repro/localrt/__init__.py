@@ -11,6 +11,7 @@ from .api import (
     SumReducer,
     default_partitioner,
 )
+from .cache import BlockCache, CacheStats
 from .counters import FRAMEWORK_GROUP, Counters, CounterUser
 from .engine import (
     JobRunState,
@@ -38,6 +39,7 @@ from .jobs import (
     wordcount_job,
 )
 from .output import SUCCESS_MARKER, read_output, write_output
+from .prefetch import ReadAheadPrefetcher
 from .records import DelimitedReader, RecordReader, TextLineReader
 from .runners import FifoLocalRunner, RunReport, SharedScanRunner
 from .storage import BlockStore, ReadStats
@@ -45,6 +47,7 @@ from .storage import BlockStore, ReadStats
 __all__ = [
     "IdentityReducer", "JobResult", "LocalJob", "Mapper", "Record",
     "Reducer", "SumReducer", "default_partitioner",
+    "BlockCache", "CacheStats", "ReadAheadPrefetcher",
     "FRAMEWORK_GROUP", "Counters", "CounterUser",
     "JobRunState", "collect_map_outputs", "count_pending_values",
     "run_map_on_block", "run_reduce",

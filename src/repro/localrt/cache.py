@@ -1,0 +1,139 @@
+"""Bounded in-memory block cache for the shared-scan I/O path.
+
+S3's thesis is that the scan is the scarce resource; the local runtime
+makes the same point in bytes by charging every ``read_block`` to the
+store's counters.  A :class:`BlockCache` splits that accounting in two:
+*logical* reads (what scan-sharing measures — one per ``read_block``
+call, cache or no cache) stay exactly as before, while *physical* reads
+(actual trips to disk) shrink to the miss path.  The cache is a plain
+LRU bounded **by bytes**, because blocks are the unit of I/O and their
+sizes differ (the last block of a file is short).
+
+Thread safety: one lock guards the eviction list and the byte budget.
+``read_block`` may run concurrently from the thread map backend and from
+the read-ahead prefetcher (:mod:`repro.localrt.prefetch`), so every
+public method takes the lock; racing loaders may both read the same
+block from disk, and the second insert simply refreshes the entry —
+accounting stays truthful (two physical reads happened).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..common.errors import ExecutionError
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters of one :class:`BlockCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    #: Blocks skipped because a single block exceeded the whole capacity.
+    oversized_skips: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.oversized_skips = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class BlockCache:
+    """A thread-safe LRU cache of block texts, bounded by total bytes.
+
+    Keys are block indices; values are the decoded block texts.  The
+    byte charge of an entry is the block's *on-disk* size (supplied by
+    the caller, which knows it from the stat cache), so the budget
+    matches the file sizes users reason about, not Python string
+    overhead.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ExecutionError(
+                f"cache capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        #: index -> (text, nbytes), in LRU order (oldest first).
+        self._entries: "OrderedDict[int, tuple[str, int]]" = OrderedDict()
+        self._current_bytes = 0
+
+    # ---------------------------------------------------------------- lookup
+    def get(self, index: int) -> str | None:
+        """Return the cached text for ``index`` (refreshing its recency),
+        or ``None`` on a miss.  Counts a hit or a miss."""
+        with self._lock:
+            entry = self._entries.get(index)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(index)
+            self.stats.hits += 1
+            return entry[0]
+
+    def contains(self, index: int) -> bool:
+        """Membership test without touching recency or hit/miss counters."""
+        with self._lock:
+            return index in self._entries
+
+    def __contains__(self, index: int) -> bool:
+        return self.contains(index)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        """Bytes currently resident."""
+        with self._lock:
+            return self._current_bytes
+
+    # ---------------------------------------------------------------- insert
+    def put(self, index: int, text: str, nbytes: int) -> int:
+        """Insert (or refresh) ``index``; returns how many entries were
+        evicted to make room.
+
+        A block larger than the whole capacity is not cached (evicting
+        everything for one uncacheable block would thrash); it is counted
+        in ``stats.oversized_skips``.
+        """
+        if nbytes < 0:
+            raise ExecutionError(f"block byte size must be >= 0, got {nbytes}")
+        with self._lock:
+            if nbytes > self.capacity_bytes:
+                self.stats.oversized_skips += 1
+                return 0
+            old = self._entries.pop(index, None)
+            if old is not None:
+                self._current_bytes -= old[1]
+            evicted = 0
+            while self._current_bytes + nbytes > self.capacity_bytes:
+                _, (_, old_bytes) = self._entries.popitem(last=False)
+                self._current_bytes -= old_bytes
+                evicted += 1
+            self._entries[index] = (text, nbytes)
+            self._current_bytes += nbytes
+            self.stats.insertions += 1
+            self.stats.evictions += evicted
+            return evicted
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; use ``stats.reset()``)."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0

@@ -17,7 +17,12 @@ Three backends implement the :class:`MapBackend` strategy:
   themselves and read their block in-process (the parent never ships block
   text across the pipe); jobs, readers and result buffers therefore must be
   picklable, which :func:`ProcessMapBackend.run_wave` validates with a
-  by-name error before submitting work.
+  by-name error before submitting work.  Worker stores are plain
+  (cache-less) instances: a parent-attached
+  :class:`~repro.localrt.cache.BlockCache` is **not** shared across the
+  process boundary, so worker reads always hit disk and are mirrored into
+  the parent's logical *and* physical counters via
+  :meth:`~repro.localrt.storage.BlockStore.note_external_read`.
 
 Backends are context managers; ``close()`` releases any pool.  Pools are
 created lazily on first use, so a closed backend can be reused.
@@ -214,7 +219,10 @@ def _collect_in_worker(directory: str, block_index: int,
     offset = store.block_offset(block_index)
     record_count, outputs, task_counters = collect_map_outputs(
         list(jobs), reader, text, offset)
-    return record_count, outputs, task_counters, len(text)
+    # Report the on-disk byte size, not len(text): they differ for
+    # non-ASCII corpora, and the parent mirrors *bytes* read.
+    return record_count, outputs, task_counters, \
+        store.block_size_bytes(block_index)
 
 
 #: Names accepted by :func:`make_backend` (mirrors ExecutionConfig).

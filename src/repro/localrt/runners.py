@@ -18,39 +18,90 @@ Both runners take a ``backend=`` knob selecting the map execution strategy
 (``"serial"`` / ``"threads"`` / ``"processes"``, see
 :mod:`repro.localrt.parallel`); every backend produces bit-identical
 outputs, part files and counters.
+
+I/O acceleration knobs (both runners):
+
+* attach a :class:`~repro.localrt.cache.BlockCache` to the store (or set
+  ``cache_capacity_bytes`` on an :class:`ExecutionConfig` and build the
+  runner with :meth:`from_config`) to serve repeat block visits from
+  memory;
+* ``prefetch_depth > 0`` starts a read-ahead prefetcher
+  (:mod:`repro.localrt.prefetch`) that warms upcoming blocks while the
+  current map wave runs — the shared-scan runner warms the *next*
+  segment (double-buffering, driven by the circular pointer), the FIFO
+  runner warms sequentially ahead of each job's scan.
+
+Neither knob changes any output or any *logical* read counter — the
+equivalence is property-tested in ``tests/properties/test_cache_props.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Callable, Mapping, Sequence
 
+from ..common.config import ExecutionConfig
 from ..common.errors import ExecutionError
 from .api import JobResult, LocalJob
+from .cache import BlockCache
+from .counters import Counters
 from .engine import JobRunState, count_pending_values, run_reduce
-from .parallel import MapBackend, MapTaskSpec, execute_map_wave, resolve_backend
+from .parallel import (MapBackend, MapTaskSpec, backend_from_config,
+                       execute_map_wave, resolve_backend)
+from .prefetch import ReadAheadPrefetcher
 from .records import RecordReader, TextLineReader
-from .storage import BlockStore
+from .storage import BlockStore, ReadStats
 
 #: Hook invoked after each shared-scan iteration's map phase:
 #: ``hook(iteration_index, participating_run_states)``.
 IterationHook = Callable[[int, list[JobRunState]], None]
 
+#: Counter group used by :meth:`RunReport.io_counters`.
+IO_COUNTER_GROUP = "io"
+
 
 @dataclass
 class RunReport:
-    """Results plus I/O accounting of one runner invocation."""
+    """Results plus I/O accounting of one runner invocation.
+
+    ``blocks_read``/``bytes_read`` are the *logical* counters (the
+    scan-sharing measure; identical with or without a cache).  ``io``
+    carries the full counter delta of the run, including the physical
+    reads and cache hit/miss/eviction traffic.
+    """
 
     results: dict[str, JobResult]
     blocks_read: int
     bytes_read: int
     iterations: int = 0
+    io: ReadStats = field(default_factory=ReadStats)
 
     def result(self, job_id: str) -> JobResult:
         try:
             return self.results[job_id]
         except KeyError:
             raise ExecutionError(f"no result for job {job_id!r}") from None
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Demand cache hits over demand lookups during this run."""
+        return self.io.cache_hit_ratio
+
+    def io_counters(self) -> Counters:
+        """The run's I/O delta as Hadoop-style counters (group ``"io"``)."""
+        counters = Counters()
+        for spec in dataclass_fields(self.io):
+            counters.increment(IO_COUNTER_GROUP, spec.name,
+                               getattr(self.io, spec.name))
+        return counters
+
+
+def _attach_cache_from_config(store: BlockStore,
+                              config: ExecutionConfig) -> None:
+    """Attach the cache an ExecutionConfig asks for (idempotent: an
+    already-attached cache is kept, so repeat runners share it)."""
+    if config.cache_capacity_bytes is not None and store.cache is None:
+        store.attach_cache(BlockCache(config.cache_capacity_bytes))
 
 
 class FifoLocalRunner:
@@ -61,18 +112,36 @@ class FifoLocalRunner:
     backends are bit-identical to the serial run (deterministic ordered
     merge).  ``backend=None`` keeps the historical ``workers=`` behaviour:
     1 worker runs serial, more run the thread pool.
+
+    ``prefetch_depth > 0`` enables sequential read-ahead (requires a
+    cache on the store): each job's blocks are warmed in scan order, at
+    most ``prefetch_depth`` blocks ahead of the demand reads.
     """
 
     def __init__(self, store: BlockStore,
                  reader: RecordReader | None = None, *,
                  workers: int = 1,
-                 backend: "MapBackend | str | None" = None) -> None:
+                 backend: "MapBackend | str | None" = None,
+                 prefetch_depth: int = 0) -> None:
         if workers < 1:
             raise ExecutionError(f"workers must be >= 1, got {workers}")
         self.store = store
         self.reader = reader or TextLineReader()
         self.workers = workers
         self.backend, self._owns_backend = resolve_backend(backend, workers)
+        self.prefetch_depth = _check_prefetch_depth(store, prefetch_depth)
+
+    @classmethod
+    def from_config(cls, store: BlockStore, config: ExecutionConfig, *,
+                    reader: RecordReader | None = None) -> "FifoLocalRunner":
+        """Build a runner (backend, cache, prefetch) from an
+        :class:`~repro.common.config.ExecutionConfig`."""
+        _attach_cache_from_config(store, config)
+        runner = cls(store, reader, backend=backend_from_config(config),
+                     prefetch_depth=config.prefetch_depth)
+        # from_config created the backend, so the runner must close it.
+        runner._owns_backend = True
+        return runner
 
     def run(self, jobs: Sequence[LocalJob]) -> RunReport:
         if not jobs:
@@ -80,28 +149,37 @@ class FifoLocalRunner:
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
             raise ExecutionError(f"duplicate job ids: {ids}")
-        before_blocks = self.store.stats.blocks_read
-        before_bytes = self.store.stats.bytes_read
+        before = self.store.stats.snapshot()
         results: dict[str, JobResult] = {}
+        prefetcher = _start_prefetcher(self.store, self.prefetch_depth)
         try:
-            self._run_jobs(jobs, results)
+            self._run_jobs(jobs, results, prefetcher)
         finally:
+            if prefetcher is not None:
+                prefetcher.close()
             # Pools re-create lazily, so closing keeps the runner reusable.
             if self._owns_backend:
                 self.backend.close()
+        io = self.store.stats.delta(before)
         return RunReport(
             results=results,
-            blocks_read=self.store.stats.blocks_read - before_blocks,
-            bytes_read=self.store.stats.bytes_read - before_bytes,
+            blocks_read=io.blocks_read,
+            bytes_read=io.bytes_read,
+            io=io,
         )
 
     def _run_jobs(self, jobs: Sequence[LocalJob],
-                  results: dict[str, JobResult]) -> None:
+                  results: dict[str, JobResult],
+                  prefetcher: ReadAheadPrefetcher | None) -> None:
         before_blocks = self.store.stats.blocks_read
         for job in jobs:
             state = JobRunState(job)
             tasks = [MapTaskSpec(block_index=index, states=(state,))
                      for index in range(self.store.num_blocks)]
+            if prefetcher is not None:
+                # Sequential read-ahead over this job's scan; the depth
+                # cap keeps the warmer just ahead of the demand reads.
+                prefetcher.schedule(range(self.store.num_blocks))
             execute_map_wave(self.store, self.reader, tasks,
                              backend=self.backend)
             reduce_input = count_pending_values(state)
@@ -153,13 +231,20 @@ class SharedScanRunner:
         name (``"serial"``/``"threads"``/``"processes"``), a
         :class:`MapBackend` instance, or ``None`` to derive serial/threads
         from ``workers``.
+    prefetch_depth:
+        When > 0 (requires a cache on the store), a background warmer
+        loads the *next* segment's blocks into the cache while the
+        current segment's map tasks run — the local analogue of the
+        paper's partial-job pipeline (prepare sub-job *i+1* during
+        sub-job *i*).
     """
 
     def __init__(self, store: BlockStore, *,
                  reader: RecordReader | None = None,
                  blocks_per_segment: int = 4,
                  workers: int = 1,
-                 backend: "MapBackend | str | None" = None) -> None:
+                 backend: "MapBackend | str | None" = None,
+                 prefetch_depth: int = 0) -> None:
         if blocks_per_segment <= 0:
             raise ExecutionError("blocks_per_segment must be positive")
         if workers < 1:
@@ -169,6 +254,22 @@ class SharedScanRunner:
         self.blocks_per_segment = blocks_per_segment
         self.workers = workers
         self.backend, self._owns_backend = resolve_backend(backend, workers)
+        self.prefetch_depth = _check_prefetch_depth(store, prefetch_depth)
+
+    @classmethod
+    def from_config(cls, store: BlockStore, config: ExecutionConfig, *,
+                    reader: RecordReader | None = None,
+                    blocks_per_segment: int = 4) -> "SharedScanRunner":
+        """Build a runner (backend, cache, prefetch) from an
+        :class:`~repro.common.config.ExecutionConfig`."""
+        _attach_cache_from_config(store, config)
+        runner = cls(store, reader=reader,
+                     blocks_per_segment=blocks_per_segment,
+                     backend=backend_from_config(config),
+                     prefetch_depth=config.prefetch_depth)
+        # from_config created the backend, so the runner must close it.
+        runner._owns_backend = True
+        return runner
 
     def run(self, jobs: Sequence[LocalJob],
             arrival_iterations: Mapping[str, int] | None = None, *,
@@ -200,34 +301,41 @@ class SharedScanRunner:
         pending: dict[int, list[LocalJob]] = {}
         for job in jobs:
             pending.setdefault(arrivals.get(job.job_id, 0), []).append(job)
-        before_blocks = self.store.stats.blocks_read
-        before_bytes = self.store.stats.bytes_read
+        before = self.store.stats.snapshot()
         results: dict[str, JobResult] = {}
-        active: list[_ScanState] = []
-        pointer = 0
-        iteration = 0
+        prefetcher = _start_prefetcher(self.store, self.prefetch_depth)
         try:
-            iteration = self._scan_loop(pending, active, results,
-                                        before_blocks, on_iteration_end)
+            iterations = self._scan_loop(pending, results,
+                                         before.blocks_read,
+                                         on_iteration_end, prefetcher)
         finally:
+            if prefetcher is not None:
+                prefetcher.close()
             # Pools re-create lazily, so closing keeps the runner reusable.
             if self._owns_backend:
                 self.backend.close()
+        io = self.store.stats.delta(before)
         return RunReport(
             results=results,
-            blocks_read=self.store.stats.blocks_read - before_blocks,
-            bytes_read=self.store.stats.bytes_read - before_bytes,
-            iterations=iteration,
+            blocks_read=io.blocks_read,
+            bytes_read=io.bytes_read,
+            iterations=iterations,
+            io=io,
         )
 
     def _scan_loop(self, pending: dict[int, list[LocalJob]],
-                   active: list[_ScanState],
                    results: dict[str, JobResult],
                    before_blocks: int,
                    on_iteration_end: "IterationHook | None",
+                   prefetcher: ReadAheadPrefetcher | None = None,
                    ) -> int:
-        """The circular segment loop; returns the iteration count."""
+        """The circular segment loop; returns the iteration count.
+
+        Owns all scan-cursor state (active set, circular pointer,
+        iteration counter).
+        """
         n = self.store.num_blocks
+        active: list[_ScanState] = []
         pointer = 0
         iteration = 0
         while pending or active:
@@ -245,6 +353,17 @@ class SharedScanRunner:
                                      if s.remaining > offset)
                 tasks.append(MapTaskSpec(block_index=pointer + offset,
                                          states=participants))
+            if prefetcher is not None:
+                # Double-buffer: warm the next chunk while this one maps.
+                # The circular pointer tells us exactly where it starts;
+                # only warm when some job will still be scanning then.
+                more = bool(pending) or any(s.remaining > chunk_len
+                                            for s in active)
+                if more:
+                    next_pointer = (pointer + chunk_len) % n
+                    next_len = min(self.blocks_per_segment, n - next_pointer)
+                    prefetcher.schedule(
+                        range(next_pointer, next_pointer + next_len))
             execute_map_wave(self.store, self.reader, tasks,
                              backend=self.backend)
             if on_iteration_end is not None:
@@ -271,3 +390,22 @@ class SharedScanRunner:
             pointer = (pointer + chunk_len) % n
             iteration += 1
         return iteration
+
+
+def _check_prefetch_depth(store: BlockStore, depth: int) -> int:
+    """Validate a runner's prefetch knob against its store."""
+    if depth < 0:
+        raise ExecutionError(f"prefetch_depth must be >= 0, got {depth}")
+    if depth > 0 and store.cache is None:
+        raise ExecutionError(
+            "prefetch_depth > 0 requires a BlockCache on the store "
+            "(attach one, or use from_config with cache_capacity_bytes)")
+    return depth
+
+
+def _start_prefetcher(store: BlockStore,
+                      depth: int) -> ReadAheadPrefetcher | None:
+    """One prefetcher per run (its pacing baseline is the run's start)."""
+    if depth <= 0 or store.cache is None:
+        return None
+    return ReadAheadPrefetcher(store, depth=depth)

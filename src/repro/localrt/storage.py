@@ -7,36 +7,91 @@ mid-record and compensates in the reader — same observable behaviour,
 simpler bookkeeping).  Byte-level read counters make scan sharing
 measurable: the whole point of the local runtime is to show S3 reading
 each block once per batch instead of once per job.
+
+The counter model distinguishes two layers:
+
+* **logical** reads (``blocks_read`` / ``bytes_read``) — one per
+  ``read_block`` call, regardless of caching.  This is what scan-sharing
+  accounting measures: how many block *visits* the schedule required.
+* **physical** reads (``physical_blocks_read`` / ``physical_bytes_read``)
+  — actual trips to disk.  With a :class:`~repro.localrt.cache.BlockCache`
+  attached, repeat visits hit memory and the physical counters lag the
+  logical ones; the gap (plus ``cache_hits``/``cache_misses``/
+  ``cache_evictions``) quantifies what the cache saved.
 """
 
 from __future__ import annotations
 
 import pathlib
 import threading
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..common.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cache import BlockCache
 
 
 @dataclass
 class ReadStats:
-    """Cumulative I/O counters of one :class:`BlockStore`."""
+    """Cumulative I/O counters of one :class:`BlockStore`.
+
+    ``blocks_read``/``bytes_read`` are *logical* (per ``read_block`` call;
+    byte-identical with or without a cache).  The remaining fields
+    describe the *physical* path: disk reads, cache hit/miss/eviction
+    traffic and prefetcher activity.
+    """
 
     blocks_read: int = 0
     bytes_read: int = 0
+    physical_blocks_read: int = 0
+    physical_bytes_read: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    prefetched_blocks: int = 0
 
     def reset(self) -> None:
-        self.blocks_read = 0
-        self.bytes_read = 0
+        for spec in fields(self):
+            setattr(self, spec.name, 0)
+
+    def snapshot(self) -> "ReadStats":
+        """An independent copy (for before/after deltas)."""
+        return replace(self)
+
+    def delta(self, before: "ReadStats") -> "ReadStats":
+        """Field-wise ``self - before`` (counters accumulated since
+        ``before`` was snapshotted)."""
+        return ReadStats(**{
+            spec.name: getattr(self, spec.name) - getattr(before, spec.name)
+            for spec in fields(self)})
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Demand hits over demand lookups (0.0 before the first lookup).
+
+        Prefetcher loads are not lookups; a prefetched block's first
+        demand read counts as a hit, which is exactly the point.
+        """
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
 
 class BlockStore:
-    """A file stored as line-aligned blocks in a directory."""
+    """A file stored as line-aligned blocks in a directory.
+
+    ``cache`` optionally attaches a :class:`~repro.localrt.cache.BlockCache`
+    so repeat block visits are served from memory; logical counters are
+    unaffected (see module docstring).  Block sizes and offsets are
+    stat'ed once at open and served from memory afterwards — the store
+    assumes its directory is immutable while open (as HDFS blocks are).
+    """
 
     BLOCK_PATTERN = "block_{:05d}.dat"
 
-    def __init__(self, directory: pathlib.Path | str) -> None:
+    def __init__(self, directory: pathlib.Path | str, *,
+                 cache: "BlockCache | None" = None) -> None:
         self.directory = pathlib.Path(directory)
         if not self.directory.is_dir():
             raise ExecutionError(f"no such block store: {self.directory}")
@@ -47,19 +102,29 @@ class BlockStore:
         #: Guards the read counters (read_block may be called from a
         #: thread pool; see repro.localrt.parallel).
         self._stats_lock = threading.Lock()
-        #: Byte offset of each block within the logical file.
+        #: Byte offset of each block within the logical file, and each
+        #: block's on-disk size (one stat per block, at open only).
         self._offsets: list[int] = []
+        self._sizes: list[int] = []
         offset = 0
         for path in self._blocks:
+            size = path.stat().st_size
             self._offsets.append(offset)
-            offset += path.stat().st_size
+            self._sizes.append(size)
+            offset += size
         self._total_bytes = offset
+        self.cache = cache
 
     # -------------------------------------------------------------- creation
     @classmethod
     def create(cls, directory: pathlib.Path | str, lines: Iterable[str],
-               block_size_bytes: int) -> "BlockStore":
-        """Write ``lines`` into line-aligned blocks of ~``block_size_bytes``."""
+               block_size_bytes: int, *,
+               cache: "BlockCache | None" = None) -> "BlockStore":
+        """Write ``lines`` into line-aligned blocks of ~``block_size_bytes``.
+
+        Lines are stored as UTF-8; a line that cannot be encoded (e.g. a
+        lone surrogate) raises :class:`ExecutionError` naming the line.
+        """
         if block_size_bytes <= 0:
             raise ExecutionError("block_size_bytes must be positive")
         directory = pathlib.Path(directory)
@@ -69,7 +134,7 @@ class BlockStore:
             raise ExecutionError(
                 f"{directory} already contains {len(existing)} blocks")
         block_index = 0
-        buffer: list[str] = []
+        buffer: list[bytes] = []
         buffered = 0
 
         def flush() -> None:
@@ -77,7 +142,7 @@ class BlockStore:
             if not buffer:
                 return
             path = directory / cls.BLOCK_PATTERN.format(block_index)
-            path.write_text("".join(buffer), encoding="ascii")
+            path.write_bytes(b"".join(buffer))
             block_index += 1
             buffer = []
             buffered = 0
@@ -86,15 +151,21 @@ class BlockStore:
         for line in lines:
             if "\n" in line:
                 raise ExecutionError("input lines must not contain newlines")
-            buffer.append(line + "\n")
-            buffered += len(line) + 1
+            try:
+                encoded = (line + "\n").encode("utf-8")
+            except UnicodeEncodeError as exc:
+                raise ExecutionError(
+                    f"input line {line!r} is not encodable as UTF-8 "
+                    f"({exc})") from exc
+            buffer.append(encoded)
+            buffered += len(encoded)
             wrote_any = True
             if buffered >= block_size_bytes:
                 flush()
         flush()
         if not wrote_any:
             raise ExecutionError("cannot create a block store from no lines")
-        return cls(directory)
+        return cls(directory, cache=cache)
 
     # ---------------------------------------------------------------- access
     @property
@@ -106,22 +177,67 @@ class BlockStore:
         return self._total_bytes
 
     def block_size_bytes(self, index: int) -> int:
+        """On-disk byte size of block ``index`` (from the open-time stat
+        cache — no syscall)."""
         self._check(index)
-        return self._blocks[index].stat().st_size
+        return self._sizes[index]
 
     def block_offset(self, index: int) -> int:
         """Byte offset of block ``index`` in the logical file."""
         self._check(index)
         return self._offsets[index]
 
+    def attach_cache(self, cache: "BlockCache | None") -> None:
+        """Attach (or detach, with ``None``) a block cache."""
+        self.cache = cache
+
     def read_block(self, index: int) -> str:
-        """Read one block's text, updating the I/O counters (thread-safe)."""
+        """Read one block's text, updating the I/O counters (thread-safe).
+
+        Always charges one *logical* block read; goes to disk (and
+        charges a *physical* read) only when no cache is attached or the
+        block is not resident.
+        """
         self._check(index)
-        text = self._blocks[index].read_text(encoding="ascii")
+        if self.cache is None:
+            text = self._physical_read(index)
+        else:
+            text = self.cache.get(index)
+            if text is None:
+                with self._stats_lock:
+                    self.stats.cache_misses += 1
+                text = self._physical_read(index)
+                evicted = self.cache.put(index, text, self._sizes[index])
+                if evicted:
+                    with self._stats_lock:
+                        self.stats.cache_evictions += evicted
+            else:
+                with self._stats_lock:
+                    self.stats.cache_hits += 1
         with self._stats_lock:
             self.stats.blocks_read += 1
-            self.stats.bytes_read += len(text)
+            self.stats.bytes_read += self._sizes[index]
         return text
+
+    def prefetch_block(self, index: int) -> bool:
+        """Warm block ``index`` into the cache without logical accounting.
+
+        Returns True when the block was actually loaded from disk; False
+        when there is no cache or the block is already resident.  Used by
+        the read-ahead prefetcher: the physical read is charged, but no
+        logical read and no cache hit/miss — the demand read that follows
+        will record the hit.
+        """
+        self._check(index)
+        if self.cache is None or self.cache.contains(index):
+            return False
+        text = self._physical_read(index)
+        evicted = self.cache.put(index, text, self._sizes[index])
+        with self._stats_lock:
+            self.stats.prefetched_blocks += 1
+            if evicted:
+                self.stats.cache_evictions += evicted
+        return True
 
     def note_external_read(self, blocks: int, nbytes: int) -> None:
         """Fold reads performed outside this process into the I/O counters.
@@ -129,6 +245,9 @@ class BlockStore:
         The process map backend reads blocks in worker processes, whose
         store instances (and counters) are private copies; the parent calls
         this per completed task so scan-sharing accounting stays exact.
+        Worker reads are genuine disk trips (workers do not share the
+        parent's cache), so both the logical and the physical counters
+        advance.
         """
         if blocks < 0 or nbytes < 0:
             raise ExecutionError(
@@ -137,11 +256,27 @@ class BlockStore:
         with self._stats_lock:
             self.stats.blocks_read += blocks
             self.stats.bytes_read += nbytes
+            self.stats.physical_blocks_read += blocks
+            self.stats.physical_bytes_read += nbytes
 
     def iter_blocks(self) -> Iterator[tuple[int, str]]:
         """Sequentially read every block (counts toward the I/O stats)."""
         for index in range(self.num_blocks):
             yield index, self.read_block(index)
+
+    def _physical_read(self, index: int) -> str:
+        """One actual disk read (always charged to the physical counters)."""
+        data = self._blocks[index].read_bytes()
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ExecutionError(
+                f"block {index} of {self.directory} is not valid UTF-8 "
+                f"({exc})") from exc
+        with self._stats_lock:
+            self.stats.physical_blocks_read += 1
+            self.stats.physical_bytes_read += len(data)
+        return text
 
     def _check(self, index: int) -> None:
         if not 0 <= index < self.num_blocks:

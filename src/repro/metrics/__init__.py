@@ -8,7 +8,8 @@ from .jobstats import (
     mean_sharing_fraction,
 )
 from .measures import NormalizedMetrics, ScheduleMetrics, compute_metrics
-from .report import format_series, format_table, normalize_all
+from .report import (format_io_table, format_series, format_table,
+                     normalize_all)
 from .utilization import (
     Interval,
     busy_slots_series,
@@ -22,6 +23,6 @@ __all__ = ["dump_trace", "load_trace", "trace_summary",
            "JobPhaseStats", "format_phase_table", "job_phase_stats",
            "mean_sharing_fraction",
            "NormalizedMetrics", "ScheduleMetrics", "compute_metrics",
-           "format_series", "format_table", "normalize_all",
+           "format_io_table", "format_series", "format_table", "normalize_all",
            "Interval", "busy_slots_series", "render_gantt",
            "render_utilization_strip", "slot_utilization", "task_intervals"]

@@ -1,9 +1,12 @@
 """Block store tests."""
 
+import threading
+
 import pytest
 
 from repro.common.errors import ExecutionError
-from repro.localrt.storage import BlockStore
+from repro.localrt.cache import BlockCache
+from repro.localrt.storage import BlockStore, ReadStats
 
 
 def lines(n, width=20):
@@ -86,3 +89,118 @@ def test_open_missing_dir_rejected(tmp_path):
 def test_invalid_block_size(tmp_path):
     with pytest.raises(ExecutionError):
         BlockStore.create(tmp_path / "s", lines(5), block_size_bytes=0)
+
+
+def test_non_ascii_lines_round_trip_as_utf8(tmp_path):
+    data = ["héllo wörld", "naïve café", "日本語のテキスト", "plain ascii"]
+    store = BlockStore.create(tmp_path / "s", data, block_size_bytes=40)
+    joined = "".join(store.read_block(i) for i in range(store.num_blocks))
+    assert joined.splitlines() == data
+    # Counters measure on-disk bytes (UTF-8), not characters.
+    encoded = sum(len((line + "\n").encode("utf-8")) for line in data)
+    assert store.total_bytes == encoded
+    store.stats.reset()
+    for i in range(store.num_blocks):
+        store.read_block(i)
+    assert store.stats.bytes_read == encoded
+
+
+def test_unencodable_line_raises_by_name(tmp_path):
+    bad = "lone surrogate \ud800 here"
+    with pytest.raises(ExecutionError, match="UTF-8"):
+        BlockStore.create(tmp_path / "s", ["fine", bad], block_size_bytes=100)
+
+
+def test_block_sizes_are_cached_at_open(tmp_path):
+    """Satellite: block_size_bytes must not stat() per call — sizes are
+    captured once at open, so they survive even file deletion."""
+    store = BlockStore.create(tmp_path / "s", lines(40), block_size_bytes=120)
+    sizes = [store.block_size_bytes(i) for i in range(store.num_blocks)]
+    for path in sorted((tmp_path / "s").glob("block_*.dat")):
+        path.unlink()
+    assert [store.block_size_bytes(i)
+            for i in range(store.num_blocks)] == sizes
+    assert sum(sizes) == store.total_bytes
+
+
+def test_iter_blocks_counter_accounting(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(50), block_size_bytes=150)
+    consumed = list(store.iter_blocks())
+    assert store.stats.blocks_read == store.num_blocks
+    assert store.stats.bytes_read == store.total_bytes
+    assert store.stats.physical_blocks_read == store.num_blocks
+    assert store.stats.bytes_read == sum(len(text.encode("utf-8"))
+                                         for _, text in consumed)
+    # A second pass doubles the logical counters (no cache attached).
+    list(store.iter_blocks())
+    assert store.stats.blocks_read == 2 * store.num_blocks
+    assert store.stats.bytes_read == 2 * store.total_bytes
+
+
+@pytest.mark.parametrize("with_cache", [False, True])
+def test_read_block_concurrent_threads_accounting(tmp_path, with_cache):
+    """The _stats_lock path: hammer read_block from many threads and
+    check the logical counters add up exactly."""
+    cache = BlockCache(10_000_000) if with_cache else None
+    store = BlockStore.create(tmp_path / "s", lines(80), block_size_bytes=200,
+                              cache=cache)
+    reads_per_thread = 50
+    n_threads = 8
+    errors = []
+
+    def hammer(seed):
+        try:
+            for i in range(reads_per_thread):
+                index = (seed + i) % store.num_blocks
+                text = store.read_block(index)
+                assert len(text.encode("utf-8")) == store.block_size_bytes(index)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(s,))
+               for s in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    total = n_threads * reads_per_thread
+    assert store.stats.blocks_read == total
+    expected_bytes = sum(
+        store.block_size_bytes((s + i) % store.num_blocks)
+        for s in range(n_threads) for i in range(reads_per_thread))
+    assert store.stats.bytes_read == expected_bytes
+    if with_cache:
+        assert store.stats.cache_hits + store.stats.cache_misses == total
+        assert store.stats.physical_blocks_read < total
+    else:
+        assert store.stats.physical_blocks_read == total
+
+
+def test_note_external_read_counts_logical_and_physical(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(10), block_size_bytes=100)
+    store.note_external_read(blocks=3, nbytes=300)
+    assert store.stats.blocks_read == 3
+    assert store.stats.bytes_read == 300
+    assert store.stats.physical_blocks_read == 3
+    assert store.stats.physical_bytes_read == 300
+    with pytest.raises(ExecutionError):
+        store.note_external_read(blocks=-1, nbytes=0)
+
+
+def test_read_stats_snapshot_and_delta():
+    stats = ReadStats(blocks_read=10, bytes_read=100, cache_hits=4)
+    before = stats.snapshot()
+    stats.blocks_read += 5
+    stats.cache_hits += 2
+    delta = stats.delta(before)
+    assert delta.blocks_read == 5
+    assert delta.cache_hits == 2
+    assert delta.bytes_read == 0
+    assert before.blocks_read == 10    # snapshot is independent
+    stats.reset()
+    assert stats.blocks_read == 0 and stats.cache_hits == 0
+
+
+def test_cache_hit_ratio_zero_without_lookups():
+    assert ReadStats().cache_hit_ratio == 0.0
