@@ -7,6 +7,8 @@ Section V.G aggregation extension.
 import pathlib
 import tempfile
 
+from conftest import run_once
+
 from repro.experiments.ablation import (
     run_segment_size_sweep,
     run_slot_check_ablation,
@@ -16,8 +18,6 @@ from repro.localrt.jobs import aggregation_job
 from repro.localrt.records import DelimitedReader
 from repro.localrt.storage import BlockStore
 from repro.workloads.tpch import LINEITEM_COLUMNS, LineitemGenerator
-
-from conftest import run_once
 
 
 def test_segment_size_sweep(benchmark, print_report):

@@ -34,8 +34,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.localrt.cache import BlockCache                      # noqa: E402
 from repro.localrt.jobs import wordcount_job                    # noqa: E402
-from repro.localrt.runners import (FifoLocalRunner,             # noqa: E402
-                                   SharedScanRunner)
+from repro.localrt.runners import FifoLocalRunner, SharedScanRunner  # noqa: E402
 from repro.localrt.storage import BlockStore                    # noqa: E402
 from repro.workloads.text import TextCorpusGenerator            # noqa: E402
 

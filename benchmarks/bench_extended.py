@@ -5,6 +5,8 @@
 * fault-recovery overhead.
 """
 
+from conftest import run_once
+
 from repro.experiments.extended import (
     run_dispatch_ablation,
     run_fault_recovery,
@@ -13,8 +15,6 @@ from repro.experiments.extended import (
 )
 from repro.experiments.local_shared_scan import run as run_local
 from repro.experiments.poisson_sweep import run as run_poisson
-
-from conftest import run_once
 
 
 def test_scheduler_landscape(benchmark, print_report):

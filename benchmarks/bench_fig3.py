@@ -5,9 +5,9 @@ time for n = 1..10 combined wordcount jobs; at n = 10 the paper reports
 +25.5 % TET, +28.8 % map time, +23.5 % reduce time over a single job.
 """
 
-from repro.experiments.fig3 import run as run_fig3
-
 from conftest import run_once
+
+from repro.experiments.fig3 import run as run_fig3
 
 
 def test_fig3_combined_job_cost(benchmark, print_report):

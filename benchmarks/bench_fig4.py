@@ -6,9 +6,9 @@ the paper plots.  Assertions pin the panel's headline *shape* — the
 detailed paper-vs-measured comparison lives in EXPERIMENTS.md.
 """
 
-from repro.experiments.fig4 import run_panel
-
 from conftest import run_once
+
+from repro.experiments.fig4 import run_panel
 
 
 def test_fig4a_sparse_normal_64mb(benchmark, print_report):

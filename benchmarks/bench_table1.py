@@ -1,8 +1,8 @@
 """Benchmark regenerating Table I (wordcount workload details)."""
 
-from repro.experiments.table1 import run as run_table1
-
 from conftest import run_once
+
+from repro.experiments.table1 import run as run_table1
 
 
 def test_table1_workload_details(benchmark, print_report):

@@ -13,9 +13,9 @@ then digs into *why* S3 wins with the analytics layer:
 Run:  python examples/scheduler_landscape.py
 """
 
-from repro import compute_metrics
 from repro.experiments import paper_cost_model, sparse_pattern
 from repro.experiments.base import run_scheduler
+from repro.mapreduce import JobSpec
 from repro.metrics import (
     format_phase_table,
     job_phase_stats,
@@ -31,7 +31,6 @@ from repro.schedulers import (
     tag_pool,
 )
 from repro.schedulers.mrshare_opt import optimal_mrshare
-from repro.mapreduce import JobSpec
 from repro.workloads import normal_workload
 
 

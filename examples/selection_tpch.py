@@ -20,7 +20,6 @@ from repro.ext import compare_collection_schemes
 from repro.localrt import (
     BlockStore,
     DelimitedReader,
-    FifoLocalRunner,
     SharedScanRunner,
     aggregation_job,
     selection_job,
@@ -72,7 +71,7 @@ def main() -> None:
         assert comparison.outputs_match(), "aggregation outputs diverged"
         at_end = comparison.at_end.result("agg").reduce_input_values
         prog = comparison.progressive.result("agg").reduce_input_values
-        print(f"\nSUM(extendedprice) GROUP BY returnflag — final merge input:")
+        print("\nSUM(extendedprice) GROUP BY returnflag — final merge input:")
         print(f"  collect-at-end: {at_end} values")
         print(f"  progressive:    {prog} values "
               f"({comparison.final_merge_reduction('agg'):.0%} smaller)")

@@ -24,8 +24,13 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.localrt import (BlockCache, BlockStore, FifoLocalRunner,
-                           SharedScanRunner, wordcount_job)
+from repro.localrt import (
+    BlockCache,
+    BlockStore,
+    FifoLocalRunner,
+    SharedScanRunner,
+    wordcount_job,
+)
 from repro.localrt.parallel import BACKEND_NAMES
 from repro.workloads.text import TextCorpusGenerator
 

@@ -1,0 +1,38 @@
+"""Correctness tooling for the S3 reproduction.
+
+Two halves:
+
+* **static**: a project-specific lint pass (``python -m repro.analysis
+  src``) with rules REP001..REP005 — see :mod:`repro.analysis.rules`;
+* **runtime**: :class:`~repro.analysis.lockgraph.OrderedLock`, a
+  lock-order recorder that turns potential deadlocks into test failures
+  (enable with ``REPRO_LOCKCHECK=1``).
+
+This package imports nothing from the runtime packages (the runtime
+imports :mod:`~repro.analysis.lockgraph`, so the dependency only points
+one way).
+"""
+
+from .core import (
+    AnalysisError,
+    Rule,
+    Violation,
+    analyze_paths,
+    analyze_source,
+)
+from .lockgraph import (
+    LockOrderError,
+    OrderedLock,
+    lock_order_graph,
+    lockcheck_enabled,
+    reset_lock_graph,
+    set_lockcheck,
+)
+from .rules import READSTATS_FIELDS, RULES, RULES_BY_CODE
+
+__all__ = [
+    "AnalysisError", "Rule", "Violation", "analyze_paths", "analyze_source",
+    "LockOrderError", "OrderedLock", "lock_order_graph",
+    "lockcheck_enabled", "reset_lock_graph", "set_lockcheck",
+    "READSTATS_FIELDS", "RULES", "RULES_BY_CODE",
+]

@@ -1,0 +1,111 @@
+"""``python -m repro.analysis`` — run the project rules over a tree.
+
+Usage::
+
+    python -m repro.analysis src                  # full pass, text output
+    python -m repro.analysis src --format json    # machine-readable
+    python -m repro.analysis src --select REP001,REP004
+    python -m repro.analysis src --baseline b.json --write-baseline
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when clean (after noqa and baseline filtering), 1 when
+violations remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Sequence, TextIO
+
+from .core import (
+    AnalysisError,
+    Rule,
+    analyze_paths,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .rules import RULES, RULES_BY_CODE
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Project-specific static analysis for the S3 "
+                    "reproduction (rule catalog: REP001..REP005).")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to analyze")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="baseline file of grandfathered violations")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current violations to --baseline and "
+                             "exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _pick_rules(select: str | None,
+                ignore: str | None) -> tuple[Rule, ...]:
+    def split(raw: str | None) -> list[str]:
+        return [c.strip() for c in raw.split(",") if c.strip()] if raw else []
+
+    for code in split(select) + split(ignore):
+        if code not in RULES_BY_CODE:
+            raise AnalysisError(
+                f"unknown rule code {code!r} (known: "
+                f"{', '.join(sorted(RULES_BY_CODE))})")
+    chosen = [RULES_BY_CODE[c] for c in split(select)] if select else \
+        list(RULES)
+    ignored = set(split(ignore))
+    return tuple(r for r in chosen if r.code not in ignored)
+
+
+def main(argv: Sequence[str] | None = None,
+         stdout: TextIO | None = None) -> int:
+    out = stdout if stdout is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.summary}", file=out)
+        return 0
+    if not args.paths:
+        build_parser().print_help(out)
+        return 2
+    try:
+        rules = _pick_rules(args.select, args.ignore)
+        violations = analyze_paths(
+            [pathlib.Path(p) for p in args.paths], rules)
+        if args.write_baseline:
+            if not args.baseline:
+                raise AnalysisError("--write-baseline requires --baseline")
+            count = write_baseline(pathlib.Path(args.baseline), violations)
+            print(f"baseline written: {count} entries -> {args.baseline}",
+                  file=out)
+            return 0
+        if args.baseline:
+            violations = apply_baseline(
+                violations, load_baseline(pathlib.Path(args.baseline)))
+    except AnalysisError as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps([v.to_json() for v in violations], indent=2),
+              file=out)
+    else:
+        for violation in violations:
+            print(violation.format(), file=out)
+        summary = (f"{len(violations)} violation(s)" if violations
+                   else "clean: no violations")
+        print(summary, file=out)
+    return 1 if violations else 0

@@ -1,0 +1,176 @@
+"""Engine of the project lint pass: rule registry, file walking, noqa.
+
+The analyzer is deliberately self-contained (stdlib ``ast`` only) so it
+runs anywhere the test suite runs — no third-party linter needed for the
+project-specific invariants.  Generic style remains ruff's job; this
+pass checks what only this codebase can know: simulated paths must not
+read the wall clock, randomness must be seeded, I/O accounting fields
+have exactly two writers, and nothing blocks while holding a lock.
+
+Layout mirrors a conventional linter:
+
+* a :class:`Rule` visits one parsed module and yields
+  :class:`Violation` records;
+* ``# repro: noqa[REP001]`` comments suppress violations on their line
+  (``# repro: noqa`` suppresses every rule — use sparingly);
+* a *baseline* file (JSON list of fingerprints) grandfathers existing
+  violations so the pass can be adopted incrementally; this repo ships
+  with **no** baseline — the tree is clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+#: ``# repro: noqa`` / ``# repro: noqa[REP001,REP004]``
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One diagnostic: where, which rule, and what went wrong."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity (line numbers included: baselines are
+        regenerated, not hand-maintained)."""
+        return f"{self.path}:{self.line}:{self.code}"
+
+    def to_json(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named check over a parsed module."""
+
+    code: str
+    summary: str
+    #: ``(tree, path) -> violations``; ``path`` is posix-relative to the
+    #: analysis root so rules can scope themselves by directory.
+    check: Callable[[ast.Module, str], Iterable[tuple[int, int, str]]]
+
+    def run(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        for line, col, message in self.check(tree, path):
+            yield Violation(path=path, line=line, col=col,
+                            code=self.code, message=message)
+
+
+class AnalysisError(Exception):
+    """Unusable input to the analyzer (bad path, unparsable baseline)."""
+
+
+def iter_python_files(roots: Sequence[pathlib.Path]) -> Iterator[pathlib.Path]:
+    """Yield ``.py`` files under ``roots`` (files are taken verbatim),
+    sorted for deterministic output, skipping ``__pycache__``."""
+    seen = set()
+    for root in roots:
+        if not root.exists():
+            raise AnalysisError(f"no such file or directory: {root}")
+        if root.is_file():
+            candidates: Iterable[pathlib.Path] = [root]
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for path in candidates:
+            if "__pycache__" in path.parts or path in seen:
+                continue
+            seen.add(path)
+            yield path
+
+
+def noqa_lines(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed codes (``None`` = all codes)."""
+    result: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), 1):
+        match = _NOQA_RE.search(text)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            result[lineno] = None
+        else:
+            result[lineno] = frozenset(
+                c.strip() for c in codes.split(",") if c.strip())
+    return result
+
+
+def _suppressed(violation: Violation,
+                noqa: dict[int, frozenset[str] | None]) -> bool:
+    codes = noqa.get(violation.line, frozenset())
+    if codes is None:  # blanket noqa
+        return True
+    return violation.code in codes
+
+
+def analyze_source(source: str, path: str,
+                   rules: Sequence[Rule]) -> list[Violation]:
+    """Run ``rules`` over one module's source (``path`` is only used for
+    scoping and reporting; nothing is read from disk)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path=path, line=exc.lineno or 1,
+                          col=(exc.offset or 1) - 1, code="REP000",
+                          message=f"syntax error: {exc.msg}")]
+    noqa = noqa_lines(source)
+    found: dict[Violation, None] = {}  # dedup (nested with-blocks rescan)
+    for rule in rules:
+        for violation in rule.run(tree, path):
+            if not _suppressed(violation, noqa):
+                found[violation] = None
+    return sorted(found, key=lambda v: (v.path, v.line, v.col, v.code))
+
+
+def analyze_paths(roots: Sequence[pathlib.Path],
+                  rules: Sequence[Rule]) -> list[Violation]:
+    """Run ``rules`` over every python file under ``roots``."""
+    found: list[Violation] = []
+    for path in iter_python_files(roots):
+        source = path.read_text(encoding="utf-8")
+        found.extend(analyze_source(source, path.as_posix(), rules))
+    return found
+
+
+# ------------------------------------------------------------------ baseline
+def load_baseline(path: pathlib.Path) -> frozenset[str]:
+    """Read a baseline file (JSON ``{"version": 1, "entries": [...]}``)."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"unreadable baseline {path}: {exc}") from exc
+    if (not isinstance(document, dict) or document.get("version") != 1
+            or not isinstance(document.get("entries"), list)):
+        raise AnalysisError(
+            f"baseline {path} must be {{'version': 1, 'entries': [...]}}")
+    return frozenset(str(entry) for entry in document["entries"])
+
+
+def write_baseline(path: pathlib.Path,
+                   violations: Iterable[Violation]) -> int:
+    """Write the violations' fingerprints as a baseline; returns count."""
+    entries = sorted({v.fingerprint for v in violations})
+    path.write_text(json.dumps({"version": 1, "entries": entries}, indent=2)
+                    + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(violations: Iterable[Violation],
+                   baseline: frozenset[str]) -> list[Violation]:
+    """Drop violations whose fingerprint is grandfathered."""
+    return [v for v in violations if v.fingerprint not in baseline]

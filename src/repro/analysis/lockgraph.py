@@ -1,0 +1,204 @@
+"""Runtime lock-order checking: helgrind-lite for the local runtime.
+
+The local runtime holds three locks (``BlockStore._stats_lock``,
+``BlockCache._lock``, the prefetcher's condition lock) that may nest in
+future refactors.  A deadlock needs two threads taking two locks in
+opposite orders — a bug that tests rarely trigger but production always
+finds.  :class:`OrderedLock` makes the *potential* visible: every
+acquisition while other locks are held records a directed edge
+``held -> acquired`` in a process-global graph keyed by lock *name*
+(instances of the same role share a name, so the graph abstracts over
+object identity the way helgrind abstracts lock classes).  The first
+edge that closes a cycle raises :class:`LockOrderError` immediately —
+on the acquiring thread, with the full cycle in the message — even
+though no actual deadlock occurred on this run.
+
+Checking costs a global lock per acquire, so it is **off by default**
+and enabled by ``REPRO_LOCKCHECK=1`` (the test suite turns it on in
+``tests/conftest.py``).  When disabled, :class:`OrderedLock` is a thin
+delegate around :class:`threading.Lock`.
+
+:class:`OrderedLock` also works as the backing lock of a
+:class:`threading.Condition`: ``wait()`` releases and re-acquires
+through the wrapper, so the held-set bookkeeping stays exact.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Iterator
+
+__all__ = [
+    "LockOrderError", "OrderedLock", "lockcheck_enabled",
+    "set_lockcheck", "lock_order_graph", "reset_lock_graph",
+]
+
+#: Environment variable that turns checking on ("1" = enabled).
+ENV_VAR = "REPRO_LOCKCHECK"
+
+
+class LockOrderError(RuntimeError):
+    """Two lock classes were acquired in inconsistent orders."""
+
+
+class _State:
+    """Process-global checker state (lazily resolves the env switch)."""
+
+    def __init__(self) -> None:
+        self.enabled: bool | None = None
+
+    def resolve(self) -> bool:
+        if self.enabled is None:
+            self.enabled = os.environ.get(ENV_VAR, "") == "1"
+        return self.enabled
+
+
+_STATE = _State()
+
+
+def lockcheck_enabled() -> bool:
+    """Whether order checking is active (env ``REPRO_LOCKCHECK=1`` or
+    :func:`set_lockcheck`)."""
+    return _STATE.resolve()
+
+
+def set_lockcheck(enabled: bool | None) -> None:
+    """Force checking on/off; ``None`` re-reads the environment on next
+    use.  Intended for tests."""
+    _STATE.enabled = enabled
+
+
+class _LockGraph:
+    """The global acquisition-order graph (edges between lock names)."""
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()  # guards _edges only; never nested
+        self._edges: dict[str, set[str]] = {}
+        self._held = threading.local()
+
+    # ------------------------------------------------------------- held set
+    def _held_stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    # ---------------------------------------------------------- bookkeeping
+    def note_acquire(self, name: str) -> None:
+        """Record edges ``held -> name``; raise on a fresh cycle."""
+        stack = self._held_stack()
+        with self._guard:
+            for held in stack:
+                if held == name:
+                    continue
+                successors = self._edges.setdefault(held, set())
+                if name not in successors:
+                    cycle = self._find_path(name, held)
+                    if cycle is not None:
+                        raise LockOrderError(
+                            f"lock-order cycle: acquiring {name!r} while "
+                            f"holding {held!r}, but the recorded order is "
+                            f"{' -> '.join(cycle + [name])} "
+                            f"(potential deadlock)")
+                    successors.add(name)
+        stack.append(name)
+
+    def note_release(self, name: str) -> None:
+        stack = self._held_stack()
+        # Remove the most recent occurrence (locks release LIFO in
+        # practice, but out-of-order release is legal for plain locks).
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    def _find_path(self, start: str, goal: str) -> list[str] | None:
+        """DFS path ``start ~> goal`` through recorded edges (caller
+        holds ``_guard``)."""
+        seen = {start}
+        frontier: list[list[str]] = [[start]]
+        while frontier:
+            path = frontier.pop()
+            node = path[-1]
+            if node == goal:
+                return path
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(path + [nxt])
+        return None
+
+    # -------------------------------------------------------------- inspect
+    def snapshot(self) -> dict[str, frozenset[str]]:
+        with self._guard:
+            return {k: frozenset(v) for k, v in self._edges.items()}
+
+    def clear(self) -> None:
+        with self._guard:
+            self._edges.clear()
+
+
+_GRAPH = _LockGraph()
+
+
+def lock_order_graph() -> dict[str, frozenset[str]]:
+    """Copy of the recorded acquisition-order edges (name -> successors)."""
+    return _GRAPH.snapshot()
+
+
+def reset_lock_graph() -> None:
+    """Drop all recorded edges (the per-thread held sets are untouched;
+    call between tests, not while locks are held)."""
+    _GRAPH.clear()
+
+
+class OrderedLock:
+    """Drop-in :class:`threading.Lock` that records acquisition order.
+
+    ``name`` identifies the lock's *role* — every ``BlockStore`` shares
+    ``"BlockStore._stats_lock"`` — because deadlocks are a property of
+    code paths, not instances.  With checking disabled (the default
+    outside tests) the wrapper adds one attribute read per operation.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("OrderedLock needs a non-empty name")
+        self.name = name
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired and _STATE.resolve():
+            try:
+                _GRAPH.note_acquire(self.name)
+            except LockOrderError:
+                self._lock.release()
+                raise
+        return acquired
+
+    def release(self) -> None:
+        if _STATE.resolve():
+            _GRAPH.note_release(self.name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._lock.locked() else "unlocked"
+        return f"<OrderedLock {self.name!r} {state}>"
+
+
+def held_locks() -> Iterator[str]:
+    """Names of locks the *calling thread* currently holds (only
+    meaningful while checking is enabled)."""
+    return iter(tuple(_GRAPH._held_stack()))

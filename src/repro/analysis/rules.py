@@ -1,0 +1,347 @@
+"""The project-specific rule catalog (REP001..REP005).
+
+Each rule encodes an invariant the S3 reproduction depends on but no
+generic linter can know:
+
+========  ==============================================================
+REP001    no wall-clock reads outside ``common/clock.py`` — simulated
+          time comes from the event clock, real timing from the clock
+          abstraction
+REP002    no stdlib ``random`` / unseeded or legacy-global numpy RNG —
+          randomness routes through ``common/rng.py``
+REP003    ``ReadStats`` counter fields are written only by
+          ``localrt/storage.py`` and ``localrt/counters.py`` (protects
+          the logical-vs-physical accounting split)
+REP004    no blocking calls lexically inside a ``with ...lock:`` /
+          ``.acquire()`` region (sleep, file I/O, join, subprocess,
+          queue get/put, event wait)
+REP005    public functions in ``localrt/`` and ``schedulers/`` are
+          fully type-annotated (mypy strict backs this in CI)
+========  ==============================================================
+
+Rules are lexical on purpose: they run on any tree without imports or
+type inference, and the handful of borderline cases are documented with
+``# repro: noqa[...]`` at the use site, which doubles as a review
+marker.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterator, Sequence
+
+from .core import Rule
+
+# --------------------------------------------------------------- path scoping
+
+def _parts(path: str) -> tuple[str, ...]:
+    return pathlib.PurePosixPath(path).parts
+
+
+def _ends_with(path: str, *tail: str) -> bool:
+    parts = _parts(path)
+    return parts[-len(tail):] == tail
+
+
+# ------------------------------------------------------------ REP001: clock
+
+#: ``time`` module members that read the wall clock.
+_WALLCLOCK_TIME = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "clock_gettime", "clock_gettime_ns",
+    "localtime", "gmtime",
+})
+
+#: The one sanctioned wall-clock site (the clock abstraction itself).
+_CLOCK_ALLOWLIST = (("repro", "common", "clock.py"), ("common", "clock.py"))
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a name chain)."""
+    names: list[str] = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+        names.reverse()
+        return names
+    return []
+
+
+def check_rep001(tree: ast.Module,
+                 path: str) -> Iterator[tuple[int, int, str]]:
+    if any(_ends_with(path, *tail) for tail in _CLOCK_ALLOWLIST):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            bad = sorted(a.name for a in node.names
+                         if a.name in _WALLCLOCK_TIME)
+            if bad:
+                yield (node.lineno, node.col_offset,
+                       f"wall-clock import from time ({', '.join(bad)}); "
+                       "simulated paths use the event clock, real timing "
+                       "goes through repro.common.clock")
+        elif isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if (len(chain) == 2 and chain[0] == "time"
+                    and chain[1] in _WALLCLOCK_TIME):
+                yield (node.lineno, node.col_offset,
+                       f"wall-clock read time.{chain[1]}(); simulated "
+                       "paths use the event clock, real timing goes "
+                       "through repro.common.clock")
+            elif (len(chain) >= 2 and chain[-1] in ("now", "utcnow", "today")
+                    and chain[0] in ("datetime", "date", "dt")):
+                yield (node.lineno, node.col_offset,
+                       f"wall-clock read {'.'.join(chain)}(); use the "
+                       "event clock or repro.common.clock")
+
+
+# -------------------------------------------------------------- REP002: rng
+
+#: Legacy module-level numpy RNG entry points (global hidden state).
+_NUMPY_GLOBAL_RNG = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "choice", "shuffle", "permutation", "normal", "uniform", "poisson",
+    "exponential", "binomial",
+})
+
+_RNG_ALLOWLIST = (("repro", "common", "rng.py"), ("common", "rng.py"))
+
+
+def check_rep002(tree: ast.Module,
+                 path: str) -> Iterator[tuple[int, int, str]]:
+    if any(_ends_with(path, *tail) for tail in _RNG_ALLOWLIST):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    yield (node.lineno, node.col_offset,
+                           "stdlib random is banned (unseeded global "
+                           "state); route randomness through "
+                           "repro.common.rng.make_rng")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "random":
+                yield (node.lineno, node.col_offset,
+                       "stdlib random is banned (unseeded global state); "
+                       "route randomness through repro.common.rng.make_rng")
+        elif isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if (len(chain) == 3 and chain[0] in ("np", "numpy")
+                    and chain[1] == "random"
+                    and chain[2] in _NUMPY_GLOBAL_RNG):
+                yield (node.lineno, node.col_offset,
+                       f"legacy global numpy RNG {'.'.join(chain)}(); "
+                       "use repro.common.rng.make_rng for a seeded "
+                       "Generator")
+            elif (chain and chain[-1] == "default_rng"
+                    and not node.args and not node.keywords):
+                yield (node.lineno, node.col_offset,
+                       "unseeded default_rng(); pass a seed or use "
+                       "repro.common.rng.make_rng (deterministic by "
+                       "default)")
+
+
+# ---------------------------------------------------- REP003: counter writes
+
+#: Fields of repro.localrt.storage.ReadStats.  Kept literal so the
+#: analyzer never imports the runtime; tests assert this set matches the
+#: dataclass (see tests/analysis/test_rules.py).
+READSTATS_FIELDS = frozenset({
+    "blocks_read", "bytes_read", "physical_blocks_read",
+    "physical_bytes_read", "cache_hits", "cache_misses",
+    "cache_evictions", "prefetched_blocks",
+})
+
+#: Receiver names that identify a ReadStats holder (``store.stats``,
+#: ``self.stats``, ``report.io``...).
+_STATS_RECEIVERS = ("stats", "io")
+
+_REP003_ALLOWLIST = (("localrt", "storage.py"), ("localrt", "counters.py"))
+
+
+def _is_stats_receiver(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return False
+    return name in _STATS_RECEIVERS or name.endswith("_stats")
+
+
+def check_rep003(tree: ast.Module,
+                 path: str) -> Iterator[tuple[int, int, str]]:
+    if any(_ends_with(path, *tail) for tail in _REP003_ALLOWLIST):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets: Sequence[ast.expr] = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and target.attr in READSTATS_FIELDS
+                    and _is_stats_receiver(target.value)):
+                yield (node.lineno, node.col_offset,
+                       f"write to ReadStats.{target.attr} outside "
+                       "localrt/storage.py|counters.py breaks the "
+                       "logical-vs-physical I/O accounting; use the "
+                       "BlockStore APIs (note_external_read, snapshot/"
+                       "delta)")
+
+
+# ------------------------------------------------- REP004: blocking in lock
+
+#: Attribute calls that (may) block the calling thread.
+_BLOCKING_ATTRS = frozenset({
+    "sleep", "wait", "read", "readline", "readlines", "write",
+    "writelines", "read_bytes", "read_text", "write_bytes", "write_text",
+    "flush", "fsync",
+})
+
+_QUEUEISH = ("queue", "_q")
+
+
+def _terminal_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_lock_context(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        # ``with lock.acquire_timeout(...)`` style / ``.acquire()``
+        name = _terminal_name(expr.func)
+        return name == "acquire" or "lock" in name.lower()
+    return "lock" in _terminal_name(expr).lower()
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "file I/O (open)"
+        if func.id == "sleep":
+            return "sleep"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    chain = _attr_chain(func)
+    if chain and chain[0] == "subprocess":
+        return f"subprocess call ({'.'.join(chain)})"
+    if chain[:2] == ["os", "system"]:
+        return "subprocess call (os.system)"
+    attr = func.attr
+    if attr == "sleep":
+        return "sleep"
+    if attr == "join" and not call.args:
+        return "thread/process join"
+    if attr in _BLOCKING_ATTRS:
+        return f"blocking call .{attr}()"
+    if attr in ("get", "put"):
+        receiver = _terminal_name(func.value).lower()
+        if receiver == "q" or any(tag in receiver for tag in _QUEUEISH):
+            return f"blocking queue .{attr}()"
+    return None
+
+
+def _scan_lock_body(body: Sequence[ast.stmt]) -> Iterator[tuple[int, int, str]]:
+    """Find blocking calls in ``body``, not descending into nested
+    function definitions (those run later, outside the lock)."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            reason = _blocking_reason(node)
+            if reason:
+                yield (node.lineno, node.col_offset,
+                       f"{reason} while holding a lock; move the "
+                       "blocking work outside the critical section")
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def check_rep004(tree: ast.Module,
+                 path: str) -> Iterator[tuple[int, int, str]]:
+    del path  # applies everywhere
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+                _is_lock_context(item) for item in node.items):
+            yield from _scan_lock_body(node.body)
+
+
+# ------------------------------------------------- REP005: type annotations
+
+_REP005_DIRS = ("localrt", "schedulers")
+
+
+class _PublicDefVisitor(ast.NodeVisitor):
+    """Collect public module/class-level defs (nested defs are private
+    implementation detail and exempt)."""
+
+    def __init__(self) -> None:
+        self.found: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if not node.name.startswith("_"):
+            self.found.append(node)
+        # do not generic_visit: nested defs are exempt
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        if not node.name.startswith("_"):
+            self.found.append(node)
+
+
+def check_rep005(tree: ast.Module,
+                 path: str) -> Iterator[tuple[int, int, str]]:
+    if not any(part in _REP005_DIRS for part in _parts(path)):
+        return
+    visitor = _PublicDefVisitor()
+    visitor.visit(tree)
+    for node in visitor.found:
+        args = node.args
+        params = list(args.posonlyargs) + list(args.args) + \
+            list(args.kwonlyargs)
+        if params and params[0].arg in ("self", "cls"):
+            params = params[1:]
+        if args.vararg is not None:
+            params.append(args.vararg)
+        if args.kwarg is not None:
+            params.append(args.kwarg)
+        missing = [p.arg for p in params if p.annotation is None]
+        if missing:
+            yield (node.lineno, node.col_offset,
+                   f"public function {node.name}() has unannotated "
+                   f"parameter(s): {', '.join(missing)}")
+        if node.returns is None:
+            yield (node.lineno, node.col_offset,
+                   f"public function {node.name}() has no return "
+                   "annotation")
+
+
+# ------------------------------------------------------------------ catalog
+
+RULES: tuple[Rule, ...] = (
+    Rule("REP001", "no wall-clock reads outside common/clock.py",
+         check_rep001),
+    Rule("REP002", "randomness must route through common/rng.py (seeded)",
+         check_rep002),
+    Rule("REP003", "ReadStats fields written only by storage.py/counters.py",
+         check_rep003),
+    Rule("REP004", "no blocking calls inside a lock-held region",
+         check_rep004),
+    Rule("REP005", "public localrt/schedulers functions fully annotated",
+         check_rep005),
+)
+
+RULES_BY_CODE = {rule.code: rule for rule in RULES}

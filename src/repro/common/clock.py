@@ -1,0 +1,54 @@
+"""The one sanctioned wall-clock site (see analysis rule REP001).
+
+Everything simulated takes time from the event clock
+(:mod:`repro.simengine`); nothing in ``src/`` may read the wall clock
+directly, because a stray ``time.time()`` in a simulated path silently
+destroys reproducibility.  Real elapsed-time measurement (CLI timing,
+benchmarks) goes through this module instead, which keeps the analyzer
+allowlist at exactly one file and gives tests a seam to substitute a
+fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: A clock is just a zero-argument callable returning seconds.
+Clock = Callable[[], float]
+
+
+def monotonic_clock() -> Clock:
+    """The process-wide monotonic clock (wraps ``time.perf_counter``)."""
+    return time.perf_counter
+
+
+class FakeClock:
+    """Deterministic stand-in: starts at ``start`` and only moves when
+    told to (``advance``).  For tests of timing-reporting code."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds}")
+        self._now += seconds
+
+
+class Stopwatch:
+    """Measure elapsed wall time against an injectable clock."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock if clock is not None else monotonic_clock()
+        self._start = self._clock()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last ``restart``)."""
+        return self._clock() - self._start
+
+    def restart(self) -> None:
+        self._start = self._clock()

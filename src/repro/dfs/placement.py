@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Protocol, Sequence
 
-from ..common.errors import DfsError
 from ..cluster.topology import Topology
+from ..common.errors import DfsError
 
 
 class PlacementPolicy(Protocol):

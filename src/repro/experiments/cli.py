@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Sequence
 
+from ..common.clock import Stopwatch
 from .registry import ALL, run_experiment
 from .serialize import result_to_json
 
@@ -53,14 +53,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     exit_code = 0
     report_sections: list[str] = []
     for experiment_id in requested:
-        start = time.perf_counter()
+        watch = Stopwatch()
         try:
             result = run_experiment(experiment_id)
         except Exception as exc:  # surfaced per-experiment, keep going
             print(f"[{experiment_id}] FAILED: {exc}", file=sys.stderr)
             exit_code = 1
             continue
-        elapsed = time.perf_counter() - start
+        elapsed = watch.elapsed()
         if args.json:
             print(result_to_json(result))
         else:

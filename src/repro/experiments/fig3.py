@@ -10,12 +10,10 @@ time** over a single job.
 
 from __future__ import annotations
 
-from ..mapreduce.job import JobSpec
 from ..metrics.report import format_series
 from ..schedulers.mrshare import MRShareScheduler
 from ..workloads.wordcount import normal_workload
 from .base import ExperimentResult, run_scheduler
-from .paperconfig import paper_cost_model
 
 #: Batch sizes the paper sweeps.
 BATCH_SIZES = tuple(range(1, 11))
@@ -24,7 +22,6 @@ BATCH_SIZES = tuple(range(1, 11))
 def run(batch_sizes: tuple[int, ...] = BATCH_SIZES) -> ExperimentResult:
     """Run the combined-cost sweep; returns TET / map / reduce series."""
     workload = normal_workload(num_jobs=max(batch_sizes))
-    cost = paper_cost_model()
     tet: list[float] = []
     map_time: list[float] = []
     reduce_time: list[float] = []

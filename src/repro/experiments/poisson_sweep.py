@@ -16,7 +16,6 @@ on identical Poisson draws (seeded).
 from __future__ import annotations
 
 from ..common.errors import ExperimentError
-from ..metrics.measures import ScheduleMetrics, compute_metrics
 from ..metrics.report import format_series
 from ..schedulers.fifo import FifoScheduler
 from ..schedulers.mrshare_opt import optimal_mrshare

@@ -15,9 +15,9 @@ from .extended import (
     run_speculation_ablation,
 )
 from .fig3 import run as run_fig3
+from .fig4 import run_panel
 from .local_shared_scan import run as run_local_shared_scan
 from .poisson_sweep import run as run_poisson_sweep
-from .fig4 import run_panel
 from .table1 import run as run_table1
 from .worked_examples import run as run_examples
 

@@ -18,7 +18,6 @@ actual single-job simulation for the processing time.
 from __future__ import annotations
 
 from ..common.units import fmt_duration, fmt_size_mb
-from ..mapreduce.costmodel import CostModel
 from ..schedulers.fifo import FifoScheduler
 from ..workloads.wordcount import normal_workload, table1_statistics
 from .base import ExperimentResult, run_scheduler

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Mapping, Sequence
 
 from ..common.errors import ExecutionError
-from ..localrt.api import LocalJob, Record
+from ..localrt.api import Record
 from ..localrt.engine import JobRunState
 from ..localrt.records import RecordReader
 from ..localrt.runners import RunReport, SharedScanRunner

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from ..common.errors import ExperimentError
 from ..mapreduce.job import JobSpec
 from ..mapreduce.profile import normal_wordcount
-from ..metrics.measures import compute_metrics
 from ..schedulers.s3 import S3Config, S3Scheduler
 from ..workloads.wordcount import CORPUS_FILE, CORPUS_SIZE_MB
 

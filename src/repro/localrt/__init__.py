@@ -20,6 +20,15 @@ from .engine import (
     run_map_on_block,
     run_reduce,
 )
+from .jobs import (
+    AggregationMapper,
+    PatternWordCount,
+    SelectionMapper,
+    aggregation_job,
+    selection_job,
+    wordcount_job,
+)
+from .output import SUCCESS_MARKER, read_output, write_output
 from .parallel import (
     MapBackend,
     MapTaskSpec,
@@ -30,15 +39,6 @@ from .parallel import (
     execute_map_wave,
     make_backend,
 )
-from .jobs import (
-    AggregationMapper,
-    PatternWordCount,
-    SelectionMapper,
-    aggregation_job,
-    selection_job,
-    wordcount_job,
-)
-from .output import SUCCESS_MARKER, read_output, write_output
 from .prefetch import ReadAheadPrefetcher
 from .records import DelimitedReader, RecordReader, TextLineReader
 from .runners import FifoLocalRunner, RunReport, SharedScanRunner

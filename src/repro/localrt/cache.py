@@ -19,10 +19,10 @@ accounting stays truthful (two physical reads happened).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..analysis.lockgraph import OrderedLock
 from ..common.errors import ExecutionError
 
 
@@ -67,7 +67,7 @@ class BlockCache:
                 f"cache capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
         self.stats = CacheStats()
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("BlockCache._lock")
         #: index -> (text, nbytes), in LRU order (oldest first).
         self._entries: "OrderedDict[int, tuple[str, int]]" = OrderedDict()
         self._current_bytes = 0

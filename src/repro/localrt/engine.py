@@ -8,11 +8,10 @@ time.
 
 from __future__ import annotations
 
+import copy
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Hashable
-
-import copy
 
 from ..common.errors import ExecutionError
 from .api import LocalJob, Record, default_partitioner

@@ -26,6 +26,7 @@ import threading
 from collections import deque
 from typing import Iterable
 
+from ..analysis.lockgraph import OrderedLock
 from ..common.errors import ExecutionError
 from .storage import BlockStore
 
@@ -58,7 +59,10 @@ class ReadAheadPrefetcher:
         self._store = store
         self.depth = depth
         self._pending: "deque[int]" = deque()
-        self._cond = threading.Condition()
+        #: Condition over an OrderedLock so waits/notifies participate in
+        #: lock-order checking (REPRO_LOCKCHECK=1).
+        self._cond = threading.Condition(
+            OrderedLock("ReadAheadPrefetcher._cond"))  # type: ignore[arg-type]
         self._stop = threading.Event()
         self._closed = False
         #: Blocks dequeued by the worker (pacing position).

@@ -46,8 +46,13 @@ from .api import JobResult, LocalJob
 from .cache import BlockCache
 from .counters import Counters
 from .engine import JobRunState, count_pending_values, run_reduce
-from .parallel import (MapBackend, MapTaskSpec, backend_from_config,
-                       execute_map_wave, resolve_backend)
+from .parallel import (
+    MapBackend,
+    MapTaskSpec,
+    backend_from_config,
+    execute_map_wave,
+    resolve_backend,
+)
 from .prefetch import ReadAheadPrefetcher
 from .records import RecordReader, TextLineReader
 from .storage import BlockStore, ReadStats

@@ -23,10 +23,10 @@ The counter model distinguishes two layers:
 from __future__ import annotations
 
 import pathlib
-import threading
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Iterable, Iterator
 
+from ..analysis.lockgraph import OrderedLock
 from ..common.errors import ExecutionError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -100,8 +100,10 @@ class BlockStore:
             raise ExecutionError(f"block store {self.directory} is empty")
         self.stats = ReadStats()
         #: Guards the read counters (read_block may be called from a
-        #: thread pool; see repro.localrt.parallel).
-        self._stats_lock = threading.Lock()
+        #: thread pool; see repro.localrt.parallel).  OrderedLock: with
+        #: REPRO_LOCKCHECK=1 the acquisition order against the cache and
+        #: prefetcher locks is recorded and cycles fail fast.
+        self._stats_lock = OrderedLock("BlockStore._stats_lock")
         #: Byte offset of each block within the logical file, and each
         #: block's on-disk size (one stat per block, at open only).
         self._offsets: list[int] = []

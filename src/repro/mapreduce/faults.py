@@ -23,7 +23,7 @@ implement both mechanisms:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..common.errors import ConfigError
 from ..common.rng import RngLike, make_rng

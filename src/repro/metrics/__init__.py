@@ -8,8 +8,7 @@ from .jobstats import (
     mean_sharing_fraction,
 )
 from .measures import NormalizedMetrics, ScheduleMetrics, compute_metrics
-from .report import (format_io_table, format_series, format_table,
-                     normalize_all)
+from .report import format_io_table, format_series, format_table, normalize_all
 from .utilization import (
     Interval,
     busy_slots_series,

@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, IO
+from typing import IO, Any
 
 from ..common.errors import ExperimentError
-from ..common.tracelog import TraceLog, TraceRecord
+from ..common.tracelog import TraceLog
 
 
 def dump_trace(trace: TraceLog, target: pathlib.Path | str | IO[str]) -> int:

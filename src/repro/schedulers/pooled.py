@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cluster.node import Node
 from ..common import ids
 from ..common.errors import SchedulingError
 from ..mapreduce.job import JobSpec
@@ -232,7 +233,8 @@ class PooledScheduler(UnitQueueScheduler):
             pool.running_reduces -= 1
             unit.reduces_to_launch += 1
 
-    def backup_launch(self, launch: TaskLaunch, node, now: float):
+    def backup_launch(self, launch: TaskLaunch, node: Node,
+                      now: float) -> TaskLaunch | None:
         """Speculation is unsupported for pooled policies (the per-pool
         running-task accounting assumes one attempt per task)."""
         return None

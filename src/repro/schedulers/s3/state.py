@@ -13,7 +13,7 @@ pointer) and every iteration advances all active jobs together.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...common.errors import SchedulingError
 from ...mapreduce.job import JobSpec

@@ -2,7 +2,6 @@
 plus real data generators for the local runtime."""
 
 from .arrivals import dense, poisson, sparse_groups, uniform, validate_arrivals
-from .suite import SuiteRegistry, WorkloadSuite, build_default_registry, suites
 from .selection import (
     DEFAULT_SELECTIVITY,
     LINEITEM_FILE,
@@ -10,6 +9,7 @@ from .selection import (
     SelectionWorkload,
     selection_workload,
 )
+from .suite import SuiteRegistry, WorkloadSuite, build_default_registry, suites
 from .wordcount import (
     CORPUS_FILE,
     CORPUS_SIZE_MB,

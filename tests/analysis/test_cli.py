@@ -1,0 +1,122 @@
+"""CLI behaviour: exit codes, output formats, baseline workflow."""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis.cli import main
+
+CLEAN = "def fine() -> int:\n    return 1\n"
+DIRTY = textwrap.dedent("""\
+    import random
+    import time
+
+    def stamp():
+        return time.time()
+    """)
+
+
+def write(tmp_path, name, content):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), stdout=out)
+    return code, out.getvalue()
+
+
+def test_clean_tree_exits_zero(tmp_path):
+    write(tmp_path, "pkg/good.py", CLEAN)
+    code, output = run_cli(str(tmp_path))
+    assert code == 0
+    assert "clean" in output
+
+
+def test_violations_exit_nonzero_with_file_line(tmp_path):
+    path = write(tmp_path, "pkg/bad.py", DIRTY)
+    code, output = run_cli(str(tmp_path))
+    assert code == 1
+    assert f"{path.as_posix()}:1:0: REP002" in output
+    assert f"{path.as_posix()}:5:11: REP001" in output
+
+
+def test_json_format(tmp_path):
+    write(tmp_path, "bad.py", "import random\n")
+    code, output = run_cli(str(tmp_path), "--format", "json")
+    assert code == 1
+    document = json.loads(output)
+    assert [d["code"] for d in document] == ["REP002"]
+    assert document[0]["line"] == 1
+
+
+def test_select_and_ignore(tmp_path):
+    write(tmp_path, "bad.py", DIRTY)
+    code, output = run_cli(str(tmp_path), "--select", "REP002")
+    assert code == 1 and "REP001" not in output
+    code, output = run_cli(str(tmp_path), "--ignore", "REP001,REP002")
+    assert code == 0
+
+
+def test_unknown_code_is_usage_error(tmp_path):
+    write(tmp_path, "x.py", CLEAN)
+    code, _ = run_cli(str(tmp_path), "--select", "REP999")
+    assert code == 2
+
+
+def test_missing_path_is_usage_error(tmp_path):
+    code, _ = run_cli(str(tmp_path / "nope"))
+    assert code == 2
+
+
+def test_no_paths_prints_help(tmp_path):
+    code, output = run_cli()
+    assert code == 2
+    assert "usage" in output.lower()
+
+
+def test_list_rules():
+    code, output = run_cli("--list-rules")
+    assert code == 0
+    for expected in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        assert expected in output
+
+
+def test_baseline_roundtrip(tmp_path):
+    write(tmp_path, "bad.py", "import random\n")
+    baseline = tmp_path / "baseline.json"
+    code, output = run_cli(str(tmp_path), "--baseline", str(baseline),
+                           "--write-baseline")
+    assert code == 0 and "1 entries" in output
+    # Grandfathered: now clean.
+    code, _ = run_cli(str(tmp_path), "--baseline", str(baseline))
+    assert code == 0
+    # A fresh violation still fails.
+    write(tmp_path, "worse.py", "import time\nt = time.time()\n")
+    code, output = run_cli(str(tmp_path), "--baseline", str(baseline))
+    assert code == 1
+    assert "REP001" in output and "REP002" not in output
+
+
+def test_corrupt_baseline_is_usage_error(tmp_path):
+    write(tmp_path, "x.py", CLEAN)
+    baseline = write(tmp_path, "baseline.json", "not json")
+    code, _ = run_cli(str(tmp_path), "--baseline", str(baseline))
+    assert code == 2
+
+
+def test_module_entry_point_runs(tmp_path):
+    """``python -m repro.analysis`` is the documented interface."""
+    write(tmp_path, "bad.py", "import random\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(tmp_path)],
+        capture_output=True, text=True)
+    assert proc.returncode == 1
+    assert "REP002" in proc.stdout

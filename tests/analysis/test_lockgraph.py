@@ -1,0 +1,164 @@
+"""OrderedLock: acquisition-order recording and cycle detection."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.lockgraph import (
+    LockOrderError,
+    OrderedLock,
+    lock_order_graph,
+    lockcheck_enabled,
+    reset_lock_graph,
+    set_lockcheck,
+)
+
+
+@pytest.fixture(autouse=True)
+def checking_on():
+    """Force checking on with a clean graph; restore env-driven state."""
+    set_lockcheck(True)
+    reset_lock_graph()
+    yield
+    reset_lock_graph()
+    set_lockcheck(None)
+
+
+def test_consistent_order_is_fine():
+    a, b = OrderedLock("t1.A"), OrderedLock("t1.B")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    graph = lock_order_graph()
+    assert "t1.B" in graph["t1.A"]
+
+
+def test_ab_ba_cycle_is_detected():
+    a, b = OrderedLock("t2.A"), OrderedLock("t2.B")
+    with a:
+        with b:
+            pass
+    with pytest.raises(LockOrderError, match="t2.A"):
+        with b:
+            with a:
+                pass
+
+
+def test_cycle_detection_releases_the_inner_lock():
+    a, b = OrderedLock("t3.A"), OrderedLock("t3.B")
+    with a, b:
+        pass
+    with b:
+        with pytest.raises(LockOrderError):
+            a.acquire()
+    # The failed acquire must not leave ``a`` locked.
+    assert not a.locked()
+    assert not b.locked()
+
+
+def test_three_lock_cycle_is_detected():
+    a, b, c = (OrderedLock(f"t4.{n}") for n in "ABC")
+    with a, b:
+        pass
+    with b, c:
+        pass
+    with pytest.raises(LockOrderError, match="potential deadlock"):
+        with c, a:
+            pass
+
+
+def test_same_name_reentrancy_records_no_self_edge():
+    """Two instances sharing a role name: no self-edge, no false cycle."""
+    s1, s2 = OrderedLock("t5.S"), OrderedLock("t5.S")
+    with s1:
+        with s2:
+            pass
+    assert "t5.S" not in lock_order_graph().get("t5.S", frozenset())
+
+
+def test_disabled_checking_records_nothing():
+    set_lockcheck(False)
+    a, b = OrderedLock("t6.A"), OrderedLock("t6.B")
+    with a, b:
+        pass
+    with b, a:  # would cycle if checking were on
+        pass
+    assert "t6.A" not in lock_order_graph()
+
+
+def test_env_gate(monkeypatch):
+    set_lockcheck(None)  # defer to environment
+    monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+    assert lockcheck_enabled() is True
+    set_lockcheck(None)
+    monkeypatch.setenv("REPRO_LOCKCHECK", "0")
+    assert lockcheck_enabled() is False
+
+
+def test_nonblocking_acquire_contract():
+    lock = OrderedLock("t7.A")
+    assert lock.acquire(blocking=False) is True
+    assert lock.locked()
+    lock.release()
+
+    holder = OrderedLock("t7.B")
+    holder.acquire()
+    grabbed = []
+    thread = threading.Thread(
+        target=lambda: grabbed.append(holder.acquire(blocking=False)))
+    thread.start()
+    thread.join()
+    assert grabbed == [False]
+    holder.release()
+
+
+def test_condition_wait_keeps_bookkeeping_exact():
+    """Condition.wait releases/reacquires through the wrapper, so a
+    cross-thread notify works and no stale held-state accumulates."""
+    cond = threading.Condition(OrderedLock("t8.cond"))
+    outer = OrderedLock("t8.outer")
+    ready = []
+
+    def waiter():
+        with cond:
+            while not ready:
+                cond.wait(timeout=5.0)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    with cond:
+        ready.append(True)
+        cond.notify()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    # After the dance, taking an unrelated lock must not see phantom
+    # held locks from the condition.
+    with outer:
+        pass
+    assert "t8.cond" not in lock_order_graph().get("t8.outer", frozenset())
+
+
+def test_runtime_locks_record_expected_graph(tmp_path):
+    """The retrofitted BlockStore/BlockCache/prefetcher hold no two
+    project locks at once: a full cached+prefetched run records no
+    edges between the runtime lock roles."""
+    from repro.localrt.cache import BlockCache
+    from repro.localrt.prefetch import ReadAheadPrefetcher
+    from repro.localrt.storage import BlockStore
+
+    store = BlockStore.create(
+        tmp_path / "blocks", (f"line {i}" for i in range(64)),
+        block_size_bytes=64, cache=BlockCache(1 << 16))
+    with ReadAheadPrefetcher(store, depth=4) as prefetcher:
+        prefetcher.schedule(range(store.num_blocks))
+        for index in range(store.num_blocks):
+            store.read_block(index)
+    runtime_roles = {"BlockStore._stats_lock", "BlockCache._lock",
+                     "ReadAheadPrefetcher._cond"}
+    for source, targets in lock_order_graph().items():
+        if source in runtime_roles:
+            assert not (targets & runtime_roles), (
+                f"unexpected lock nesting {source} -> {targets}")

@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.common.config import (ClusterConfig, DfsConfig, ExecutionConfig,
-                                 paper_cluster, paper_dfs)
+from repro.common.config import (
+    ClusterConfig,
+    DfsConfig,
+    ExecutionConfig,
+    paper_cluster,
+    paper_dfs,
+)
 from repro.common.errors import ConfigError
 
 

@@ -8,7 +8,7 @@ geometry build it explicitly.
 
 from __future__ import annotations
 
-import pathlib
+import os
 
 import pytest
 
@@ -18,6 +18,12 @@ from repro.mapreduce.costmodel import CostModel
 from repro.mapreduce.job import JobSpec
 from repro.mapreduce.profile import JobProfile
 from repro.workloads.text import TextCorpusGenerator
+
+# Lock-order checking (repro.analysis.lockgraph) is on for the whole
+# suite: any test that nests the runtime locks inconsistently fails with
+# a LockOrderError naming the cycle.  The switch is read lazily at the
+# first lock acquisition, so setting it here covers every test.
+os.environ.setdefault("REPRO_LOCKCHECK", "1")
 
 
 @pytest.fixture

@@ -64,12 +64,8 @@ def test_s3_block_coverage_exact(seed):
     arrivals = sorted(poisson(4, 15.0, seed=seed))
     result = run_one(S3Scheduler(S3Config(blocks_per_segment=5)),
                      8, (4, 4), 30, arrivals)
-    coverage = {f"j{i}": [] for i in range(4)}
-    for record in result.trace.filter(kind="task.start.map"):
-        block = record.detail["block"]
-        # job ids are embedded via the launch's job list -> use attempt trace
-    # Reconstruct coverage from the scheduler-visible trace is indirect;
-    # instead assert completion + map-task count bounds:
+    # Reconstructing per-job coverage from the scheduler-visible trace
+    # is indirect; instead assert completion + map-task count bounds:
     total_map_tasks = len(result.trace.filter(kind="task.start.map"))
     # Shared scanning: between 30 (fully shared) and 120 (no sharing).
     assert 30 <= total_map_tasks <= 120

@@ -18,7 +18,6 @@ def panels():
 # ------------------------------------------------------------------- 4(a)
 def test_4a_s3_best_on_both_metrics(panels):
     result = panels["4a"]
-    s3 = result.metric("S3")
     for other in ("FIFO", "MRS1", "MRS2", "MRS3"):
         tet_ratio, art_ratio = result.ratio(other)
         assert tet_ratio >= 1.0, f"{other} beat S3 on TET"

@@ -3,7 +3,7 @@ and analytics consistency."""
 
 import pytest
 
-from repro.common.config import ClusterConfig, DfsConfig
+from repro.common.config import ClusterConfig
 from repro.mapreduce.costmodel import CostModel
 from repro.mapreduce.driver import SimulationDriver
 from repro.mapreduce.job import JobSpec

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.worked_examples import analytic_two_jobs, run
+from repro.experiments.worked_examples import run
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,6 @@ import pytest
 
 from repro.common.errors import ConfigError
 from repro.mapreduce.profile import (
-    JobProfile,
     heavy_wordcount,
     normal_wordcount,
     selection,

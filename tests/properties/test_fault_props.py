@@ -5,7 +5,7 @@ complete every job with exactly one effective completion per task, and the
 S3 coverage invariant must survive retries.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.config import ClusterConfig, DfsConfig

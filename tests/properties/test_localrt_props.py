@@ -6,8 +6,6 @@ FIFO runner — scan sharing is an execution-strategy change, never a
 semantics change.
 """
 
-import pathlib
-
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -48,7 +48,7 @@ def test_single_job_full_cycle():
 def test_job_admitted_mid_cycle_wraps():
     loop = make_loop(num_blocks=8, seg=4)
     loop.add_job(spec("a"), 0.0)
-    it1 = loop.build_iteration(4)           # a covers 0-3
+    loop.build_iteration(4)                 # a covers 0-3
     loop.add_job(spec("b"), 1.0)
     it2 = loop.build_iteration(4)           # a covers 4-7 (done), b covers 4-7
     assert it2.participants == ("a", "b")

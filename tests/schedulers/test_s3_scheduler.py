@@ -65,9 +65,7 @@ def test_circular_coverage_is_complete(small_cluster_config, small_dfs_config,
     jobs = job_factory(fast_profile, 3)
     result = run_s3(small_cluster_config, small_dfs_config, jobs,
                     [0.0, 2.0, 5.0], blocks=24)
-    covered = {job.job_id: [] for job in jobs}
-    for record in result.trace.filter(kind="task.start.map"):
-        pass  # block coverage asserted via job completion + no deadlock
+    # Block coverage is asserted via job completion + no deadlock.
     assert result.all_complete
 
 

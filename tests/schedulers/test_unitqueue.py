@@ -1,7 +1,5 @@
 """Direct ExecUnit mechanics tests (FIFO/MRShare's shared engine)."""
 
-import pytest
-
 from repro.common.config import DfsConfig
 from repro.dfs.namenode import NameNode
 from repro.dfs.placement import RoundRobinPlacement

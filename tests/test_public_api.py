@@ -31,8 +31,7 @@ def test_subpackage_all_exports_resolve(module_name):
 
 def test_minimal_user_journey():
     """The README quickstart snippet, condensed."""
-    from repro import (FifoScheduler, JobSpec, S3Scheduler, SimulationDriver,
-                       compute_metrics)
+    from repro import JobSpec, S3Scheduler, SimulationDriver, compute_metrics
     from repro.mapreduce import normal_wordcount
 
     driver = SimulationDriver(S3Scheduler())
