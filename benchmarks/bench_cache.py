@@ -32,6 +32,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro.common.config import ExecutionConfig                 # noqa: E402
 from repro.localrt.cache import BlockCache                      # noqa: E402
 from repro.localrt.jobs import wordcount_job                    # noqa: E402
 from repro.localrt.runners import FifoLocalRunner, SharedScanRunner  # noqa: E402
@@ -67,7 +68,9 @@ def bench_fifo_rescan(corpus_bytes: int, block_size: int,
 
         store.attach_cache(BlockCache(capacity_bytes=store.total_bytes * 2))
         start = time.perf_counter()
-        warm = FifoLocalRunner(store, prefetch_depth=4).run(make_jobs(n_jobs))
+        warm = FifoLocalRunner(store, ExecutionConfig(prefetch_depth=4,
+                               cache_capacity_bytes=store.total_bytes * 2)
+                               ).run(make_jobs(n_jobs))
         warm_s = time.perf_counter() - start
 
         assert warm.blocks_read == cold.blocks_read, \
@@ -92,14 +95,17 @@ def bench_shared_prefetch(corpus_bytes: int, block_size: int,
     with tempfile.TemporaryDirectory() as tmp:
         store = build_store(tmp, corpus_bytes, block_size)
         start = time.perf_counter()
-        off = SharedScanRunner(store, blocks_per_segment=segment).run(
+        off = SharedScanRunner(store, ExecutionConfig(
+            blocks_per_segment=segment)).run(
             make_jobs(4), arrival_iterations=arrivals)
         off_s = time.perf_counter() - start
 
-        store.attach_cache(BlockCache(capacity_bytes=block_size * 4 * segment))
+        cache_bytes = block_size * 4 * segment
+        store.attach_cache(BlockCache(capacity_bytes=cache_bytes))
         start = time.perf_counter()
-        on = SharedScanRunner(store, blocks_per_segment=segment,
-                              prefetch_depth=segment).run(
+        on = SharedScanRunner(store, ExecutionConfig(
+            blocks_per_segment=segment, prefetch_depth=segment,
+            cache_capacity_bytes=cache_bytes)).run(
             make_jobs(4), arrival_iterations=arrivals)
         on_s = time.perf_counter() - start
 

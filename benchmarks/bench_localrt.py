@@ -9,6 +9,7 @@ import tempfile
 
 import pytest
 
+from repro.common.config import ExecutionConfig
 from repro.localrt.jobs import wordcount_job
 from repro.localrt.runners import FifoLocalRunner, SharedScanRunner
 from repro.localrt.storage import BlockStore
@@ -37,14 +38,14 @@ def test_fifo_four_jobs(benchmark, corpus):
 
 
 def test_shared_scan_four_jobs(benchmark, corpus):
-    runner = SharedScanRunner(corpus, blocks_per_segment=4)
+    runner = SharedScanRunner(corpus, ExecutionConfig(blocks_per_segment=4))
     report = benchmark(lambda: runner.run(make_jobs()))
     # Single shared pass over the file.
     assert report.blocks_read == corpus.num_blocks
 
 
 def test_shared_scan_staggered(benchmark, corpus):
-    runner = SharedScanRunner(corpus, blocks_per_segment=3)
+    runner = SharedScanRunner(corpus, ExecutionConfig(blocks_per_segment=3))
     arrivals = {"wc1": 1, "wc2": 2, "wc3": 3}
     report = benchmark(lambda: runner.run(make_jobs(), arrivals))
     assert corpus.num_blocks <= report.blocks_read <= 4 * corpus.num_blocks

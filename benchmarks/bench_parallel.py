@@ -19,6 +19,7 @@ import time
 
 import pytest
 
+from repro.common.config import ExecutionConfig
 from repro.localrt.jobs import wordcount_job
 from repro.localrt.parallel import BACKEND_NAMES
 from repro.localrt.runners import SharedScanRunner
@@ -43,8 +44,9 @@ def make_jobs():
 
 
 def run_backend(corpus, backend):
-    runner = SharedScanRunner(corpus, blocks_per_segment=8, backend=backend,
-                              workers=os.cpu_count())
+    runner = SharedScanRunner(corpus, ExecutionConfig(
+        map_backend=backend, map_workers=os.cpu_count(),
+        blocks_per_segment=8))
     return runner.run(make_jobs())
 
 

@@ -16,6 +16,7 @@ Run:  python examples/selection_tpch.py
 import tempfile
 from pathlib import Path
 
+from repro.common.config import ExecutionConfig
 from repro.ext import compare_collection_schemes
 from repro.localrt import (
     BlockStore,
@@ -47,8 +48,9 @@ def main() -> None:
         jobs = [selection_job(job_id, threshold)
                 for job_id, threshold in thresholds.items()]
         arrivals = {job_id: i for i, job_id in enumerate(thresholds)}
-        report = SharedScanRunner(store, reader=reader,
-                                  blocks_per_segment=3).run(jobs, arrivals)
+        report = SharedScanRunner(
+            store, ExecutionConfig(blocks_per_segment=3),
+            reader=reader).run(jobs, arrivals)
 
         total_rows = report.results["sel-10"].map_input_records
         print(f"\n{'query':<8} {'predicate':<18} {'selected':>9} {'measured':>9}")

@@ -10,19 +10,40 @@ subpackages for the full API:
 * :mod:`repro.schedulers` — FIFO, MRShare and the S3 shared scan scheduler
 * :mod:`repro.localrt` — a real (executing) mini-MapReduce runtime with
   shared-scan support
+* :mod:`repro.obs` — observability: tracers, metrics, Chrome-trace export
 * :mod:`repro.workloads` / :mod:`repro.metrics` / :mod:`repro.experiments`
+
+The blessed surface below is what downstream code should import; everything
+else is reachable through the subpackages but carries no stability promise.
 """
 
-from .common import ClusterConfig, DfsConfig
+from .common import ClusterConfig, DfsConfig, ExecutionConfig, TraceConfig
+from .localrt import (
+    BlockStore,
+    FifoLocalRunner,
+    LocalJob,
+    RunReport,
+    SharedScanRunner,
+)
 from .mapreduce import CostModel, JobSpec, SimulationDriver
 from .metrics import compute_metrics, format_table
+from .obs import MetricsRegistry, Tracer, TraceSession
 from .schedulers import FifoScheduler, MRShareScheduler, S3Config, S3Scheduler
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "ClusterConfig", "DfsConfig", "CostModel", "JobSpec", "SimulationDriver",
-    "compute_metrics", "format_table",
+    # configuration
+    "ClusterConfig", "DfsConfig", "ExecutionConfig", "TraceConfig",
+    # simulator
+    "CostModel", "JobSpec", "SimulationDriver",
     "FifoScheduler", "MRShareScheduler", "S3Config", "S3Scheduler",
+    # local runtime
+    "BlockStore", "FifoLocalRunner", "LocalJob", "RunReport",
+    "SharedScanRunner",
+    # observability
+    "MetricsRegistry", "Tracer", "TraceSession",
+    # metrics
+    "compute_metrics", "format_table",
     "__version__",
 ]

@@ -1,4 +1,4 @@
-"""The project-specific rule catalog (REP001..REP005).
+"""The project-specific rule catalog (REP001..REP006).
 
 Each rule encodes an invariant the S3 reproduction depends on but no
 generic linter can know:
@@ -17,6 +17,10 @@ REP004    no blocking calls lexically inside a ``with ...lock:`` /
           queue get/put, event wait)
 REP005    public functions in ``localrt/`` and ``schedulers/`` are
           fully type-annotated (mypy strict backs this in CI)
+REP006    runtime/scheduler code emits telemetry only through
+          ``repro.obs`` — no ``print()`` and no ``logging`` in
+          ``localrt/`` or ``schedulers/`` (ad-hoc emission bypasses the
+          tracer's clock discipline and the no-op fast path)
 ========  ==============================================================
 
 Rules are lexical on purpose: they run on any tree without imports or
@@ -329,6 +333,56 @@ def check_rep005(tree: ast.Module,
                    "annotation")
 
 
+# -------------------------------------------- REP006: emission through obs
+
+_REP006_DIRS = ("localrt", "schedulers")
+
+#: ``logging`` emission methods (on a Logger or the module itself).
+_LOG_EMIT = frozenset({
+    "debug", "info", "warning", "warn", "error", "critical", "exception",
+    "log",
+})
+
+#: Receiver names that identify a logger object.
+_LOGGERISH = ("logger", "log", "logging")
+
+
+def check_rep006(tree: ast.Module,
+                 path: str) -> Iterator[tuple[int, int, str]]:
+    if not any(part in _REP006_DIRS for part in _parts(path)):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "logging":
+                    yield (node.lineno, node.col_offset,
+                           "logging import in runtime/scheduler code; "
+                           "emit telemetry through repro.obs (Tracer "
+                           "spans/events, MetricsRegistry)")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "logging":
+                yield (node.lineno, node.col_offset,
+                       "logging import in runtime/scheduler code; emit "
+                       "telemetry through repro.obs (Tracer spans/events, "
+                       "MetricsRegistry)")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield (node.lineno, node.col_offset,
+                       "print() in runtime/scheduler code; record a "
+                       "tracer event (repro.obs) instead of writing to "
+                       "stdout")
+            elif isinstance(func, ast.Attribute) and func.attr in _LOG_EMIT:
+                receiver = _terminal_name(func.value).lower()
+                if (receiver in _LOGGERISH
+                        or receiver.endswith(("_logger", "_log"))):
+                    yield (node.lineno, node.col_offset,
+                           f"logger emission .{func.attr}() in runtime/"
+                           "scheduler code; emit telemetry through "
+                           "repro.obs (Tracer spans/events, "
+                           "MetricsRegistry)")
+
+
 # ------------------------------------------------------------------ catalog
 
 RULES: tuple[Rule, ...] = (
@@ -342,6 +396,8 @@ RULES: tuple[Rule, ...] = (
          check_rep004),
     Rule("REP005", "public localrt/schedulers functions fully annotated",
          check_rep005),
+    Rule("REP006", "localrt/schedulers telemetry goes through repro.obs only",
+         check_rep006),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in RULES}

@@ -1,6 +1,13 @@
 """Shared infrastructure: configuration, units, ids, RNG and tracing."""
 
-from .config import ClusterConfig, DfsConfig, paper_cluster, paper_dfs
+from .config import (
+    ClusterConfig,
+    DfsConfig,
+    ExecutionConfig,
+    TraceConfig,
+    paper_cluster,
+    paper_dfs,
+)
 from .errors import (
     ConfigError,
     DfsError,
@@ -17,7 +24,8 @@ from .tracelog import TraceLog, TraceRecord
 from .units import bytes_to_mb, fmt_duration, fmt_size_mb, gb, mb, mb_to_bytes, minutes
 
 __all__ = [
-    "ClusterConfig", "DfsConfig", "paper_cluster", "paper_dfs",
+    "ClusterConfig", "DfsConfig", "ExecutionConfig", "TraceConfig",
+    "paper_cluster", "paper_dfs",
     "ConfigError", "DfsError", "ExecutionError", "ExperimentError",
     "ReproError", "SchedulingError", "SimulationError", "WorkloadError",
     "IdAllocator", "DEFAULT_SEED", "make_rng",

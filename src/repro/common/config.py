@@ -95,6 +95,44 @@ class DfsConfig:
 #: (:mod:`repro.localrt.parallel`).
 MAP_BACKENDS = ("serial", "threads", "processes")
 
+#: On-disk trace encodings understood by :mod:`repro.obs.export`.
+TRACE_FORMATS = ("chrome", "jsonl")
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Whether and where a run records an observability trace.
+
+    Attributes
+    ----------
+    enabled:
+        Turn span/event recording on.  Off (the default) instrumented
+        code runs through the no-op tracer fast path.
+    path:
+        When set, the runner exports its trace here at the end of each
+        ``run()`` (and reports the location in ``RunReport.trace_path``).
+        Requires ``enabled=True``.  When ``None`` the trace is only
+        kept in memory (or adopted by an active
+        :class:`~repro.obs.runtime.TraceSession`).
+    format:
+        Export encoding for ``path``: ``"chrome"`` (trace-event JSON,
+        loadable in Perfetto / ``chrome://tracing``) or ``"jsonl"``.
+    """
+
+    enabled: bool = False
+    path: str | None = None
+    format: str = "chrome"
+
+    def __post_init__(self) -> None:
+        if self.format not in TRACE_FORMATS:
+            raise ConfigError(
+                f"trace format must be one of {TRACE_FORMATS}, "
+                f"got {self.format!r}")
+        if self.path is not None and not self.enabled:
+            raise ConfigError(
+                "trace.path is set but trace.enabled is False; "
+                "enable tracing to record an export")
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -123,12 +161,20 @@ class ExecutionConfig:
         cache while the current map wave runs, never running more than
         this many blocks ahead of the demand reads.  Requires
         ``cache_capacity_bytes``.  0 (the default) disables prefetching.
+    blocks_per_segment:
+        Scan-segment size for the shared-scan runner (the S³ paper's
+        segment length, in blocks); the FIFO runner ignores it.
+    trace:
+        Observability recording knobs (:class:`TraceConfig`); off by
+        default.
     """
 
     map_backend: str = "serial"
     map_workers: int | None = None
     cache_capacity_bytes: int | None = None
     prefetch_depth: int = 0
+    blocks_per_segment: int = 4
+    trace: TraceConfig = TraceConfig()
 
     def __post_init__(self) -> None:
         if self.map_backend not in MAP_BACKENDS:
@@ -151,6 +197,13 @@ class ExecutionConfig:
             raise ConfigError(
                 "prefetch_depth > 0 requires cache_capacity_bytes: the "
                 "prefetcher warms blocks into the block cache")
+        if self.blocks_per_segment < 1:
+            raise ConfigError(
+                f"blocks_per_segment must be >= 1, got "
+                f"{self.blocks_per_segment}")
+        if not isinstance(self.trace, TraceConfig):
+            raise ConfigError(
+                f"trace must be a TraceConfig, got {type(self.trace).__name__}")
 
 
 def paper_cluster() -> ClusterConfig:

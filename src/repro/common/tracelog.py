@@ -1,15 +1,25 @@
-"""Structured trace recording.
+"""Structured trace recording (adapter over :mod:`repro.obs`).
 
 The simulator emits one :class:`TraceRecord` per interesting state change
-(job arrival, task start/finish, sub-job batch launch ...).  Traces power the
-metrics layer, debugging, and the assertions in integration tests — they are
-the simulated analogue of a Hadoop job-history log.
+(job arrival, task start/finish, sub-job batch launch ...).  Traces power
+the metrics layer, debugging, and the assertions in integration tests —
+they are the simulated analogue of a Hadoop job-history log.
+
+Historically :class:`TraceLog` stored records itself; it is now a thin
+adapter over an :class:`repro.obs.tracer.Tracer`, so simulator instants
+land in the same event stream as spans and can be exported to Chrome
+trace JSON alongside wall-time traces from the local runtime.  The query
+API (``filter``/``first``/``last``/indexing) is unchanged and sees only
+the instantaneous records made through :meth:`TraceLog.record` — spans
+recorded directly on the underlying tracer do not leak into it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
+
+from ..obs.tracer import PHASE_INSTANT, TraceEvent, Tracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,38 +47,78 @@ class TraceRecord:
 class TraceLog:
     """An append-only, time-ordered event log.
 
-    Records must be appended in non-decreasing time order (the simulator
-    guarantees this); violations raise ``ValueError`` to surface engine bugs
-    early.
+    Records must be appended in non-decreasing time order — a small
+    float-noise tolerance (:data:`TIME_TOLERANCE`) is allowed, anything
+    beyond it raises ``ValueError`` to surface engine bugs early (the
+    simulator's event loop guarantees ordering).
+
+    Parameters
+    ----------
+    tracer:
+        The event sink records are appended to.  ``None`` creates a
+        private always-enabled sim-domain tracer.  A disabled tracer is
+        rejected: the log *is* the record of what happened, so silently
+        dropping records would corrupt metrics and tests.
     """
 
-    def __init__(self) -> None:
-        self._records: list[TraceRecord] = []
+    #: Recording at ``last_time - TIME_TOLERANCE`` or later is accepted;
+    #: earlier times raise.
+    TIME_TOLERANCE = 1e-9
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
+        if tracer is None:
+            tracer = Tracer(name="sim", clock=lambda: 0.0)
+        if not tracer.enabled:
+            raise ValueError(
+                "TraceLog requires an enabled tracer: the log is the "
+                "authoritative event record and cannot drop entries")
+        self._tracer = tracer
+        self._last_time: float | None = None
+
+    @property
+    def tracer(self) -> Tracer:
+        """The underlying event sink (shared with span instrumentation)."""
+        return self._tracer
 
     def record(self, time: float, kind: str, subject: str, **detail: Any) -> TraceRecord:
         """Append and return a new record."""
-        if self._records and time < self._records[-1].time - 1e-9:
+        if (self._last_time is not None
+                and time < self._last_time - self.TIME_TOLERANCE):
             raise ValueError(
-                f"trace time went backwards: {time} < {self._records[-1].time}")
-        rec = TraceRecord(time=time, kind=kind, subject=subject, detail=dict(detail))
-        self._records.append(rec)
-        return rec
+                f"trace time went backwards: {time} < {self._last_time} "
+                f"(more than the {self.TIME_TOLERANCE} tolerance)")
+        self._last_time = time
+        payload = dict(detail)
+        self._tracer.event_at(time, kind, subject=subject, lane="events",
+                              args=payload)
+        return TraceRecord(time=time, kind=kind, subject=subject,
+                           detail=payload)
+
+    @staticmethod
+    def _to_record(event: TraceEvent) -> TraceRecord:
+        return TraceRecord(time=event.ts, kind=event.name,
+                           subject=event.subject, detail=event.args)
+
+    def _view(self) -> list[TraceRecord]:
+        return [self._to_record(e) for e in self._tracer.events()
+                if e.phase == PHASE_INSTANT]
 
     def __len__(self) -> int:
-        return len(self._records)
+        return sum(1 for e in self._tracer.events()
+                   if e.phase == PHASE_INSTANT)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self._view())
 
     def __getitem__(self, index: int) -> TraceRecord:
-        return self._records[index]
+        return self._view()[index]
 
     def filter(self, kind: str | None = None,
                subject: str | None = None,
                predicate: Callable[[TraceRecord], bool] | None = None) -> list[TraceRecord]:
         """Return records matching all the given criteria."""
         out = []
-        for rec in self._records:
+        for rec in self._view():
             if kind is not None and rec.kind != kind:
                 continue
             if subject is not None and rec.subject != subject:
@@ -80,21 +130,23 @@ class TraceLog:
 
     def first(self, kind: str, subject: str | None = None) -> TraceRecord | None:
         """First record of ``kind`` (optionally for ``subject``), or None."""
-        for rec in self._records:
+        for rec in self._view():
             if rec.kind == kind and (subject is None or rec.subject == subject):
                 return rec
         return None
 
     def last(self, kind: str, subject: str | None = None) -> TraceRecord | None:
         """Last record of ``kind`` (optionally for ``subject``), or None."""
-        for rec in reversed(self._records):
+        for rec in reversed(self._view()):
             if rec.kind == kind and (subject is None or rec.subject == subject):
                 return rec
         return None
 
     def dump(self, limit: int | None = None) -> str:
         """Human-readable rendering (for debugging and examples)."""
-        rows = self._records if limit is None else self._records[:limit]
+        rows = self._view()
+        if limit is not None:
+            rows = rows[:limit]
         lines = []
         for rec in rows:
             detail = " ".join(f"{k}={v}" for k, v in sorted(rec.detail.items()))

@@ -13,9 +13,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from ..common.clock import Stopwatch
+from ..obs.runtime import TraceSession
+from .base import ExperimentResult
 from .registry import ALL, run_experiment
 from .serialize import result_to_json
 
@@ -36,7 +39,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--report", metavar="PATH",
                         help="additionally write all reports into one "
                              "markdown file")
+    parser.add_argument("--trace-dir", metavar="DIR",
+                        help="record each experiment's spans and events and "
+                             "write one Chrome-trace JSON per experiment "
+                             "(<id>.trace.json, Perfetto-loadable) into DIR")
     return parser
+
+
+def _run_traced(experiment_id: str,
+                trace_dir: Path) -> tuple[ExperimentResult, Path, int]:
+    """Run one experiment inside a TraceSession and export its trace.
+
+    Simulator and local-runtime tracers created while the session is
+    active are adopted automatically, so the export holds scheduler
+    spans (``s3.*``), runtime spans (``map.wave`` etc.) and the
+    top-level ``experiment.<id>`` span together.
+    """
+    with TraceSession(experiment_id) as session:
+        with session.tracer.span(f"experiment.{experiment_id}",
+                                 subject=experiment_id):
+            result = run_experiment(experiment_id)
+    path = trace_dir / f"{experiment_id}.trace.json"
+    session.export(path)
+    return result, path, session.event_count()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -50,12 +75,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     if requested == ["all"]:
         requested = list(ALL)
+    trace_dir: Path | None = None
+    if args.trace_dir:
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
     exit_code = 0
     report_sections: list[str] = []
     for experiment_id in requested:
         watch = Stopwatch()
         try:
-            result = run_experiment(experiment_id)
+            if trace_dir is not None:
+                result, trace_path, event_count = _run_traced(
+                    experiment_id, trace_dir)
+                print(f"[{experiment_id}] trace: {trace_path} "
+                      f"({event_count} events)", file=sys.stderr)
+            else:
+                result = run_experiment(experiment_id)
         except Exception as exc:  # surfaced per-experiment, keep going
             print(f"[{experiment_id}] FAILED: {exc}", file=sys.stderr)
             exit_code = 1

@@ -17,6 +17,7 @@ plugin needed to provide.
 
 from __future__ import annotations
 
+import dataclasses
 import tempfile
 from pathlib import Path
 
@@ -61,14 +62,10 @@ def run(num_jobs: int = 4, *, corpus_bytes: int = 400_000,
         store = BlockStore.create(Path(tmp) / "corpus",
                                   generator.lines(corpus_bytes),
                                   block_size_bytes=block_size_bytes)
-        if execution is None:
-            fifo_runner = FifoLocalRunner(store)
-            shared_runner = SharedScanRunner(
-                store, blocks_per_segment=blocks_per_segment)
-        else:
-            fifo_runner = FifoLocalRunner.from_config(store, execution)
-            shared_runner = SharedScanRunner.from_config(
-                store, execution, blocks_per_segment=blocks_per_segment)
+        config = dataclasses.replace(execution or ExecutionConfig(),
+                                     blocks_per_segment=blocks_per_segment)
+        fifo_runner = FifoLocalRunner(store, config)
+        shared_runner = SharedScanRunner(store, config)
         fifo = fifo_runner.run(_make_jobs(num_jobs))
         shared = shared_runner.run(_make_jobs(num_jobs), arrivals)
 

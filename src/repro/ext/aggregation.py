@@ -27,6 +27,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Hashable, Mapping, Sequence
 
+from ..common.config import ExecutionConfig
 from ..common.errors import ExecutionError
 from ..localrt.api import Record
 from ..localrt.engine import JobRunState
@@ -97,8 +98,9 @@ def compare_collection_schemes(
     ``jobs_factory`` is a zero-argument callable returning fresh
     :class:`LocalJob` objects (each run needs clean mapper/reducer state).
     """
-    runner = SharedScanRunner(store, reader=reader,
-                              blocks_per_segment=blocks_per_segment)
+    runner = SharedScanRunner(
+        store, ExecutionConfig(blocks_per_segment=blocks_per_segment),
+        reader=reader)
     at_end = runner.run(jobs_factory(), arrival_iterations)
     progressive = runner.run(
         jobs_factory(), arrival_iterations,

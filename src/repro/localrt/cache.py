@@ -50,6 +50,16 @@ class CacheStats:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict view of the counters (trace-event / metrics payload)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "oversized_skips": self.oversized_skips,
+        }
+
 
 class BlockCache:
     """A thread-safe LRU cache of block texts, bounded by total bytes.

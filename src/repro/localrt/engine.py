@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from ..common.errors import ExecutionError
+from ..obs.tracer import Tracer
 from .api import LocalJob, Record, default_partitioner
 from .counters import FRAMEWORK_GROUP, Counters, CounterUser
 from .records import RecordReader
@@ -134,12 +135,21 @@ def count_pending_values(state: JobRunState) -> int:
                for values in partition.values())
 
 
-def run_reduce(state: JobRunState) -> list[Record]:
+def run_reduce(state: JobRunState,
+               tracer: Tracer | None = None) -> list[Record]:
     """Shuffle-sort-reduce: produce the job's final output, sorted by key.
 
     Keys are processed in sorted order within each partition (Hadoop's
-    sort phase), partitions in index order.
+    sort phase), partitions in index order.  An enabled ``tracer``
+    records the whole phase as one ``reduce.job`` span.
     """
+    if tracer is not None and tracer.enabled:
+        with tracer.span("reduce.job", subject=state.job.job_id):
+            return _run_reduce(state)
+    return _run_reduce(state)
+
+
+def _run_reduce(state: JobRunState) -> list[Record]:
     reducer = state.job.reducer
     if isinstance(reducer, CounterUser):
         reducer = copy.copy(reducer)

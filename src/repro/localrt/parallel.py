@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from ..common.config import ExecutionConfig
 from ..common.errors import ExecutionError
+from ..obs.tracer import NULL_TRACER, Tracer
 from .api import LocalJob, Record
 from .counters import Counters
 from .engine import JobRunState, absorb_map_result, collect_map_outputs
@@ -79,8 +80,15 @@ class MapBackend(abc.ABC):
 
     @abc.abstractmethod
     def run_wave(self, store: BlockStore, reader: RecordReader,
-                 tasks: Sequence[MapTaskSpec]) -> list[TaskResult]:
-        """Collect every task's map output (no shared-state mutation)."""
+                 tasks: Sequence[MapTaskSpec], *,
+                 tracer: Tracer | None = None) -> list[TaskResult]:
+        """Collect every task's map output (no shared-state mutation).
+
+        ``tracer`` (when enabled) receives one ``map.task`` span per
+        block from the in-process backends; the process backend records
+        ``map.task.remote`` instants instead (worker-side timing does
+        not cross the pipe).
+        """
 
     def close(self) -> None:
         """Release pooled resources (pools are re-created lazily on reuse)."""
@@ -98,8 +106,10 @@ class SerialMapBackend(MapBackend):
     name = "serial"
 
     def run_wave(self, store: BlockStore, reader: RecordReader,
-                 tasks: Sequence[MapTaskSpec]) -> list[TaskResult]:
-        return [_collect_in_parent(store, reader, task) for task in tasks]
+                 tasks: Sequence[MapTaskSpec], *,
+                 tracer: Tracer | None = None) -> list[TaskResult]:
+        return [_collect_in_parent(store, reader, task, tracer)
+                for task in tasks]
 
 
 class ThreadMapBackend(MapBackend):
@@ -112,11 +122,13 @@ class ThreadMapBackend(MapBackend):
         self._pool: "Executor | None" = None
 
     def run_wave(self, store: BlockStore, reader: RecordReader,
-                 tasks: Sequence[MapTaskSpec]) -> list[TaskResult]:
+                 tasks: Sequence[MapTaskSpec], *,
+                 tracer: Tracer | None = None) -> list[TaskResult]:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.workers)
         return list(self._pool.map(
-            lambda task: _collect_in_parent(store, reader, task), tasks))
+            lambda task: _collect_in_parent(store, reader, task, tracer),
+            tasks))
 
     def close(self) -> None:
         if self._pool is not None:
@@ -143,7 +155,8 @@ class ProcessMapBackend(MapBackend):
         self._validated: set[str] = set()
 
     def run_wave(self, store: BlockStore, reader: RecordReader,
-                 tasks: Sequence[MapTaskSpec]) -> list[TaskResult]:
+                 tasks: Sequence[MapTaskSpec], *,
+                 tracer: Tracer | None = None) -> list[TaskResult]:
         self._validate_picklable(tasks, reader)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
@@ -153,11 +166,15 @@ class ProcessMapBackend(MapBackend):
                               tuple(s.job for s in task.states), reader)
             for task in tasks]
         results: list[TaskResult] = []
-        for future in futures:
+        for task, future in zip(tasks, futures, strict=True):
             record_count, outputs, task_counters, block_bytes = future.result()
             # The read happened in the worker's store instance; mirror it
             # into the parent's counters so I/O accounting stays exact.
             store.note_external_read(blocks=1, nbytes=block_bytes)
+            if tracer is not None and tracer.enabled:
+                tracer.event("map.task.remote",
+                             subject=f"block_{task.block_index}",
+                             bytes=block_bytes, jobs=len(task.states))
             results.append((record_count, outputs, task_counters))
         return results
 
@@ -193,12 +210,20 @@ def _resolve_workers(workers: int | None) -> int:
 
 
 def _collect_in_parent(store: BlockStore, reader: RecordReader,
-                       task: MapTaskSpec) -> TaskResult:
+                       task: MapTaskSpec,
+                       tracer: Tracer | None = None) -> TaskResult:
     """Read + map + combine one block inside the parent process."""
-    text = store.read_block(task.block_index)
-    offset = store.block_offset(task.block_index)
-    return collect_map_outputs([s.job for s in task.states], reader,
-                               text, offset)
+    if tracer is None or not tracer.enabled:
+        text = store.read_block(task.block_index)
+        offset = store.block_offset(task.block_index)
+        return collect_map_outputs([s.job for s in task.states], reader,
+                                   text, offset)
+    with tracer.span("map.task", subject=f"block_{task.block_index}",
+                     jobs=len(task.states)):
+        text = store.read_block(task.block_index)
+        offset = store.block_offset(task.block_index)
+        return collect_map_outputs([s.job for s in task.states], reader,
+                                   text, offset)
 
 
 #: Per-worker-process cache of opened stores (keyed by directory), so a
@@ -277,7 +302,8 @@ def resolve_backend(backend: "MapBackend | str | None",
 
 def execute_map_wave(store: BlockStore, reader: RecordReader,
                      tasks: list[MapTaskSpec], *, workers: int = 1,
-                     backend: "MapBackend | str | None" = None) -> None:
+                     backend: "MapBackend | str | None" = None,
+                     tracer: Tracer | None = None) -> None:
     """Run a wave of block-level map tasks under a map backend.
 
     Collect (read + map + combine) runs under ``backend`` — defaulting to
@@ -285,6 +311,10 @@ def execute_map_wave(store: BlockStore, reader: RecordReader,
     absorption is serial in ``tasks`` order for determinism.  A backend
     returning the wrong number or shape of results fails loudly rather than
     silently truncating the wave.
+
+    An enabled ``tracer`` records a ``map.wave`` span around the collect
+    phase (with per-block ``map.task`` children from the backend) and a
+    ``shuffle.absorb`` span around the fold into job shuffle state.
     """
     resolved, owned = resolve_backend(backend, workers)
     if not tasks:
@@ -292,8 +322,16 @@ def execute_map_wave(store: BlockStore, reader: RecordReader,
     seen_blocks = [t.block_index for t in tasks]
     if len(set(seen_blocks)) != len(seen_blocks):
         raise ExecutionError(f"duplicate blocks in wave: {seen_blocks}")
+    trace = tracer if tracer is not None else NULL_TRACER
     try:
-        results = resolved.run_wave(store, reader, tasks)
+        with trace.span("map.wave", blocks=len(tasks), backend=resolved.name):
+            # Pass the tracer only when recording: backends subclassed
+            # before the tracer existed keep their 3-argument run_wave.
+            if tracer is not None and tracer.enabled:
+                results = resolved.run_wave(store, reader, tasks,
+                                            tracer=tracer)
+            else:
+                results = resolved.run_wave(store, reader, tasks)
     finally:
         if owned:
             resolved.close()
@@ -301,13 +339,14 @@ def execute_map_wave(store: BlockStore, reader: RecordReader,
         raise ExecutionError(
             f"map backend {resolved.name!r} returned {len(results)} results "
             f"for {len(tasks)} tasks")
-    for task, (record_count, outputs, task_counters) in zip(tasks, results,
-                                                            strict=True):
-        try:
-            per_job = zip(task.states, outputs, task_counters, strict=True)
-            for state, buffer, counters in per_job:
-                absorb_map_result(state, record_count, buffer, counters)
-        except ValueError as exc:
-            raise ExecutionError(
-                f"map backend {resolved.name!r} returned a malformed result "
-                f"for block {task.block_index}: {exc}") from exc
+    with trace.span("shuffle.absorb", blocks=len(tasks)):
+        for task, (record_count, outputs, task_counters) in zip(tasks, results,
+                                                                strict=True):
+            try:
+                per_job = zip(task.states, outputs, task_counters, strict=True)
+                for state, buffer, counters in per_job:
+                    absorb_map_result(state, record_count, buffer, counters)
+            except ValueError as exc:
+                raise ExecutionError(
+                    f"map backend {resolved.name!r} returned a malformed "
+                    f"result for block {task.block_index}: {exc}") from exc

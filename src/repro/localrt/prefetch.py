@@ -28,6 +28,7 @@ from typing import Iterable
 
 from ..analysis.lockgraph import OrderedLock
 from ..common.errors import ExecutionError
+from ..obs.tracer import NULL_TRACER, Tracer
 from .storage import BlockStore
 
 #: Worker poll interval while waiting for the demand scan to catch up.
@@ -47,9 +48,14 @@ class ReadAheadPrefetcher:
     depth:
         Maximum number of blocks the worker may process ahead of the
         demand reads (>= 1).
+    tracer:
+        Optional span/event sink; when enabled, the worker records one
+        ``prefetch.block`` event per warmed block with its pacing
+        headroom (how far ahead of the demand reads it ran).
     """
 
-    def __init__(self, store: BlockStore, *, depth: int = 2) -> None:
+    def __init__(self, store: BlockStore, *, depth: int = 2,
+                 tracer: Tracer | None = None) -> None:
         if depth < 1:
             raise ExecutionError(f"prefetch depth must be >= 1, got {depth}")
         if store.cache is None:
@@ -58,6 +64,7 @@ class ReadAheadPrefetcher:
                 "the store (see BlockStore.attach_cache)")
         self._store = store
         self.depth = depth
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._pending: "deque[int]" = deque()
         #: Condition over an OrderedLock so waits/notifies participate in
         #: lock-order checking (REPRO_LOCKCHECK=1).
@@ -119,6 +126,10 @@ class ReadAheadPrefetcher:
             except BaseException as exc:  # advisory: record, stop warming
                 self.error = exc
                 return
+            if self._tracer.enabled:
+                demand = self._store.stats.blocks_read - self._baseline
+                self._tracer.event("prefetch.block", subject=f"block_{index}",
+                                   ahead=self._processed + 1 - demand)
             with self._cond:
                 self._processed += 1
 

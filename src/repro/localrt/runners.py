@@ -14,34 +14,49 @@ many times the input bytes are read:
 The runners report byte-level I/O so tests and examples can verify the
 shared-scan saving directly.
 
-Both runners take a ``backend=`` knob selecting the map execution strategy
-(``"serial"`` / ``"threads"`` / ``"processes"``, see
-:mod:`repro.localrt.parallel`); every backend produces bit-identical
-outputs, part files and counters.
+Construction (the canonical path)
+---------------------------------
+Every knob — map backend, workers, cache, prefetch depth, segment size,
+tracing — lives on one :class:`~repro.common.config.ExecutionConfig`::
 
-I/O acceleration knobs (both runners):
+    runner = SharedScanRunner(store, ExecutionConfig(
+        map_backend="threads", cache_capacity_bytes=1 << 20,
+        prefetch_depth=2, blocks_per_segment=8,
+        trace=TraceConfig(enabled=True, path="run.trace.json")))
 
-* attach a :class:`~repro.localrt.cache.BlockCache` to the store (or set
-  ``cache_capacity_bytes`` on an :class:`ExecutionConfig` and build the
-  runner with :meth:`from_config`) to serve repeat block visits from
-  memory;
-* ``prefetch_depth > 0`` starts a read-ahead prefetcher
-  (:mod:`repro.localrt.prefetch`) that warms upcoming blocks while the
-  current map wave runs — the shared-scan runner warms the *next*
-  segment (double-buffering, driven by the circular pointer), the FIFO
-  runner warms sequentially ahead of each job's scan.
+``SharedScanRunner(store)`` uses the defaults.  The historical surface —
+per-call ``workers=`` / ``backend=`` / ``prefetch_depth=`` /
+``blocks_per_segment=`` keywords, the FIFO runner's positional reader,
+and the ``from_config`` classmethods — still works but emits
+``DeprecationWarning`` and will be removed.
 
-Neither knob changes any output or any *logical* read counter — the
-equivalence is property-tested in ``tests/properties/test_cache_props.py``.
+Observability
+-------------
+With ``config.trace.enabled`` (or inside an active
+:class:`~repro.obs.runtime.TraceSession`, or with an explicit
+``tracer=``) the runners record wall-time spans — per-iteration
+``s3.iteration`` / per-job ``fifo.job``, ``map.wave`` + per-block
+``map.task``, ``shuffle.absorb``, ``reduce.job`` — plus per-wave
+``io.wave`` events carrying the :class:`ReadStats` delta, and fold the
+same deltas into a per-run :class:`~repro.obs.metrics.MetricsRegistry`
+(``RunReport.metrics``).  Tracing never changes outputs or logical read
+counters (property-tested), and the disabled path costs one attribute
+check per instrumentation point.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Callable, Mapping, Sequence
 
 from ..common.config import ExecutionConfig
 from ..common.errors import ExecutionError
+from ..obs.export import export_chrome, export_jsonl
+from ..obs.metrics import MetricsRegistry
+from ..obs.runtime import active_session
+from ..obs.tracer import NULL_TRACER, Tracer
 from .api import JobResult, LocalJob
 from .cache import BlockCache
 from .counters import Counters
@@ -64,6 +79,9 @@ IterationHook = Callable[[int, list[JobRunState]], None]
 #: Counter group used by :meth:`RunReport.io_counters`.
 IO_COUNTER_GROUP = "io"
 
+#: Wave-size histogram buckets (blocks per wave).
+_WAVE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
 
 @dataclass
 class RunReport:
@@ -72,7 +90,9 @@ class RunReport:
     ``blocks_read``/``bytes_read`` are the *logical* counters (the
     scan-sharing measure; identical with or without a cache).  ``io``
     carries the full counter delta of the run, including the physical
-    reads and cache hit/miss/eviction traffic.
+    reads and cache hit/miss/eviction traffic.  When the run was traced,
+    ``metrics`` holds the per-run registry and ``trace_path`` the export
+    written per ``config.trace.path`` (``None`` otherwise).
     """
 
     results: dict[str, JobResult]
@@ -80,6 +100,8 @@ class RunReport:
     bytes_read: int
     iterations: int = 0
     io: ReadStats = field(default_factory=ReadStats)
+    trace_path: str | None = None
+    metrics: MetricsRegistry | None = None
 
     def result(self, job_id: str) -> JobResult:
         try:
@@ -109,44 +131,148 @@ def _attach_cache_from_config(store: BlockStore,
         store.attach_cache(BlockCache(config.cache_capacity_bytes))
 
 
-class FifoLocalRunner:
-    """Runs each job independently, scanning the whole file per job.
+def _deprecated(message: str) -> None:
+    warnings.warn(message, DeprecationWarning, stacklevel=4)
 
-    ``backend`` selects the map execution strategy (``"serial"``,
-    ``"threads"``, ``"processes"`` or a :class:`MapBackend` instance); all
-    backends are bit-identical to the serial run (deterministic ordered
-    merge).  ``backend=None`` keeps the historical ``workers=`` behaviour:
-    1 worker runs serial, more run the thread pool.
 
-    ``prefetch_depth > 0`` enables sequential read-ahead (requires a
-    cache on the store): each job's blocks are warmed in scan order, at
-    most ``prefetch_depth`` blocks ahead of the demand reads.
+def _resolve_tracer(tracer: Tracer | None, config: ExecutionConfig,
+                    name: str) -> Tracer:
+    """Pick the runner's event sink.
+
+    Precedence: an explicit ``tracer=`` wins; else ``config.trace.enabled``
+    creates a wall-clock tracer (adopted by any active session); else an
+    active :class:`~repro.obs.runtime.TraceSession` supplies one; else
+    the no-op :data:`~repro.obs.tracer.NULL_TRACER`.
     """
+    if tracer is not None:
+        return tracer
+    session = active_session()
+    if config.trace.enabled:
+        created = Tracer(name=name)
+        if session is not None:
+            session.adopt(created)
+        return created
+    if session is not None:
+        return session.new_tracer(name)
+    return NULL_TRACER
+
+
+class _LocalRunnerBase:
+    """Shared construction logic: the canonical ExecutionConfig path plus
+    the deprecated per-call knobs, folded identically for both runners."""
+
+    #: Tracer name for this runner kind (exporters show it as the track).
+    _tracer_name = "localrt"
 
     def __init__(self, store: BlockStore,
-                 reader: RecordReader | None = None, *,
-                 workers: int = 1,
+                 config: "ExecutionConfig | RecordReader | None" = None, *,
+                 reader: RecordReader | None = None,
+                 tracer: Tracer | None = None,
+                 workers: int | None = None,
                  backend: "MapBackend | str | None" = None,
-                 prefetch_depth: int = 0) -> None:
-        if workers < 1:
-            raise ExecutionError(f"workers must be >= 1, got {workers}")
+                 prefetch_depth: int | None = None) -> None:
+        if isinstance(config, RecordReader):
+            # Historical FifoLocalRunner(store, reader) positional form.
+            _deprecated(
+                f"{type(self).__name__}(store, reader) is deprecated; pass "
+                "the reader as a keyword: Runner(store, config, reader=...)")
+            if reader is not None:
+                raise ExecutionError(
+                    "reader passed both positionally and as a keyword")
+            reader = config
+            config = None
+        if config is None:
+            config = ExecutionConfig()
+        elif not isinstance(config, ExecutionConfig):
+            raise ExecutionError(
+                f"config must be an ExecutionConfig, got {type(config).__name__}")
+        legacy = [name for name, value in
+                  (("workers", workers), ("backend", backend),
+                   ("prefetch_depth", prefetch_depth)) if value is not None]
+        if legacy:
+            _deprecated(
+                f"{type(self).__name__}({', '.join(f'{k}=' for k in legacy)}"
+                ") is deprecated; set the equivalent fields on an "
+                "ExecutionConfig and pass Runner(store, config)")
         self.store = store
+        self.config = config
         self.reader = reader or TextLineReader()
-        self.workers = workers
-        self.backend, self._owns_backend = resolve_backend(backend, workers)
-        self.prefetch_depth = _check_prefetch_depth(store, prefetch_depth)
+        _attach_cache_from_config(store, config)
+        if workers is not None or backend is not None:
+            # Deprecated path: preserve the historical semantics exactly
+            # (workers=1 -> serial, >1 -> thread pool; instances are
+            # caller-owned, names/None are runner-owned).
+            effective_workers = 1 if workers is None else workers
+            if effective_workers < 1:
+                raise ExecutionError(
+                    f"workers must be >= 1, got {effective_workers}")
+            self.workers = effective_workers
+            self.backend, self._owns_backend = resolve_backend(
+                backend, effective_workers)
+        else:
+            self.workers = config.map_workers or 1
+            self.backend = backend_from_config(config)
+            self._owns_backend = True
+        depth = (config.prefetch_depth if prefetch_depth is None
+                 else prefetch_depth)
+        self.prefetch_depth = _check_prefetch_depth(store, depth)
+        self.tracer = _resolve_tracer(tracer, config, self._tracer_name)
+        #: Per-run metric instruments (populated only while tracing).
+        self.metrics = MetricsRegistry()
+
+    # ---------------------------------------------------------- observability
+    def _absorb_wave(self, label: str, before: ReadStats) -> None:
+        """Record one wave's I/O delta as an ``io.wave`` event + metrics."""
+        delta = self.store.stats.delta(before)
+        self.metrics.absorb_read_stats(delta)
+        self.metrics.histogram("wave.blocks",
+                               buckets=_WAVE_BUCKETS).observe(delta.blocks_read)
+        self.tracer.event("io.wave", subject=label,
+                          blocks=delta.blocks_read, bytes=delta.bytes_read,
+                          physical_blocks=delta.physical_blocks_read,
+                          cache_hits=delta.cache_hits,
+                          cache_misses=delta.cache_misses,
+                          prefetched=delta.prefetched_blocks)
+
+    def _finish_trace(self, report: RunReport) -> RunReport:
+        """End-of-run bookkeeping: cache event, metrics + export paths."""
+        if not self.tracer.enabled:
+            return report
+        if self.store.cache is not None:
+            self.tracer.event("cache.stats",
+                              args=self.store.cache.stats.snapshot())
+        report.metrics = self.metrics
+        trace = self.config.trace
+        if trace.path is not None:
+            if trace.format == "jsonl":
+                export_jsonl(trace.path, [self.tracer])
+            else:
+                export_chrome(trace.path, [self.tracer])
+            report.trace_path = trace.path
+        return report
+
+
+class FifoLocalRunner(_LocalRunnerBase):
+    """Runs each job independently, scanning the whole file per job.
+
+    Built from an :class:`~repro.common.config.ExecutionConfig` (see the
+    module docstring); the config's ``blocks_per_segment`` is ignored —
+    FIFO always scans sequentially.  ``prefetch_depth > 0`` (requires a
+    cache) warms each job's blocks in scan order, at most that many
+    blocks ahead of the demand reads.
+    """
+
+    _tracer_name = "fifo"
 
     @classmethod
     def from_config(cls, store: BlockStore, config: ExecutionConfig, *,
                     reader: RecordReader | None = None) -> "FifoLocalRunner":
-        """Build a runner (backend, cache, prefetch) from an
-        :class:`~repro.common.config.ExecutionConfig`."""
-        _attach_cache_from_config(store, config)
-        runner = cls(store, reader, backend=backend_from_config(config),
-                     prefetch_depth=config.prefetch_depth)
-        # from_config created the backend, so the runner must close it.
-        runner._owns_backend = True
-        return runner
+        """Deprecated alias of ``FifoLocalRunner(store, config)``."""
+        warnings.warn(
+            "FifoLocalRunner.from_config(store, config) is deprecated; "
+            "construct FifoLocalRunner(store, config) directly",
+            DeprecationWarning, stacklevel=2)
+        return cls(store, config, reader=reader)
 
     def run(self, jobs: Sequence[LocalJob]) -> RunReport:
         if not jobs:
@@ -156,9 +282,11 @@ class FifoLocalRunner:
             raise ExecutionError(f"duplicate job ids: {ids}")
         before = self.store.stats.snapshot()
         results: dict[str, JobResult] = {}
-        prefetcher = _start_prefetcher(self.store, self.prefetch_depth)
+        prefetcher = _start_prefetcher(self.store, self.prefetch_depth,
+                                       self.tracer)
         try:
-            self._run_jobs(jobs, results, prefetcher)
+            with self.tracer.span("fifo.run", jobs=len(jobs)):
+                self._run_jobs(jobs, results, prefetcher)
         finally:
             if prefetcher is not None:
                 prefetcher.close()
@@ -166,16 +294,17 @@ class FifoLocalRunner:
             if self._owns_backend:
                 self.backend.close()
         io = self.store.stats.delta(before)
-        return RunReport(
+        return self._finish_trace(RunReport(
             results=results,
             blocks_read=io.blocks_read,
             bytes_read=io.bytes_read,
             io=io,
-        )
+        ))
 
     def _run_jobs(self, jobs: Sequence[LocalJob],
                   results: dict[str, JobResult],
                   prefetcher: ReadAheadPrefetcher | None) -> None:
+        traced = self.tracer.enabled
         before_blocks = self.store.stats.blocks_read
         for job in jobs:
             state = JobRunState(job)
@@ -185,10 +314,15 @@ class FifoLocalRunner:
                 # Sequential read-ahead over this job's scan; the depth
                 # cap keeps the warmer just ahead of the demand reads.
                 prefetcher.schedule(range(self.store.num_blocks))
-            execute_map_wave(self.store, self.reader, tasks,
-                             backend=self.backend)
-            reduce_input = count_pending_values(state)
-            output = run_reduce(state)
+            job_before = self.store.stats.snapshot() if traced else None
+            with self.tracer.span("fifo.job", subject=job.job_id,
+                                  blocks=len(tasks)):
+                execute_map_wave(self.store, self.reader, tasks,
+                                 backend=self.backend, tracer=self.tracer)
+                reduce_input = count_pending_values(state)
+                output = run_reduce(state, self.tracer)
+            if job_before is not None:
+                self._absorb_wave(job.job_id, job_before)
             results[job.job_id] = JobResult(
                 job_id=job.job_id,
                 output=output,
@@ -221,60 +355,57 @@ class _ScanState:
         return self.covered >= self.total_blocks
 
 
-class SharedScanRunner:
+class SharedScanRunner(_LocalRunnerBase):
     """The S3 execution loop over real data.
 
-    Parameters
-    ----------
-    store / reader:
-        Input data and record format.
-    blocks_per_segment:
-        Iteration chunk size (the simulator's segment size).  Defaults to
-        4 so small test fixtures exercise multiple iterations.
-    backend / workers:
-        Map execution strategy, as in :class:`FifoLocalRunner`: a backend
-        name (``"serial"``/``"threads"``/``"processes"``), a
-        :class:`MapBackend` instance, or ``None`` to derive serial/threads
-        from ``workers``.
-    prefetch_depth:
-        When > 0 (requires a cache on the store), a background warmer
-        loads the *next* segment's blocks into the cache while the
-        current segment's map tasks run — the local analogue of the
-        paper's partial-job pipeline (prepare sub-job *i+1* during
-        sub-job *i*).
+    Built from an :class:`~repro.common.config.ExecutionConfig` (see the
+    module docstring).  ``config.blocks_per_segment`` is the iteration
+    chunk size (the simulator's segment size; default 4 so small test
+    fixtures exercise multiple iterations).  ``prefetch_depth > 0``
+    (requires a cache) warms the *next* segment's blocks while the
+    current segment's map tasks run — the local analogue of the paper's
+    partial-job pipeline (prepare sub-job *i+1* during sub-job *i*).
     """
 
-    def __init__(self, store: BlockStore, *,
+    _tracer_name = "shared-scan"
+
+    def __init__(self, store: BlockStore,
+                 config: "ExecutionConfig | None" = None, *,
                  reader: RecordReader | None = None,
-                 blocks_per_segment: int = 4,
-                 workers: int = 1,
+                 tracer: Tracer | None = None,
+                 blocks_per_segment: int | None = None,
+                 workers: int | None = None,
                  backend: "MapBackend | str | None" = None,
-                 prefetch_depth: int = 0) -> None:
-        if blocks_per_segment <= 0:
-            raise ExecutionError("blocks_per_segment must be positive")
-        if workers < 1:
-            raise ExecutionError(f"workers must be >= 1, got {workers}")
-        self.store = store
-        self.reader = reader or TextLineReader()
-        self.blocks_per_segment = blocks_per_segment
-        self.workers = workers
-        self.backend, self._owns_backend = resolve_backend(backend, workers)
-        self.prefetch_depth = _check_prefetch_depth(store, prefetch_depth)
+                 prefetch_depth: int | None = None) -> None:
+        super().__init__(store, config, reader=reader, tracer=tracer,
+                         workers=workers, backend=backend,
+                         prefetch_depth=prefetch_depth)
+        if blocks_per_segment is not None:
+            _deprecated(
+                "SharedScanRunner(blocks_per_segment=...) is deprecated; "
+                "set blocks_per_segment on the ExecutionConfig")
+            if blocks_per_segment <= 0:
+                raise ExecutionError("blocks_per_segment must be positive")
+            self.blocks_per_segment = blocks_per_segment
+        else:
+            self.blocks_per_segment = self.config.blocks_per_segment
 
     @classmethod
     def from_config(cls, store: BlockStore, config: ExecutionConfig, *,
                     reader: RecordReader | None = None,
                     blocks_per_segment: int = 4) -> "SharedScanRunner":
-        """Build a runner (backend, cache, prefetch) from an
-        :class:`~repro.common.config.ExecutionConfig`."""
-        _attach_cache_from_config(store, config)
-        runner = cls(store, reader=reader,
-                     blocks_per_segment=blocks_per_segment,
-                     backend=backend_from_config(config),
-                     prefetch_depth=config.prefetch_depth)
-        # from_config created the backend, so the runner must close it.
-        runner._owns_backend = True
-        return runner
+        """Deprecated alias of ``SharedScanRunner(store, config)``.
+
+        Keeps the historical quirk that its ``blocks_per_segment``
+        argument (default 4) overrides the config.
+        """
+        warnings.warn(
+            "SharedScanRunner.from_config(store, config) is deprecated; "
+            "construct SharedScanRunner(store, config) directly",
+            DeprecationWarning, stacklevel=2)
+        config = dataclasses.replace(config,
+                                     blocks_per_segment=blocks_per_segment)
+        return cls(store, config, reader=reader)
 
     def run(self, jobs: Sequence[LocalJob],
             arrival_iterations: Mapping[str, int] | None = None, *,
@@ -308,11 +439,14 @@ class SharedScanRunner:
             pending.setdefault(arrivals.get(job.job_id, 0), []).append(job)
         before = self.store.stats.snapshot()
         results: dict[str, JobResult] = {}
-        prefetcher = _start_prefetcher(self.store, self.prefetch_depth)
+        prefetcher = _start_prefetcher(self.store, self.prefetch_depth,
+                                       self.tracer)
         try:
-            iterations = self._scan_loop(pending, results,
-                                         before.blocks_read,
-                                         on_iteration_end, prefetcher)
+            with self.tracer.span("s3.run", jobs=len(jobs),
+                                  segment=self.blocks_per_segment):
+                iterations = self._scan_loop(pending, results,
+                                             before.blocks_read,
+                                             on_iteration_end, prefetcher)
         finally:
             if prefetcher is not None:
                 prefetcher.close()
@@ -320,13 +454,13 @@ class SharedScanRunner:
             if self._owns_backend:
                 self.backend.close()
         io = self.store.stats.delta(before)
-        return RunReport(
+        return self._finish_trace(RunReport(
             results=results,
             blocks_read=io.blocks_read,
             bytes_read=io.bytes_read,
             iterations=iterations,
             io=io,
-        )
+        ))
 
     def _scan_loop(self, pending: dict[int, list[LocalJob]],
                    results: dict[str, JobResult],
@@ -340,6 +474,7 @@ class SharedScanRunner:
         iteration counter).
         """
         n = self.store.num_blocks
+        traced = self.tracer.enabled
         active: list[_ScanState] = []
         pointer = 0
         iteration = 0
@@ -358,28 +493,37 @@ class SharedScanRunner:
                                      if s.remaining > offset)
                 tasks.append(MapTaskSpec(block_index=pointer + offset,
                                          states=participants))
-            if prefetcher is not None:
-                # Double-buffer: warm the next chunk while this one maps.
-                # The circular pointer tells us exactly where it starts;
-                # only warm when some job will still be scanning then.
-                more = bool(pending) or any(s.remaining > chunk_len
-                                            for s in active)
-                if more:
-                    next_pointer = (pointer + chunk_len) % n
-                    next_len = min(self.blocks_per_segment, n - next_pointer)
-                    prefetcher.schedule(
-                        range(next_pointer, next_pointer + next_len))
-            execute_map_wave(self.store, self.reader, tasks,
-                             backend=self.backend)
-            if on_iteration_end is not None:
-                on_iteration_end(iteration, [s.run_state for s in active])
+            wave_before = self.store.stats.snapshot() if traced else None
+            with self.tracer.span("s3.iteration", subject=f"iter_{iteration}",
+                                  pointer=pointer, blocks=chunk_len,
+                                  jobs=len(active)):
+                if prefetcher is not None:
+                    # Double-buffer: warm the next chunk while this one
+                    # maps.  The circular pointer tells us exactly where
+                    # it starts; only warm when some job will still be
+                    # scanning then.
+                    more = bool(pending) or any(s.remaining > chunk_len
+                                                for s in active)
+                    if more:
+                        next_pointer = (pointer + chunk_len) % n
+                        next_len = min(self.blocks_per_segment,
+                                       n - next_pointer)
+                        prefetcher.schedule(
+                            range(next_pointer, next_pointer + next_len))
+                execute_map_wave(self.store, self.reader, tasks,
+                                 backend=self.backend, tracer=self.tracer)
+                if on_iteration_end is not None:
+                    on_iteration_end(iteration,
+                                     [s.run_state for s in active])
+            if wave_before is not None:
+                self._absorb_wave(f"iter_{iteration}", wave_before)
             for state in active:
                 state.covered += min(chunk_len, state.remaining)
             finished = [s for s in active if s.done]
             active = [s for s in active if not s.done]
             for state in finished:
                 reduce_input = count_pending_values(state.run_state)
-                output = run_reduce(state.run_state)
+                output = run_reduce(state.run_state, self.tracer)
                 results[state.job.job_id] = JobResult(
                     job_id=state.job.job_id,
                     output=output,
@@ -404,13 +548,15 @@ def _check_prefetch_depth(store: BlockStore, depth: int) -> int:
     if depth > 0 and store.cache is None:
         raise ExecutionError(
             "prefetch_depth > 0 requires a BlockCache on the store "
-            "(attach one, or use from_config with cache_capacity_bytes)")
+            "(attach one, or set cache_capacity_bytes on the "
+            "ExecutionConfig)")
     return depth
 
 
-def _start_prefetcher(store: BlockStore,
-                      depth: int) -> ReadAheadPrefetcher | None:
+def _start_prefetcher(store: BlockStore, depth: int,
+                      tracer: Tracer | None = None,
+                      ) -> ReadAheadPrefetcher | None:
     """One prefetcher per run (its pacing baseline is the run's start)."""
     if depth <= 0 or store.cache is None:
         return None
-    return ReadAheadPrefetcher(store, depth=depth)
+    return ReadAheadPrefetcher(store, depth=depth, tracer=tracer)

@@ -41,6 +41,7 @@ from ..common.tracelog import TraceLog
 from ..dfs.block import DfsFile
 from ..dfs.namenode import NameNode
 from ..dfs.placement import RackAwarePlacement, RoundRobinPlacement
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..simengine.events import ScheduledEvent
 from ..simengine.simulator import Simulator
 from .costmodel import CostModel
@@ -63,6 +64,8 @@ class SchedulerContext:
     request_dispatch: Callable[[], None]
     #: Tell the driver a job has fully completed.
     job_completed: Callable[[str], None]
+    #: Sim-clocked span/event sink (shares the event stream with ``trace``).
+    tracer: Tracer = NULL_TRACER
 
 
 class Scheduler(abc.ABC):
@@ -265,6 +268,7 @@ class SimulationDriver:
             trace=self.trace,
             request_dispatch=self._request_dispatch,
             job_completed=self._job_completed,
+            tracer=self.sim.tracer,
         ))
 
     # -------------------------------------------------------------- plumbing
@@ -411,6 +415,11 @@ class SimulationDriver:
                         self._job_shared_map_tasks.get(job_id, 0) + 1
         self.trace.record(now, f"task.finish.{launch.kind.value}",
                           launch.attempt_id, node=launch.node_id)
+        if launch.started_at is not None:
+            self.sim.tracer.span_at(
+                f"task.{launch.kind.value}", launch.started_at, now,
+                lane=launch.node_id, subject=launch.attempt_id,
+                jobs=len(launch.job_ids), block=launch.block_index)
         self.scheduler.on_task_complete(launch, now)
         self._request_dispatch()
 

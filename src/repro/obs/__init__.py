@@ -1,0 +1,81 @@
+"""Unified observability: spans, metrics and trace export.
+
+One tracing API for both halves of the repo — the discrete-event
+simulator records in sim-time, the local runtime in wall-time (through
+:mod:`repro.common.clock`), and both land in the same Chrome trace file
+a browser or https://ui.perfetto.dev can open::
+
+    from repro.obs import TraceSession
+
+    with TraceSession("wordcount") as session:
+        runner = SharedScanRunner(store, ExecutionConfig())
+        runner.run(jobs)
+    session.export("wordcount.trace.json")
+
+Pieces:
+
+* :class:`Tracer` — thread-safe nestable spans + point events, no-op
+  fast path when disabled (:data:`NULL_TRACER`);
+* :class:`MetricsRegistry` — counters / gauges / fixed-bucket
+  histograms; absorbs per-wave ``ReadStats`` deltas;
+* :mod:`~repro.obs.export` — Chrome trace-event JSON, JSONL stream,
+  text summary; ``python -m repro.obs`` converts and summarises;
+* :class:`TraceSession` — the ambient recording context simulators and
+  runners adopt their tracers into;
+* :class:`~repro.common.config.TraceConfig` — the ``ExecutionConfig``
+  knob that turns recording on per run (re-exported here).
+"""
+
+# Import-order note: repro.common's __init__ imports the TraceLog
+# adapter, which imports repro.obs.tracer.  That works because this
+# package only ever imports *submodules* of repro.common (config,
+# errors, clock), each of which is fully importable before the
+# repro.common package object finishes initialising.
+from ..common.config import TraceConfig
+from .export import (
+    chrome_document,
+    chrome_events,
+    export_chrome,
+    export_jsonl,
+    format_summary,
+    load_events,
+    summarize,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .runtime import TraceSession, active_session
+from .tracer import (
+    NULL_TRACER,
+    PHASE_INSTANT,
+    PHASE_SPAN,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "PHASE_INSTANT",
+    "PHASE_SPAN",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceConfig",
+    "TraceEvent",
+    "TraceSession",
+    "Tracer",
+    "active_session",
+    "chrome_document",
+    "chrome_events",
+    "export_chrome",
+    "export_jsonl",
+    "format_summary",
+    "load_events",
+    "summarize",
+]

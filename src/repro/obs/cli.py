@@ -1,0 +1,98 @@
+"""``python -m repro.obs`` — inspect and convert recorded traces.
+
+Subcommands::
+
+    summary TRACE          aggregate per-event-name statistics
+    convert TRACE -o OUT   re-encode between Chrome JSON and JSONL
+
+Both accept either on-disk format (auto-detected).  ``summary --json``
+emits the aggregate as machine-readable JSON for CI assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Sequence
+
+from ..common.errors import ExperimentError
+from .export import (
+    export_chrome,
+    export_jsonl,
+    format_summary,
+    load_events,
+    summarize,
+)
+from .tracer import PHASE_INSTANT, PHASE_SPAN, TraceEvent, Tracer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect or convert a recorded observability trace.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary = sub.add_parser(
+        "summary", help="print per-event-name statistics for a trace")
+    summary.add_argument("trace", type=pathlib.Path,
+                         help="Chrome .trace.json or JSONL trace file")
+    summary.add_argument("--json", action="store_true",
+                         help="emit the summary as JSON instead of a table")
+
+    convert = sub.add_parser(
+        "convert", help="re-encode a trace (chrome <-> jsonl)")
+    convert.add_argument("trace", type=pathlib.Path,
+                         help="input trace file (format auto-detected)")
+    convert.add_argument("-o", "--output", type=pathlib.Path, required=True,
+                         help="output path")
+    convert.add_argument("--format", choices=("chrome", "jsonl"),
+                         default="chrome", help="output format")
+    return parser
+
+
+def _rebuild_tracers(events: Sequence[dict[str, Any]]) -> list[Tracer]:
+    """Reconstruct per-source tracers from normalised event dicts."""
+    tracers: dict[str, Tracer] = {}
+    for event in events:
+        name = event["tracer"] or "trace"
+        tracer = tracers.get(name)
+        if tracer is None:
+            tracer = Tracer(name=name, clock=lambda: 0.0)
+            tracers[name] = tracer
+        phase = event["ph"]
+        if phase not in (PHASE_SPAN, PHASE_INSTANT):
+            continue
+        tracer._append(TraceEvent(
+            phase=phase, name=event["name"], ts=event["ts"],
+            dur=event["dur"], lane=event["lane"], subject=event["subject"],
+            depth=0, args=dict(event["args"])))
+    return list(tracers.values())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except (OSError, ExperimentError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "summary":
+        summary = summarize(events)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(format_summary(summary))
+        return 0
+
+    # convert
+    tracers = _rebuild_tracers(events)
+    if args.format == "chrome":
+        count = export_chrome(args.output, tracers)
+    else:
+        count = export_jsonl(args.output, tracers)
+    print(f"wrote {count} events to {args.output}")
+    return 0

@@ -1,0 +1,113 @@
+"""Trace sessions: one recording context spanning sim and local runtime.
+
+A :class:`TraceSession` is the glue between "I want a trace of this run"
+and the components that each own a tracer.  While a session is active
+(``with TraceSession("abl-het") as session:``), newly constructed
+simulators and local runners *adopt* their tracers into it, so a single
+:meth:`~TraceSession.export` call writes every clock domain — sim-time
+scheduling decisions next to wall-time map waves — into one Chrome
+trace file.
+
+Sessions nest (the innermost wins), are thread-safe to adopt into, and
+cost nothing when none is active: :func:`active_session` is a single
+list read, and components fall back to :data:`~repro.obs.tracer.NULL_TRACER`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from typing import Any, Callable
+
+from .export import export_chrome, export_jsonl, format_summary, summarize
+from .tracer import Tracer
+
+_ACTIVE: list["TraceSession"] = []
+_ACTIVE_LOCK = threading.Lock()
+
+
+class TraceSession:
+    """A named collection of tracers recorded over one logical run."""
+
+    def __init__(self, name: str = "session") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._tracers: list[Tracer] = []
+        #: The session's own wall-clock tracer, for top-level spans such
+        #: as ``experiment.<id>``.
+        self.tracer = self.new_tracer(name)
+
+    def new_tracer(self, name: str, *,
+                   clock: Callable[[], float] | None = None) -> Tracer:
+        """Create an enabled tracer and adopt it into this session."""
+        tracer = Tracer(name=name, clock=clock)
+        self.adopt(tracer)
+        return tracer
+
+    def adopt(self, tracer: Tracer) -> Tracer:
+        """Register an externally created tracer for export (idempotent)."""
+        with self._lock:
+            if tracer not in self._tracers:
+                self._tracers.append(tracer)
+        return tracer
+
+    def tracers(self) -> tuple[Tracer, ...]:
+        """Snapshot of the adopted tracers, in adoption order."""
+        with self._lock:
+            return tuple(self._tracers)
+
+    # -- activation -----------------------------------------------------
+
+    def __enter__(self) -> "TraceSession":
+        with _ACTIVE_LOCK:
+            _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        with _ACTIVE_LOCK:
+            if self in _ACTIVE:
+                _ACTIVE.remove(self)
+        return None
+
+    # -- output ---------------------------------------------------------
+
+    def export(self, path: pathlib.Path | str, *,
+               format: str = "chrome") -> pathlib.Path:
+        """Write every adopted tracer to ``path``; returns the path."""
+        path = pathlib.Path(path)
+        if format == "chrome":
+            export_chrome(path, self.tracers())
+        elif format == "jsonl":
+            export_jsonl(path, self.tracers())
+        else:
+            raise ValueError(f"unknown trace format {format!r} "
+                             "(expected 'chrome' or 'jsonl')")
+        return path
+
+    def summary(self) -> str:
+        """Text summary of everything recorded so far."""
+        events = []
+        for tracer in self.tracers():
+            for event in tracer.events():
+                events.append({
+                    "ph": event.phase, "name": event.name, "ts": event.ts,
+                    "dur": event.dur, "lane": event.lane,
+                    "tracer": tracer.name, "subject": event.subject,
+                    "args": event.args,
+                })
+        return format_summary(summarize(events))
+
+    def event_count(self) -> int:
+        """Total events recorded across all adopted tracers."""
+        return sum(len(t) for t in self.tracers())
+
+
+def active_session() -> TraceSession | None:
+    """The innermost active session, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+__all__ = [
+    "TraceSession",
+    "active_session",
+]

@@ -45,6 +45,10 @@ class Iteration:
     reduces_to_launch: int = 0
     reduces_outstanding: int = 0
     reduce_started: bool = False
+    #: Simulation time the scheduler launched this iteration (set by
+    #: ``S3Scheduler._launch_iteration``; anchors the map-wave and
+    #: segment spans in the trace).
+    launched_at: float = 0.0
 
     def __post_init__(self) -> None:
         self.maps_outstanding = len(self.chunk)
@@ -88,6 +92,9 @@ class ScanLoop:
         self.active: list[S3JobState] = []
         #: Jobs waiting for admission (only when max_jobs_per_iteration caps).
         self.waiting: list[S3JobState] = []
+        #: Job ids aligned to the pointer by the most recent build —
+        #: the scheduler turns these into ``s3.align`` trace events.
+        self.last_admitted: tuple[str, ...] = ()
         self._iteration_counter = 0
 
     @property
@@ -165,6 +172,7 @@ class ScanLoop:
         contiguous-coverage invariant); the cap only gates *new* admissions.
         Among waiting jobs, higher priority first, then arrival order.
         """
+        self.last_admitted = ()
         if not self.waiting:
             return
         capacity = None if max_jobs is None else max(0, max_jobs - len(self.active))
@@ -181,3 +189,4 @@ class ScanLoop:
             admitted_ids = {job.job_id for job in admitted}
             self.waiting = [j for j in self.waiting if j.job_id not in admitted_ids]
             self.active.extend(admitted)
+            self.last_admitted = tuple(job.job_id for job in admitted)

@@ -107,11 +107,13 @@ class S3Scheduler(Scheduler):
         loop = self.queue.next_loop_with_work()
         if loop is None:
             return  # all queues drained while armed; go idle
-        chunk_size = self.queue.blocks_per_segment
+        static_size = self.queue.blocks_per_segment
+        chunk_size = static_size
         if self.config.adaptive_segments:
             available = self.ctx.cluster.free_map_slots(include_excluded=False)
             if available > 0:
                 chunk_size = min(chunk_size, available)
+        pointer_before = loop.pointer
         iteration = loop.build_iteration(
             chunk_size, max_jobs=self.config.max_jobs_per_iteration)
         if iteration is None:
@@ -119,11 +121,27 @@ class S3Scheduler(Scheduler):
             # branch of on_task_complete re-arms when a job completion
             # frees the cap (see the liveness note there).
             return
+        iteration.launched_at = now
         self._current = iteration
-        self.ctx.trace.record(
+        trace = self.ctx.trace
+        trace.record(
             now, "s3.subjob.launch", iteration.iteration_id,
             blocks=len(iteration.chunk), jobs=iteration.batch_size,
             finishing=len(iteration.finishing_jobs))
+        # Sub-job alignment (Section IV-B): jobs admitted by this build
+        # start scanning at the segment boundary the pointer sat on.
+        for job_id in loop.last_admitted:
+            trace.record(now, "s3.align", job_id,
+                         start_block=pointer_before,
+                         iteration=iteration.iteration_id)
+        if chunk_size < static_size:
+            # Dynamic segment resizing (Section IV-D.2): the merged
+            # sub-job shrank to the map slots actually available.
+            trace.record(now, "s3.segment.resize", iteration.iteration_id,
+                         blocks=chunk_size, static=static_size)
+        trace.record(now, "s3.pointer", iteration.file_name,
+                     pointer=loop.pointer, advanced=len(iteration.chunk),
+                     wrapped=loop.pointer <= pointer_before)
         self.ctx.request_dispatch()
 
     # -------------------------------------------------------------- dispatch
@@ -262,6 +280,11 @@ class S3Scheduler(Scheduler):
                 self._reducing.remove(iteration)
                 self.ctx.trace.record(now, "s3.subjob.complete",
                                       iteration.iteration_id)
+                # Whole-segment span: launch through merged-reduce end.
+                self.ctx.tracer.span_at(
+                    "s3.segment", iteration.launched_at, now,
+                    lane="s3", subject=iteration.iteration_id,
+                    blocks=len(iteration.chunk), jobs=iteration.batch_size)
                 for job_id in iteration.finishing_jobs:
                     self.ctx.job_completed(job_id)
                 # Liveness: when the admission cap deferred every waiting
@@ -286,6 +309,12 @@ class S3Scheduler(Scheduler):
         self._reducing.append(iteration)
         self.ctx.trace.record(now, "s3.subjob.maps_done",
                               iteration.iteration_id, reduces=num_reduces)
+        # Map-wave span: iteration launch through its last map completion;
+        # nested one level under the enclosing s3.segment span.
+        self.ctx.tracer.span_at(
+            "s3.map_wave", iteration.launched_at, now,
+            lane="s3", subject=iteration.iteration_id, depth=1,
+            blocks=len(iteration.chunk), jobs=iteration.batch_size)
         if self.queue.has_work():
             self._arm(now)
 
@@ -313,5 +342,6 @@ class S3Scheduler(Scheduler):
             return True
         excluded = self.slot_checker.apply(self.ctx.cluster)
         self.ctx.trace.record(now, "s3.slotcheck", "cluster",
-                              excluded=len(excluded))
+                              excluded=len(excluded),
+                              nodes=sorted(excluded))
         return False

@@ -25,6 +25,8 @@ from typing import Callable
 
 from ..common.errors import SimulationError
 from ..common.tracelog import TraceLog
+from ..obs.runtime import active_session
+from ..obs.tracer import Tracer
 from .events import EventCallback, EventQueue, ScheduledEvent
 
 
@@ -38,8 +40,18 @@ class Simulator:
         self._events_processed = 0
         self._max_events = max_events
         self._running = False
+        if trace is None:
+            # The tracer reads the virtual clock, so spans recorded by
+            # schedulers land at simulation timestamps, not wall time.
+            trace = TraceLog(Tracer(name="sim", clock=lambda: self._now))
         #: Shared trace log; components record state changes here.
-        self.trace = trace if trace is not None else TraceLog()
+        self.trace = trace
+        #: Span/event sink on the simulation clock (the trace log's
+        #: instants and scheduler spans share it).
+        self.tracer = trace.tracer
+        session = active_session()
+        if session is not None:
+            session.adopt(self.tracer)
 
     # ------------------------------------------------------------------ time
     @property

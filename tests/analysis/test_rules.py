@@ -261,6 +261,70 @@ class TestRep005Annotations:
         assert violations == []
 
 
+# ------------------------------------------------------------------- REP006
+class TestRep006ObsOnly:
+    def test_print_in_localrt_fires(self):
+        violations = run_rule("REP006", """\
+            def debug_dump(report):
+                print("blocks:", report.blocks_read)
+            """, path="src/repro/localrt/runners.py")
+        assert [v.code for v in violations] == ["REP006"]
+        assert violations[0].line == 2
+        assert "repro.obs" in violations[0].message
+
+    def test_logging_import_in_schedulers_fires(self):
+        violations = run_rule(
+            "REP006", "import logging\n",
+            path="src/repro/schedulers/s3/scheduler.py")
+        assert len(violations) == 1
+        assert "logging" in violations[0].message
+
+    def test_logging_from_import_fires(self):
+        violations = run_rule(
+            "REP006", "from logging import getLogger\n",
+            path="src/repro/localrt/engine.py")
+        assert len(violations) == 1
+
+    def test_logger_emission_fires(self):
+        violations = run_rule("REP006", """\
+            def advance(logger, n):
+                logger.info("pointer now at %d", n)
+            """, path="src/repro/schedulers/s3/scanloop.py")
+        assert len(violations) == 1
+        assert ".info()" in violations[0].message
+
+    def test_tracer_emission_is_clean(self):
+        violations = run_rule("REP006", """\
+            def advance(tracer, n):
+                tracer.event("s3.pointer", pointer=n)
+                with tracer.span("s3.iteration"):
+                    pass
+            """, path="src/repro/schedulers/s3/scheduler.py")
+        assert violations == []
+
+    def test_warnings_warn_is_clean(self):
+        # DeprecationWarning shims are not telemetry.
+        violations = run_rule("REP006", """\
+            import warnings
+
+            def shim():
+                warnings.warn("deprecated", DeprecationWarning)
+            """, path="src/repro/localrt/runners.py")
+        assert violations == []
+
+    def test_print_outside_scope_is_clean(self):
+        violations = run_rule(
+            "REP006", "print('hello')\n",
+            path="src/repro/experiments/cli.py")
+        assert violations == []
+
+    def test_noqa_suppresses(self):
+        violations = run_rule(
+            "REP006", "print('x')  # repro: noqa[REP006]\n",
+            path="src/repro/localrt/engine.py")
+        assert violations == []
+
+
 # ------------------------------------------------------------------- noqa
 class TestSuppression:
     def test_noqa_with_code_suppresses(self):

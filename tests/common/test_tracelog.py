@@ -67,3 +67,50 @@ def test_getitem():
     log = TraceLog()
     log.record(0.0, "k", "a")
     assert log[0].subject == "a"
+
+
+# ------------------------------------------------- tolerance boundary (PR 4)
+def test_time_within_tolerance_is_accepted():
+    """Float noise up to TIME_TOLERANCE behind the last record is fine."""
+    log = TraceLog()
+    log.record(1.0, "a", "x")
+    log.record(1.0 - TraceLog.TIME_TOLERANCE / 2, "b", "y")
+    assert len(log) == 2
+
+
+def test_time_exactly_at_tolerance_is_accepted():
+    log = TraceLog()
+    log.record(1.0, "a", "x")
+    log.record(1.0 - TraceLog.TIME_TOLERANCE, "b", "y")
+    assert len(log) == 2
+
+
+def test_time_beyond_tolerance_names_the_tolerance():
+    log = TraceLog()
+    log.record(1.0, "a", "x")
+    with pytest.raises(ValueError) as excinfo:
+        log.record(1.0 - 10 * TraceLog.TIME_TOLERANCE, "b", "y")
+    # The message matches the guard: it rejects only violations beyond
+    # the documented tolerance (the old message claimed strictness the
+    # guard never enforced).
+    assert "tolerance" in str(excinfo.value)
+    assert "backwards" in str(excinfo.value)
+
+
+def test_records_feed_the_underlying_tracer():
+    """TraceLog is an adapter: records land on a Tracer as instants."""
+    log = TraceLog()
+    log.record(2.0, "job.submit", "j1", file="f")
+    (event,) = log.tracer.events()
+    assert event.phase == "i"
+    assert event.ts == 2.0
+    assert event.name == "job.submit"
+    assert event.subject == "j1"
+    assert event.args == {"file": "f"}
+
+
+def test_adapter_rejects_disabled_tracer():
+    from repro.obs import Tracer
+
+    with pytest.raises(ValueError, match="enabled tracer"):
+        TraceLog(Tracer(clock=lambda: 0.0, enabled=False))

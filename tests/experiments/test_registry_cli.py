@@ -43,3 +43,39 @@ def test_cli_unknown_experiment_fails(capsys):
 
 def test_cli_no_args_shows_help(capsys):
     assert main([]) == 2
+
+
+def test_cli_trace_dir_writes_chrome_trace(tmp_path, capsys):
+    """--trace-dir records spans from both clock domains into one file."""
+    import json
+
+    assert main(["ext-local", "--trace-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    trace_path = tmp_path / "ext-local.trace.json"
+    assert trace_path.exists()
+    assert str(trace_path) in captured.err
+
+    document = json.loads(trace_path.read_text(encoding="utf-8"))
+    names = {e.get("name") for e in document["traceEvents"]}
+    # Top-level experiment span plus local-runtime structure.
+    assert "experiment.ext-local" in names
+    assert {"s3.run", "s3.iteration", "fifo.job", "map.wave",
+            "reduce.job", "io.wave"} <= names
+
+
+def test_cli_trace_dir_simulator_s3_spans(tmp_path):
+    """A simulator experiment exports the paper's S3 decision points."""
+    import json
+
+    assert main(["abl-het", "--trace-dir", str(tmp_path)]) == 0
+    document = json.loads(
+        (tmp_path / "abl-het.trace.json").read_text(encoding="utf-8"))
+    names = {e.get("name") for e in document["traceEvents"]}
+    assert {"s3.subjob.launch", "s3.slotcheck", "s3.map_wave",
+            "s3.segment", "s3.align", "s3.pointer"} <= names
+
+
+def test_cli_without_trace_dir_writes_nothing(tmp_path, capsys):
+    assert main(["ext-local"]) == 0
+    assert list(tmp_path.iterdir()) == []
+    assert "trace:" not in capsys.readouterr().err

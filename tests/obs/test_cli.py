@@ -1,0 +1,80 @@
+"""``python -m repro.obs`` CLI: summary and convert subcommands."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, export_chrome, export_jsonl, load_events
+from repro.obs.cli import main
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    tracer = Tracer(name="t", clock=lambda: 0.0)
+    tracer.span_at("map.wave", 0.0, 2.0, lane="main", blocks=3)
+    tracer.event_at(1.0, "io.wave", subject="iter_0", lane="main")
+    path = tmp_path / "run.trace.json"
+    export_chrome(path, [tracer])
+    return path
+
+
+def test_summary_table(trace_file, capsys):
+    assert main(["summary", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "2 events" in out
+    assert "map.wave" in out and "io.wave" in out
+
+
+def test_summary_json(trace_file, capsys):
+    assert main(["summary", "--json", str(trace_file)]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["events"] == 2
+    assert summary["names"]["map.wave"]["count"] == 1
+
+
+def test_summary_missing_file_exits_2(tmp_path, capsys):
+    assert main(["summary", str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_summary_corrupt_file_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.trace.json"
+    bad.write_text("{oops", encoding="utf-8")
+    assert main(["summary", str(bad)]) == 2
+    assert "unreadable" in capsys.readouterr().err
+
+
+def test_convert_chrome_to_jsonl_and_back(trace_file, tmp_path, capsys):
+    jsonl = tmp_path / "run.jsonl"
+    assert main(["convert", str(trace_file), "-o", str(jsonl),
+                 "--format", "jsonl"]) == 0
+    assert "wrote 2 events" in capsys.readouterr().out
+    assert len(load_events(jsonl)) == 2
+
+    back = tmp_path / "back.trace.json"
+    assert main(["convert", str(jsonl), "-o", str(back)]) == 0
+    events = load_events(back)
+    assert {e["name"] for e in events} == {"map.wave", "io.wave"}
+    wave = next(e for e in events if e["name"] == "map.wave")
+    assert wave["dur"] == pytest.approx(2.0)
+
+
+def test_convert_from_jsonl_input(tmp_path, capsys):
+    tracer = Tracer(name="t", clock=lambda: 0.0)
+    tracer.event_at(0.5, "e", lane="l")
+    src = tmp_path / "in.jsonl"
+    export_jsonl(src, [tracer])
+    out = tmp_path / "out.trace.json"
+    assert main(["convert", str(src), "-o", str(out)]) == 0
+    document = json.loads(out.read_text(encoding="utf-8"))
+    assert any(e.get("name") == "e" for e in document["traceEvents"])
+
+
+def test_module_entry_point(trace_file):
+    import subprocess
+    import sys
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.obs", "summary", str(trace_file)],
+        capture_output=True, text=True, check=False)
+    assert result.returncode == 0
+    assert "2 events" in result.stdout

@@ -1,0 +1,80 @@
+"""MetricsRegistry: counters, gauges, histograms, ReadStats absorption."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.localrt.storage import ReadStats
+from repro.obs import MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    registry = MetricsRegistry()
+    counter = registry.counter("io.blocks_read")
+    counter.inc(4)
+    counter.inc()
+    assert registry.counter("io.blocks_read").value == 5
+    with pytest.raises(ExecutionError, match="cannot decrease"):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("prefetch.ahead")
+    gauge.set(3.0)
+    gauge.add(-1.0)
+    assert gauge.value == 2.0
+
+
+def test_histogram_buckets_and_mean():
+    registry = MetricsRegistry()
+    hist = registry.histogram("wave.blocks", buckets=(1.0, 4.0, 16.0))
+    for value in (1, 2, 4, 5, 100):
+        hist.observe(value)
+    assert hist.counts == [1, 2, 1, 1]  # <=1, <=4, <=16, overflow
+    assert hist.count == 5
+    assert hist.mean == pytest.approx(112 / 5)
+
+
+def test_histogram_rejects_bad_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ExecutionError, match="strictly increase"):
+        registry.histogram("bad", buckets=(4.0, 4.0))
+    with pytest.raises(ExecutionError, match="at least one"):
+        registry.histogram("empty", buckets=())
+
+
+def test_kind_collision_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ExecutionError, match="is a counter, not a gauge"):
+        registry.gauge("x")
+
+
+def test_absorb_read_stats_registers_all_fields_including_zero():
+    registry = MetricsRegistry()
+    delta = ReadStats(blocks_read=3, bytes_read=120)
+    registry.absorb_read_stats(delta)
+    snap = registry.snapshot()
+    assert snap["io.blocks_read"] == 3
+    assert snap["io.bytes_read"] == 120
+    # A field that did not move is still present as an explicit zero.
+    assert snap["io.cache_hits"] == 0
+    registry.absorb_read_stats(ReadStats(blocks_read=2))
+    assert registry.counter("io.blocks_read").value == 5
+
+
+def test_snapshot_and_format_table():
+    registry = MetricsRegistry()
+    registry.counter("a").inc(2)
+    registry.gauge("b").set(1.5)
+    registry.histogram("c", buckets=(1.0,)).observe(0.5)
+    snap = registry.snapshot()
+    assert snap["a"] == 2 and snap["b"] == 1.5
+    assert snap["c"]["count"] == 1
+    table = registry.format_table()
+    assert "a" in table and "count=1" in table
+    assert len(registry) == 3
+
+
+def test_empty_registry_table():
+    assert MetricsRegistry().format_table() == "(no metrics recorded)"

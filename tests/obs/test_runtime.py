@@ -1,0 +1,81 @@
+"""TraceSession: adoption, nesting, export of multiple clock domains."""
+
+import json
+
+from repro.obs import TraceSession, Tracer, active_session
+
+
+def test_no_session_by_default():
+    assert active_session() is None
+
+
+def test_session_activation_and_nesting():
+    with TraceSession("outer") as outer:
+        assert active_session() is outer
+        with TraceSession("inner") as inner:
+            assert active_session() is inner  # innermost wins
+        assert active_session() is outer
+    assert active_session() is None
+
+
+def test_session_owns_a_tracer_and_adopts_more():
+    session = TraceSession("s")
+    assert session.tracers() == (session.tracer,)
+    extra = Tracer(name="sim", clock=lambda: 0.0)
+    session.adopt(extra)
+    session.adopt(extra)  # idempotent
+    assert session.tracers() == (session.tracer, extra)
+
+
+def test_new_tracer_is_adopted_and_enabled():
+    session = TraceSession("s")
+    tracer = session.new_tracer("worker", clock=lambda: 1.0)
+    assert tracer.enabled
+    assert tracer in session.tracers()
+
+
+def test_event_count_spans_all_tracers():
+    session = TraceSession("s")
+    session.tracer.event("a")
+    session.new_tracer("t2", clock=lambda: 0.0).event("b")
+    assert session.event_count() == 2
+
+
+def test_export_writes_every_adopted_tracer(tmp_path):
+    session = TraceSession("s")
+    sim = session.new_tracer("sim", clock=lambda: 2.0)
+    sim.event("job.submit", subject="j1", lane="events")
+    session.tracer.event("experiment.start", lane="main")
+    path = session.export(tmp_path / "out.trace.json")
+    document = json.loads(path.read_text(encoding="utf-8"))
+    names = {e["name"] for e in document["traceEvents"]}
+    assert {"job.submit", "experiment.start"} <= names
+    processes = {e["args"]["name"] for e in document["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+    assert {"s", "sim"} <= processes
+
+
+def test_export_jsonl_format(tmp_path):
+    session = TraceSession("s")
+    session.tracer.event("e")
+    path = session.export(tmp_path / "out.jsonl", format="jsonl")
+    lines = path.read_text(encoding="utf-8").strip().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["name"] == "e"
+
+
+def test_export_unknown_format(tmp_path):
+    session = TraceSession("s")
+    try:
+        session.export(tmp_path / "x", format="xml")
+    except ValueError as exc:
+        assert "unknown trace format" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")
+
+
+def test_summary_renders_counts():
+    session = TraceSession("s")
+    session.tracer.event("io.wave")
+    text = session.summary()
+    assert "1 events" in text and "io.wave" in text

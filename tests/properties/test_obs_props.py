@@ -1,0 +1,68 @@
+"""Observability is a pure observer: tracing must never change results.
+
+For any corpus, segment size and admission schedule, a traced shared-scan
+run must produce exactly the outputs and exactly the logical I/O counters
+of the identical untraced run — spans and events are derived *from* the
+execution, never fed back into it.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import ExecutionConfig, TraceConfig
+from repro.localrt.jobs import wordcount_job
+from repro.localrt.runners import SharedScanRunner
+from repro.localrt.storage import BlockStore
+
+WORDS = ["the", "thing", "running", "eating", "apple", "orange",
+         "motion", "nation", "sad", "sunny"]
+PATTERNS = ["^th.*", ".*ing$", "^[aeiou].*", ".*tion$"]
+
+corpora = st.lists(
+    st.lists(st.sampled_from(WORDS), min_size=1, max_size=8).map(" ".join),
+    min_size=4, max_size=24)
+schedules = st.lists(st.integers(0, 5), min_size=1, max_size=3)
+
+
+def _normalise(report):
+    return {job_id: sorted((repr(k), repr(v)) for k, v in result.output)
+            for job_id, result in report.results.items()}
+
+
+@given(corpus=corpora, seg=st.integers(1, 5), arrivals=schedules,
+       block_size=st.integers(24, 120))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_tracing_changes_nothing(tmp_path_factory, corpus, seg, arrivals,
+                                 block_size):
+    directory = tmp_path_factory.mktemp("obs-prop")
+    store = BlockStore.create(directory, corpus, block_size_bytes=block_size)
+
+    def jobs():
+        return [wordcount_job(f"w{i}", PATTERNS[i % len(PATTERNS)])
+                for i in range(len(arrivals))]
+
+    schedule = {f"w{i}": arrival for i, arrival in enumerate(arrivals)}
+
+    plain_config = ExecutionConfig(blocks_per_segment=seg)
+    traced_config = ExecutionConfig(blocks_per_segment=seg,
+                                    trace=TraceConfig(enabled=True))
+
+    plain = SharedScanRunner(store, plain_config).run(jobs(), schedule)
+    traced_runner = SharedScanRunner(store, traced_config)
+    traced = traced_runner.run(jobs(), schedule)
+
+    # Byte-identical outputs.
+    assert _normalise(traced) == _normalise(plain)
+    # Identical logical ReadStats: same blocks, bytes and iteration count.
+    assert traced.blocks_read == plain.blocks_read
+    assert traced.bytes_read == plain.bytes_read
+    assert traced.iterations == plain.iterations
+    assert traced.io.blocks_read == plain.io.blocks_read
+    assert traced.io.bytes_read == plain.io.bytes_read
+
+    # And the traced run really recorded its structure.
+    assert traced.metrics is not None
+    assert traced.metrics.snapshot()["io.blocks_read"] == plain.blocks_read
+    span_names = {e.name for e in traced_runner.tracer.spans()}
+    assert {"s3.run", "s3.iteration", "map.wave"} <= span_names

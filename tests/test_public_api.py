@@ -11,7 +11,20 @@ def test_version():
     assert repro.__version__ == "1.0.0"
 
 
+#: The blessed top-level surface, pinned: adding a name here is a
+#: deliberate API decision, removing one is a breaking change.
+BLESSED = [
+    "BlockStore", "ClusterConfig", "CostModel", "DfsConfig",
+    "ExecutionConfig", "FifoLocalRunner", "FifoScheduler", "JobSpec",
+    "LocalJob", "MRShareScheduler", "MetricsRegistry", "RunReport",
+    "S3Config", "S3Scheduler", "SharedScanRunner", "SimulationDriver",
+    "TraceConfig", "TraceSession", "Tracer", "__version__",
+    "compute_metrics", "format_table",
+]
+
+
 def test_top_level_exports():
+    assert sorted(repro.__all__) == BLESSED
     for name in repro.__all__:
         assert getattr(repro, name) is not None
 
@@ -20,7 +33,7 @@ def test_top_level_exports():
     "repro.common", "repro.simengine", "repro.cluster", "repro.dfs",
     "repro.mapreduce", "repro.schedulers", "repro.schedulers.s3",
     "repro.localrt", "repro.workloads", "repro.metrics", "repro.planning",
-    "repro.experiments", "repro.ext",
+    "repro.experiments", "repro.ext", "repro.obs",
 ])
 def test_subpackage_all_exports_resolve(module_name):
     module = importlib.import_module(module_name)
@@ -43,3 +56,17 @@ def test_minimal_user_journey():
     metrics = compute_metrics("S3", driver.run().timelines)
     assert metrics.num_jobs == 3
     assert metrics.tet > 0
+
+
+def test_local_runtime_journey(tmp_path):
+    """Canonical local-runtime construction: one config, one runner."""
+    from repro import BlockStore, ExecutionConfig, SharedScanRunner
+    from repro.localrt import wordcount_job
+
+    store = BlockStore.create(tmp_path / "corpus",
+                              ["the cat sat on the mat"] * 50,
+                              block_size_bytes=96)
+    runner = SharedScanRunner(store, ExecutionConfig(blocks_per_segment=2))
+    report = runner.run([wordcount_job("wc", ".*")])
+    assert report.result("wc").output
+    assert report.blocks_read == store.num_blocks
