@@ -10,7 +10,7 @@ from conftest import run_once
 from repro.experiments.fig3 import run as run_fig3
 
 
-def test_fig3_combined_job_cost(benchmark, print_report):
+def test_fig3_combined_job_cost(benchmark, print_report, trace_run):
     result = run_once(benchmark, run_fig3)
     print_report(result)
     tet_ratio = result.extra["total_execution_s_ratio"][-1]
@@ -19,3 +19,4 @@ def test_fig3_combined_job_cost(benchmark, print_report):
     assert abs(map_ratio - 1.288) < 0.01
     assert abs(reduce_ratio - 1.235) < 0.01
     assert abs(tet_ratio - 1.255) < 0.05
+    trace_run("fig3", run_fig3)

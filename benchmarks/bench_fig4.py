@@ -11,47 +11,52 @@ from conftest import run_once
 from repro.experiments.fig4 import run_panel
 
 
-def test_fig4a_sparse_normal_64mb(benchmark, print_report):
+def test_fig4a_sparse_normal_64mb(benchmark, print_report, trace_run):
     result = run_once(benchmark, run_panel, "4a")
     print_report(result)
     # S3 best on both metrics; FIFO ~2-3x; MRShare >= 1x TET.
     assert all(result.ratio(s)[0] >= 1.0 for s in ("MRS1", "MRS2", "MRS3"))
     assert result.ratio("FIFO")[0] > 2.0
     assert result.ratio("MRS1")[1] > result.ratio("MRS3")[1]
+    trace_run("fig4a", run_panel, "4a")
 
 
-def test_fig4b_dense_normal_64mb(benchmark, print_report):
+def test_fig4b_dense_normal_64mb(benchmark, print_report, trace_run):
     result = run_once(benchmark, run_panel, "4b")
     print_report(result)
     # MRS1 wins under dense arrivals; MRS3 queues badly.
     assert result.ratio("MRS1")[0] < 1.0
     assert result.ratio("MRS3")[0] > 1.8
+    trace_run("fig4b", run_panel, "4b")
 
 
-def test_fig4c_sparse_heavy_64mb(benchmark, print_report):
+def test_fig4c_sparse_heavy_64mb(benchmark, print_report, trace_run):
     result = run_once(benchmark, run_panel, "4c")
     print_report(result)
     # Heavy workload: MRShare ART uniformly poor.
     assert all(result.ratio(s)[1] > 1.25 for s in ("MRS1", "MRS2", "MRS3"))
+    trace_run("fig4c", run_panel, "4c")
 
 
-def test_fig4d_sparse_normal_128mb(benchmark, print_report):
+def test_fig4d_sparse_normal_128mb(benchmark, print_report, trace_run):
     result = run_once(benchmark, run_panel, "4d")
     print_report(result)
     # MRShare beats S3 in neither metric at 128MB.
     for variant in ("MRS1", "MRS2", "MRS3"):
         tet_ratio, art_ratio = result.ratio(variant)
         assert tet_ratio >= 1.0 and art_ratio > 1.0
+    trace_run("fig4d", run_panel, "4d")
 
 
-def test_fig4e_sparse_normal_32mb(benchmark, print_report):
+def test_fig4e_sparse_normal_32mb(benchmark, print_report, trace_run):
     result = run_once(benchmark, run_panel, "4e")
     print_report(result)
     # The S3 gain still holds; FIFO is at its worst ratio here.
     assert result.ratio("FIFO")[0] > 2.5
+    trace_run("fig4e", run_panel, "4e")
 
 
-def test_fig4f_selection_400gb(benchmark, print_report):
+def test_fig4f_selection_400gb(benchmark, print_report, trace_run):
     result = run_once(benchmark, run_panel, "4f")
     print_report(result)
     # S3 outperforms FIFO and every MRShare variant on both metrics.
@@ -59,3 +64,4 @@ def test_fig4f_selection_400gb(benchmark, print_report):
     for variant in ("MRS1", "MRS2", "MRS3"):
         tet_ratio, art_ratio = result.ratio(variant)
         assert tet_ratio > 1.0 and art_ratio > 1.0
+    trace_run("fig4f", run_panel, "4f")

@@ -12,13 +12,50 @@ deterministic; variance comes only from the host machine).
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-dir", default=None, metavar="DIR",
+        help="after benchmarking, run each figure experiment once more "
+             "under a TraceSession and write <name>.trace.json into DIR "
+             "(analyze with `python -m repro.obs analyze`)")
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark ``fn`` with single-iteration rounds and return its result."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=3, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def trace_run(request):
+    """Record one traced run of a figure experiment when --trace-dir is set.
+
+    Returns a callable ``trace_run(name, fn, *args)``; a no-op returning
+    ``None`` unless ``--trace-dir`` was passed.  The extra run happens
+    *outside* the timed rounds, so recording never skews the benchmark.
+    """
+    directory = request.config.getoption("--trace-dir")
+
+    def _trace(name, fn, *args, **kwargs):
+        if not directory:
+            return None
+        from repro.obs import TraceSession
+        out_dir = pathlib.Path(directory)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        with TraceSession(name) as session:
+            with session.tracer.span(f"experiment.{name}", subject=name):
+                fn(*args, **kwargs)
+        path = out_dir / f"{name}.trace.json"
+        session.export(path)
+        print(f"\ntrace written to {path} ({session.event_count()} events)")
+        return path
+
+    return _trace
 
 
 @pytest.fixture

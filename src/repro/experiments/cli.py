@@ -43,6 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record each experiment's spans and events and "
                              "write one Chrome-trace JSON per experiment "
                              "(<id>.trace.json, Perfetto-loadable) into DIR")
+    parser.add_argument("--analyze", action="store_true",
+                        help="after each traced run, print the trace-analysis "
+                             "report (critical path, utilization, scan-sharing "
+                             "attribution); requires --trace-dir")
     return parser
 
 
@@ -79,6 +83,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.trace_dir:
         trace_dir = Path(args.trace_dir)
         trace_dir.mkdir(parents=True, exist_ok=True)
+    elif args.analyze:
+        print("--analyze requires --trace-dir", file=sys.stderr)
+        return 2
     exit_code = 0
     report_sections: list[str] = []
     for experiment_id in requested:
@@ -89,6 +96,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                     experiment_id, trace_dir)
                 print(f"[{experiment_id}] trace: {trace_path} "
                       f"({event_count} events)", file=sys.stderr)
+                if args.analyze:
+                    from ..obs.analyze import analyze_file, format_report
+                    print(format_report(analyze_file(trace_path)))
+                    print()
             else:
                 result = run_experiment(experiment_id)
         except Exception as exc:  # surfaced per-experiment, keep going

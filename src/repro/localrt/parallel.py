@@ -174,7 +174,8 @@ class ProcessMapBackend(MapBackend):
             if tracer is not None and tracer.enabled:
                 tracer.event("map.task.remote",
                              subject=f"block_{task.block_index}",
-                             bytes=block_bytes, jobs=len(task.states))
+                             bytes=block_bytes, jobs=len(task.states),
+                             job_ids=[s.job.job_id for s in task.states])
             results.append((record_count, outputs, task_counters))
         return results
 
@@ -219,7 +220,8 @@ def _collect_in_parent(store: BlockStore, reader: RecordReader,
         return collect_map_outputs([s.job for s in task.states], reader,
                                    text, offset)
     with tracer.span("map.task", subject=f"block_{task.block_index}",
-                     jobs=len(task.states)):
+                     jobs=len(task.states),
+                     job_ids=[s.job.job_id for s in task.states]):
         text = store.read_block(task.block_index)
         offset = store.block_offset(task.block_index)
         return collect_map_outputs([s.job for s in task.states], reader,

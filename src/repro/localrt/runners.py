@@ -496,7 +496,8 @@ class SharedScanRunner(_LocalRunnerBase):
             wave_before = self.store.stats.snapshot() if traced else None
             with self.tracer.span("s3.iteration", subject=f"iter_{iteration}",
                                   pointer=pointer, blocks=chunk_len,
-                                  jobs=len(active)):
+                                  jobs=len(active),
+                                  job_ids=[s.job.job_id for s in active]):
                 if prefetcher is not None:
                     # Double-buffer: warm the next chunk while this one
                     # maps.  The circular pointer tells us exactly where

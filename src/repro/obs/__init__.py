@@ -23,7 +23,12 @@ Pieces:
 * :class:`TraceSession` — the ambient recording context simulators and
   runners adopt their tracers into;
 * :class:`~repro.common.config.TraceConfig` — the ``ExecutionConfig``
-  knob that turns recording on per run (re-exported here).
+  knob that turns recording on per run (re-exported here);
+* :mod:`~repro.obs.analyze` — trace analytics: critical path,
+  utilization timelines, scan-sharing attribution
+  (``python -m repro.obs analyze``);
+* :mod:`~repro.obs.regress` — the benchmark perf-regression gate
+  (``python -m repro.obs regress``).
 """
 
 # Import-order note: repro.common's __init__ imports the TraceLog
@@ -32,6 +37,7 @@ Pieces:
 # errors, clock), each of which is fully importable before the
 # repro.common package object finishes initialising.
 from ..common.config import TraceConfig
+from .analyze import analyze_events, analyze_file, format_report
 from .export import (
     chrome_document,
     chrome_events,
@@ -47,6 +53,12 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from .regress import (
+    MetricSpec,
+    RegressionReport,
+    compare,
+    format_regression,
 )
 from .runtime import TraceSession, active_session
 from .tracer import (
@@ -65,16 +77,23 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "MetricSpec",
     "MetricsRegistry",
+    "RegressionReport",
     "TraceConfig",
     "TraceEvent",
     "TraceSession",
     "Tracer",
     "active_session",
+    "analyze_events",
+    "analyze_file",
     "chrome_document",
     "chrome_events",
+    "compare",
     "export_chrome",
     "export_jsonl",
+    "format_regression",
+    "format_report",
     "format_summary",
     "load_events",
     "summarize",

@@ -1,0 +1,98 @@
+"""Critical-path extraction and per-name time breakdown.
+
+The *critical path* of a run is the chain of spans that gated its
+completion: starting from the run's root span, descend at every level
+into the child that **finished last** — that child is what the parent
+was waiting on when it closed; everything else overlapped it.  Each step
+reports its duration and self-time, so the output reads as "the run took
+12.3 s; 11.9 s of that was iteration 7, of which 11.2 s was its map
+wave, of which 10.8 s was the task on block 42" — where did TET go, one
+level at a time.
+
+The per-name breakdown is the complementary aggregate view: total and
+*self* seconds per span name across the whole forest.  Self-time sums
+are non-overlapping within each tree, so the table splits a run's wall
+time into its constituent phases without double counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .spans import SpanNode
+
+
+@dataclass(frozen=True)
+class CriticalStep:
+    """One level of a critical path."""
+
+    name: str
+    subject: str
+    lane: str
+    start: float
+    end: float
+    dur: float
+    self_time: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-data view (JSON-friendly)."""
+        return {
+            "name": self.name,
+            "subject": self.subject,
+            "lane": self.lane,
+            "start": self.start,
+            "end": self.end,
+            "dur": self.dur,
+            "self_time": self.self_time,
+        }
+
+
+def _gating_child(node: SpanNode) -> SpanNode | None:
+    """The child the parent finished waiting on (latest end; ties break
+    to the longer span, then lexicographically for determinism)."""
+    best: SpanNode | None = None
+    for child in node.children:
+        if best is None:
+            best = child
+            continue
+        key = (child.end, child.dur, child.name, child.subject, child.lane)
+        best_key = (best.end, best.dur, best.name, best.subject, best.lane)
+        if key > best_key:
+            best = child
+    return best
+
+
+def critical_path(root: SpanNode) -> list[CriticalStep]:
+    """The gating chain from ``root`` down to a leaf."""
+    steps: list[CriticalStep] = []
+    node: SpanNode | None = root
+    while node is not None:
+        steps.append(CriticalStep(
+            name=node.name, subject=node.subject, lane=node.lane,
+            start=node.start, end=node.end, dur=node.dur,
+            self_time=node.self_time))
+        node = _gating_child(node)
+    return steps
+
+
+def name_breakdown(roots: Iterable[SpanNode],
+                   ) -> dict[str, dict[str, float]]:
+    """Aggregate total/self seconds and counts per span name.
+
+    ``total`` double-counts nested time (a ``map.wave`` contains its
+    ``map.task`` spans); ``self`` does not — with sequential children,
+    summing ``self`` over all names of one tree recovers the root's
+    wall time exactly (concurrent children add their parallel excess).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for root in roots:
+        for span in root.walk():
+            stats = out.setdefault(span.name,
+                                   {"count": 0, "total": 0.0, "self": 0.0,
+                                    "max": 0.0})
+            stats["count"] += 1
+            stats["total"] += span.dur
+            stats["self"] += span.self_time
+            stats["max"] = max(stats["max"], span.dur)
+    return {name: out[name] for name in sorted(out)}

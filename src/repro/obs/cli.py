@@ -1,12 +1,17 @@
-"""``python -m repro.obs`` — inspect and convert recorded traces.
+"""``python -m repro.obs`` — inspect, analyze and convert recorded traces.
 
 Subcommands::
 
-    summary TRACE          aggregate per-event-name statistics
-    convert TRACE -o OUT   re-encode between Chrome JSON and JSONL
+    summary TRACE            aggregate per-event-name statistics
+    analyze TRACE            critical path, utilization, scan sharing
+    convert TRACE -o OUT     re-encode between Chrome JSON and JSONL
+    regress BASELINE CURRENT gate a benchmark payload against a baseline
 
-Both accept either on-disk format (auto-detected).  ``summary --json``
-emits the aggregate as machine-readable JSON for CI assertions.
+``summary``/``analyze``/``convert`` accept either on-disk trace format
+(auto-detected); ``--json`` / ``--format json`` emit machine-readable
+output for CI assertions.  ``regress`` compares two ``BENCH_*.json``
+payloads with the default metric specs for that benchmark and exits
+non-zero on regression (see :mod:`repro.obs.regress`).
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import sys
 from typing import Any, Sequence
 
 from ..common.errors import ExperimentError
+from .analyze import analyze_events, format_report
 from .export import (
     export_chrome,
     export_jsonl,
@@ -25,13 +31,14 @@ from .export import (
     load_events,
     summarize,
 )
+from .regress import compare, format_regression, load_payload, specs_for
 from .tracer import PHASE_INSTANT, PHASE_SPAN, TraceEvent, Tracer
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Inspect or convert a recorded observability trace.")
+        description="Inspect, analyze or convert a recorded trace.")
     sub = parser.add_subparsers(dest="command", required=True)
 
     summary = sub.add_parser(
@@ -41,6 +48,19 @@ def _build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--json", action="store_true",
                          help="emit the summary as JSON instead of a table")
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="critical path, utilization timeline and scan-sharing "
+             "attribution for a trace")
+    analyze.add_argument("trace", type=pathlib.Path,
+                         help="Chrome .trace.json or JSONL trace file")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text", help="output format")
+    analyze.add_argument("--bins", type=int, default=40,
+                         help="utilization timeline resolution")
+    analyze.add_argument("--straggler-k", type=float, default=2.0,
+                         help="straggler threshold (k x wave median)")
+
     convert = sub.add_parser(
         "convert", help="re-encode a trace (chrome <-> jsonl)")
     convert.add_argument("trace", type=pathlib.Path,
@@ -49,6 +69,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="output path")
     convert.add_argument("--format", choices=("chrome", "jsonl"),
                          default="chrome", help="output format")
+
+    regress = sub.add_parser(
+        "regress",
+        help="compare a fresh BENCH_*.json against a committed baseline")
+    regress.add_argument("baseline", type=pathlib.Path,
+                         help="committed baseline payload")
+    regress.add_argument("current", type=pathlib.Path,
+                         help="freshly produced payload")
+    regress.add_argument("--json", action="store_true",
+                         help="emit the comparison as JSON")
     return parser
 
 
@@ -71,9 +101,29 @@ def _rebuild_tracers(events: Sequence[dict[str, Any]]) -> list[Tracer]:
     return list(tracers.values())
 
 
+def _cmd_regress(args: argparse.Namespace) -> int:
+    try:
+        baseline = load_payload(args.baseline)
+        current = load_payload(args.current)
+        specs = specs_for(baseline)
+    except (OSError, ValueError, ExperimentError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = compare(str(baseline.get("benchmark", args.baseline.name)),
+                     baseline, current, specs)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_regression(report))
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "regress":
+        return _cmd_regress(args)
+
     try:
         events = load_events(args.trace)
     except (OSError, ExperimentError) as exc:
@@ -86,6 +136,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(json.dumps(summary, indent=2, sort_keys=True))
         else:
             print(format_summary(summary))
+        return 0
+
+    if args.command == "analyze":
+        try:
+            document = analyze_events(events, bins=args.bins,
+                                      straggler_k=args.straggler_k)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(format_report(document))
         return 0
 
     # convert

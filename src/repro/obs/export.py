@@ -223,9 +223,25 @@ def _from_jsonl(lines: Iterable[str]) -> list[dict[str, Any]]:
     return events
 
 
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Exact ``q``-th percentile of pre-sorted values (linear interp)."""
+    if not ordered:
+        return 0.0
+    position = q / 100.0 * (len(ordered) - 1)
+    below = int(position)
+    above = min(below + 1, len(ordered) - 1)
+    fraction = position - below
+    return ordered[below] + (ordered[above] - ordered[below]) * fraction
+
+
 def summarize(events: Sequence[dict[str, Any]]) -> dict[str, Any]:
-    """Aggregate per-name statistics over :func:`load_events` output."""
+    """Aggregate per-name statistics over :func:`load_events` output.
+
+    Span names additionally get exact p50/p95/p99 duration percentiles
+    (instants have no duration, so theirs are all zero).
+    """
     by_name: dict[str, dict[str, Any]] = {}
+    durations: dict[str, list[float]] = {}
     lanes: set[tuple[str, str]] = set()
     t_min, t_max = float("inf"), float("-inf")
     for event in events:
@@ -236,9 +252,14 @@ def summarize(events: Sequence[dict[str, Any]]) -> dict[str, Any]:
         stats["count"] += 1
         stats["total_dur"] += event["dur"]
         stats["max_dur"] = max(stats["max_dur"], event["dur"])
+        durations.setdefault(event["name"], []).append(event["dur"])
         lanes.add((event["tracer"], event["lane"]))
         t_min = min(t_min, event["ts"])
         t_max = max(t_max, event["ts"] + event["dur"])
+    for name, stats in by_name.items():
+        ordered = sorted(durations[name])
+        for label, q in (("p50", 50.0), ("p95", 95.0), ("p99", 99.0)):
+            stats[label] = _percentile(ordered, q)
     return {
         "events": len(events),
         "spans": sum(1 for e in events if e["ph"] == PHASE_SPAN),
@@ -261,10 +282,13 @@ def format_summary(summary: dict[str, Any]) -> str:
     width = max(4, max(len(name) for name in names))
     lines = [header, "",
              f"{'name':<{width}}  {'kind':<7} {'count':>7} "
-             f"{'total_s':>12} {'max_s':>12}"]
+             f"{'total_s':>12} {'p50_s':>10} {'p95_s':>10} "
+             f"{'p99_s':>10} {'max_s':>12}"]
     for name, stats in names.items():
         kind = "span" if stats["phase"] == PHASE_SPAN else "instant"
         lines.append(
             f"{name:<{width}}  {kind:<7} {stats['count']:>7} "
-            f"{stats['total_dur']:>12.6f} {stats['max_dur']:>12.6f}")
+            f"{stats['total_dur']:>12.6f} {stats['p50']:>10.6f} "
+            f"{stats['p95']:>10.6f} {stats['p99']:>10.6f} "
+            f"{stats['max_dur']:>12.6f}")
     return "\n".join(lines)

@@ -109,6 +109,38 @@ class Histogram:
         """Mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (0..100) from the bucket counts.
+
+        Linear interpolation inside the bucket that holds the rank,
+        taking 0 as the lower edge of the first bucket (observations are
+        non-negative in practice).  Ranks landing in the overflow bucket
+        clamp to the last bound — the histogram does not know how far
+        past it the outliers went.  0.0 when empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ExecutionError(
+                f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+        if count == 0:
+            return 0.0
+        rank = q / 100.0 * count
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if index >= len(self.buckets):
+                return self.buckets[-1]
+            lower = 0.0 if index == 0 else self.buckets[index - 1]
+            upper = self.buckets[index]
+            if cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+            cumulative += bucket_count
+        return self.buckets[-1]
+
 
 class MetricsRegistry:
     """Get-or-create home for named instruments.
@@ -188,6 +220,9 @@ class MetricsRegistry:
                     "counts": list(instrument.counts),
                     "total": instrument.total,
                     "count": instrument.count,
+                    "p50": instrument.percentile(50),
+                    "p95": instrument.percentile(95),
+                    "p99": instrument.percentile(99),
                 }
         return out
 
@@ -200,8 +235,11 @@ class MetricsRegistry:
         lines = []
         for name, value in snap.items():
             if isinstance(value, Mapping):
+                mean = (value['total'] / value['count']) if value['count'] \
+                    else 0.0
                 rendered = (f"count={value['count']} total={value['total']:g} "
-                            f"mean={(value['total'] / value['count']) if value['count'] else 0.0:g}")
+                            f"mean={mean:g} p50={value['p50']:g} "
+                            f"p95={value['p95']:g} p99={value['p99']:g}")
             elif isinstance(value, float):
                 rendered = f"{value:g}"
             else:

@@ -45,9 +45,25 @@ class TraceSession:
         return tracer
 
     def adopt(self, tracer: Tracer) -> Tracer:
-        """Register an externally created tracer for export (idempotent)."""
+        """Register an externally created tracer for export (idempotent).
+
+        A tracer whose name is already taken in this session is renamed
+        ``name#2``, ``name#3``, ... in adoption order.  Experiments that
+        sweep a parameter construct one simulator per point, each with a
+        tracer called ``sim`` on its own virtual clock starting at zero;
+        exporting them under one name would interleave unrelated runs
+        into a single timeline and the analyzer would nest spans across
+        runs.  The suffix keeps every run a separate process track.
+        """
         with self._lock:
             if tracer not in self._tracers:
+                taken = {t.name for t in self._tracers}
+                if tracer.name in taken:
+                    base = tracer.name
+                    serial = 2
+                    while f"{base}#{serial}" in taken:
+                        serial += 1
+                    tracer.name = f"{base}#{serial}"
                 self._tracers.append(tracer)
         return tracer
 

@@ -284,7 +284,8 @@ class S3Scheduler(Scheduler):
                 self.ctx.tracer.span_at(
                     "s3.segment", iteration.launched_at, now,
                     lane="s3", subject=iteration.iteration_id,
-                    blocks=len(iteration.chunk), jobs=iteration.batch_size)
+                    blocks=len(iteration.chunk), jobs=iteration.batch_size,
+                    job_ids=list(iteration.participants))
                 for job_id in iteration.finishing_jobs:
                     self.ctx.job_completed(job_id)
                 # Liveness: when the admission cap deferred every waiting
@@ -314,7 +315,8 @@ class S3Scheduler(Scheduler):
         self.ctx.tracer.span_at(
             "s3.map_wave", iteration.launched_at, now,
             lane="s3", subject=iteration.iteration_id, depth=1,
-            blocks=len(iteration.chunk), jobs=iteration.batch_size)
+            blocks=len(iteration.chunk), jobs=iteration.batch_size,
+            job_ids=list(iteration.participants))
         if self.queue.has_work():
             self._arm(now)
 

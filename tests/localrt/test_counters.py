@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.config import ExecutionConfig
 from repro.common.errors import ExecutionError
 from repro.localrt.counters import FRAMEWORK_GROUP, Counters, CounterUser
 from repro.localrt.jobs import wordcount_job
@@ -87,9 +88,11 @@ def test_user_counters_aggregate_across_blocks(corpus_store):
 
 
 def test_counters_identical_serial_vs_parallel(corpus_store):
-    serial = FifoLocalRunner(corpus_store, workers=1).run(
+    serial = FifoLocalRunner(corpus_store, ExecutionConfig()).run(
         [wordcount_job("wc", "^b.*")])
-    parallel = FifoLocalRunner(corpus_store, workers=4).run(
+    parallel = FifoLocalRunner(
+        corpus_store,
+        ExecutionConfig(map_backend="threads", map_workers=4)).run(
         [wordcount_job("wc", "^b.*")])
     assert (list(serial.results["wc"].counters)
             == list(parallel.results["wc"].counters))
@@ -97,7 +100,8 @@ def test_counters_identical_serial_vs_parallel(corpus_store):
 
 def test_counters_in_shared_scan(corpus_store):
     jobs = [wordcount_job("a", "^b.*"), wordcount_job("b", ".*ing$")]
-    report = SharedScanRunner(corpus_store, blocks_per_segment=3).run(
+    report = SharedScanRunner(
+        corpus_store, ExecutionConfig(blocks_per_segment=3)).run(
         jobs, {"b": 1})
     for job_id in ("a", "b"):
         counters = report.results[job_id].counters

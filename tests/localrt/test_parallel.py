@@ -29,8 +29,10 @@ def make_jobs():
 
 
 def test_parallel_fifo_equals_serial(corpus_store):
-    serial = FifoLocalRunner(corpus_store, workers=1).run(make_jobs())
-    parallel = FifoLocalRunner(corpus_store, workers=4).run(make_jobs())
+    serial = FifoLocalRunner(corpus_store, ExecutionConfig()).run(make_jobs())
+    parallel = FifoLocalRunner(
+        corpus_store,
+        ExecutionConfig(map_backend="threads", map_workers=4)).run(make_jobs())
     for job_id in ("wc0", "wc1", "wc2"):
         assert (serial.results[job_id].output
                 == parallel.results[job_id].output)
@@ -39,10 +41,13 @@ def test_parallel_fifo_equals_serial(corpus_store):
 
 def test_parallel_shared_scan_equals_serial(corpus_store):
     arrivals = {"wc1": 1, "wc2": 2}
-    serial = SharedScanRunner(corpus_store, blocks_per_segment=3,
-                              workers=1).run(make_jobs(), arrivals)
-    parallel = SharedScanRunner(corpus_store, blocks_per_segment=3,
-                                workers=4).run(make_jobs(), arrivals)
+    serial = SharedScanRunner(
+        corpus_store,
+        ExecutionConfig(blocks_per_segment=3)).run(make_jobs(), arrivals)
+    parallel = SharedScanRunner(
+        corpus_store,
+        ExecutionConfig(blocks_per_segment=3, map_backend="threads",
+                        map_workers=4)).run(make_jobs(), arrivals)
     for job_id in ("wc0", "wc1", "wc2"):
         assert (serial.results[job_id].output
                 == parallel.results[job_id].output)
@@ -53,7 +58,9 @@ def test_parallel_shared_scan_equals_serial(corpus_store):
 def test_read_counters_thread_safe(corpus_store):
     """Concurrent read_block calls must not lose counter increments."""
     before = corpus_store.stats.blocks_read
-    FifoLocalRunner(corpus_store, workers=8).run(make_jobs())
+    FifoLocalRunner(
+        corpus_store,
+        ExecutionConfig(map_backend="threads", map_workers=8)).run(make_jobs())
     delta = corpus_store.stats.blocks_read - before
     assert delta == 3 * corpus_store.num_blocks
 
@@ -76,17 +83,20 @@ def test_empty_wave_is_noop(corpus_store):
 
 
 def test_invalid_workers_on_runners(corpus_store):
-    with pytest.raises(ExecutionError):
+    # The legacy kwarg still validates (until the shim is removed).
+    with pytest.warns(DeprecationWarning), pytest.raises(ExecutionError):
         FifoLocalRunner(corpus_store, workers=0)
-    with pytest.raises(ExecutionError):
+    with pytest.warns(DeprecationWarning), pytest.raises(ExecutionError):
         SharedScanRunner(corpus_store, workers=0)
 
 
 # ---------------------------------------------------------------- backends
 def test_process_backend_fifo_equals_serial(corpus_store):
-    serial = FifoLocalRunner(corpus_store, backend="serial").run(make_jobs())
-    procs = FifoLocalRunner(corpus_store, backend="processes",
-                            workers=2).run(make_jobs())
+    serial = FifoLocalRunner(corpus_store, ExecutionConfig()).run(make_jobs())
+    procs = FifoLocalRunner(
+        corpus_store,
+        ExecutionConfig(map_backend="processes",
+                        map_workers=2)).run(make_jobs())
     for job_id in ("wc0", "wc1", "wc2"):
         assert serial.results[job_id].output == procs.results[job_id].output
         assert (list(serial.results[job_id].counters)
@@ -97,11 +107,13 @@ def test_process_backend_fifo_equals_serial(corpus_store):
 
 def test_process_backend_shared_scan_equals_serial(corpus_store):
     arrivals = {"wc1": 1, "wc2": 2}
-    serial = SharedScanRunner(corpus_store, blocks_per_segment=3,
-                              backend="serial").run(make_jobs(), arrivals)
-    procs = SharedScanRunner(corpus_store, blocks_per_segment=3,
-                             backend="processes", workers=2).run(
-        make_jobs(), arrivals)
+    serial = SharedScanRunner(
+        corpus_store,
+        ExecutionConfig(blocks_per_segment=3)).run(make_jobs(), arrivals)
+    procs = SharedScanRunner(
+        corpus_store,
+        ExecutionConfig(blocks_per_segment=3, map_backend="processes",
+                        map_workers=2)).run(make_jobs(), arrivals)
     for job_id in ("wc0", "wc1", "wc2"):
         assert serial.results[job_id].output == procs.results[job_id].output
     assert procs.bytes_read == serial.bytes_read
@@ -142,7 +154,9 @@ def test_unpicklable_job_fails_by_name(corpus_store):
     job = wordcount_job("closure", ".*")
     # A lambda-held mapper attribute cannot cross the process boundary.
     job.mapper.poison = lambda: None
-    runner = FifoLocalRunner(corpus_store, backend="processes", workers=2)
+    runner = FifoLocalRunner(
+        corpus_store,
+        ExecutionConfig(map_backend="processes", map_workers=2))
     with pytest.raises(ExecutionError, match="'closure'.*processes"):
         runner.run([job])
 
@@ -173,7 +187,10 @@ def test_backend_result_shape_is_validated(corpus_store):
 
 def test_backend_context_manager_reusable(corpus_store):
     with ProcessMapBackend(workers=2) as backend:
-        runner = SharedScanRunner(corpus_store, backend=backend)
+        # Injecting a caller-owned backend instance is only possible
+        # through the legacy kwarg; keep exercising it until removal.
+        with pytest.warns(DeprecationWarning):
+            runner = SharedScanRunner(corpus_store, backend=backend)
         first = runner.run(make_jobs())
         second = runner.run(make_jobs())  # pool reused across runs
     for job_id in ("wc0", "wc1", "wc2"):

@@ -10,6 +10,7 @@ import time
 
 import pytest
 
+from repro.common.config import ExecutionConfig
 from repro.common.errors import ExecutionError
 from repro.localrt.api import LocalJob, Mapper, SumReducer
 from repro.localrt.cache import BlockCache
@@ -131,9 +132,12 @@ def test_prefetch_error_recorded_not_raised(tmp_path):
 
 def test_runner_rejects_prefetch_without_cache(tmp_path):
     store = BlockStore.create(tmp_path / "s", lines(10), block_size_bytes=300)
-    with pytest.raises(ExecutionError, match="BlockCache"):
+    # Legacy kwarg path: still validated until the shim is removed.
+    with pytest.warns(DeprecationWarning), \
+            pytest.raises(ExecutionError, match="BlockCache"):
         FifoLocalRunner(store, prefetch_depth=2)
-    with pytest.raises(ExecutionError, match="BlockCache"):
+    with pytest.warns(DeprecationWarning), \
+            pytest.raises(ExecutionError, match="BlockCache"):
         SharedScanRunner(store, prefetch_depth=2)
 
 
@@ -146,12 +150,14 @@ def test_mapper_fault_mid_wave_shuts_prefetcher_down(tmp_path, runner_cls):
     store.stats.reset()
     job = LocalJob(job_id="boom", mapper=ExplodingMapper(poisoned),
                    reducer=SumReducer())
-    runner = runner_cls(store, prefetch_depth=3)
+    config = ExecutionConfig(cache_capacity_bytes=10_000_000,
+                             prefetch_depth=3)
+    runner = runner_cls(store, config)
     with pytest.raises(RuntimeError, match="mapper exploded"):
         runner.run([job])
     assert not prefetch_threads(), "prefetch thread leaked after fault"
     # The runner stays usable after the fault.
-    report = runner_cls(store, prefetch_depth=3).run([wordcount_job("ok", ".*")])
+    report = runner_cls(store, config).run([wordcount_job("ok", ".*")])
     assert report.results["ok"].output
     assert not prefetch_threads()
 
@@ -173,8 +179,11 @@ def test_shared_scan_prefetches_next_segment(tmp_path):
     store = make_store(tmp_path)
     jobs = [LocalJob(job_id=j, mapper=SlowCountMapper(), reducer=SumReducer())
             for j in ("a", "b")]
-    report = SharedScanRunner(store, blocks_per_segment=4,
-                              prefetch_depth=4).run(jobs)
+    report = SharedScanRunner(
+        store,
+        ExecutionConfig(blocks_per_segment=4,
+                        cache_capacity_bytes=10_000_000,
+                        prefetch_depth=4)).run(jobs)
     assert report.io.prefetched_blocks > 0
     assert report.blocks_read == store.num_blocks
     # Every block the prefetcher loaded was a block the scan then hit.
@@ -189,7 +198,10 @@ def test_fifo_prefetch_keeps_logical_counters(tmp_path):
                                cache=BlockCache(10_000_000))
     jobs = [wordcount_job(f"wc{i}", ".*") for i in range(3)]
     base = FifoLocalRunner(plain).run(jobs)
-    accel = FifoLocalRunner(cached, prefetch_depth=4).run(
+    accel = FifoLocalRunner(
+        cached,
+        ExecutionConfig(cache_capacity_bytes=10_000_000,
+                        prefetch_depth=4)).run(
         [wordcount_job(f"wc{i}", ".*") for i in range(3)])
     assert accel.blocks_read == base.blocks_read
     assert accel.bytes_read == base.bytes_read

@@ -1,0 +1,270 @@
+"""Trace analytics: span forest, critical path, timelines, attribution.
+
+``build_fixture_tracers`` recreates the committed golden trace
+(``golden/analyze.trace.json``) from scratch; one test pins the export
+byte-for-byte and another pins the full analysis document against
+``golden/analyze.report.json``, so any change to the exporters *or* the
+analyzer shows up as a reviewable golden diff.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import Tracer, export_chrome
+from repro.obs.analyze import (analyze_events, analyze_file, build_forest,
+                               critical_path, detect_stragglers,
+                               format_report, name_breakdown,
+                               utilization_series)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+GOLDEN_TRACE = GOLDEN / "analyze.trace.json"
+GOLDEN_REPORT = GOLDEN / "analyze.report.json"
+
+
+def build_fixture_tracers():
+    """Two hand-timed runs: a shared scan (two jobs, two iterations,
+    physical reads saved by sharing) and a FIFO baseline (full price)."""
+    shared = Tracer(name="shared", clock=lambda: 0.0)
+    shared.span_at("s3.run", 0.0, 10.0, lane="main", subject="run")
+    shared.span_at("s3.iteration", 0.0, 4.0, lane="main", subject="iter_0",
+                   job_ids=["a", "b"], blocks=2)
+    shared.span_at("map.wave", 0.2, 3.8, lane="main", subject="iter_0",
+                   blocks=2)
+    shared.span_at("map.task", 0.2, 2.0, lane="w1", subject="blk_0",
+                   job_ids=["a", "b"])
+    shared.span_at("map.task", 0.2, 3.8, lane="w2", subject="blk_1",
+                   job_ids=["a", "b"])
+    shared.event_at(3.9, "io.wave", subject="iter_0", lane="main",
+                    blocks=2, physical_blocks=2)
+    shared.span_at("s3.iteration", 4.0, 9.0, lane="main", subject="iter_1",
+                   job_ids=["a"], blocks=2)
+    shared.span_at("map.wave", 4.1, 8.8, lane="main", subject="iter_1",
+                   blocks=2)
+    shared.span_at("map.task", 4.2, 5.0, lane="w1", subject="blk_2",
+                   job_ids=["a"])
+    shared.span_at("map.task", 4.2, 8.6, lane="w2", subject="blk_3",
+                   job_ids=["a"])
+    shared.event_at(8.9, "io.wave", subject="iter_1", lane="main",
+                    blocks=2, physical_blocks=1)
+    shared.span_at("reduce.job", 9.0, 9.6, lane="main", subject="a")
+    shared.span_at("reduce.job", 9.6, 10.0, lane="main", subject="b")
+
+    fifo = Tracer(name="fifo", clock=lambda: 0.0)
+    fifo.span_at("fifo.run", 0.0, 8.0, lane="main", subject="run")
+    fifo.span_at("fifo.job", 0.0, 4.0, lane="main", subject="a", blocks=2)
+    fifo.span_at("map.task", 0.5, 1.5, lane="main", subject="blk_0")
+    fifo.span_at("map.task", 1.5, 3.5, lane="main", subject="blk_1")
+    fifo.event_at(3.9, "io.wave", subject="a", lane="main",
+                  blocks=2, physical_blocks=2)
+    fifo.span_at("fifo.job", 4.0, 8.0, lane="main", subject="b", blocks=2)
+    fifo.span_at("map.task", 4.5, 5.5, lane="main", subject="blk_0")
+    fifo.span_at("map.task", 5.5, 7.5, lane="main", subject="blk_1")
+    fifo.event_at(7.9, "io.wave", subject="b", lane="main",
+                  blocks=2, physical_blocks=2)
+    return [shared, fifo]
+
+
+def span(name, start, end, *, lane="main", tracer="t", subject="", **args):
+    return {"ph": "X", "name": name, "ts": start, "dur": end - start,
+            "lane": lane, "tracer": tracer, "subject": subject, "args": args}
+
+
+def instant(name, ts, *, lane="main", tracer="t", subject="", **args):
+    return {"ph": "i", "name": name, "ts": ts, "dur": 0.0, "lane": lane,
+            "tracer": tracer, "subject": subject, "args": args}
+
+
+# ------------------------------------------------------------------ golden
+
+def test_fixture_trace_matches_golden(tmp_path):
+    fresh = tmp_path / "analyze.trace.json"
+    export_chrome(fresh, build_fixture_tracers())
+    assert fresh.read_text(encoding="utf-8") \
+        == GOLDEN_TRACE.read_text(encoding="utf-8")
+
+
+def test_analysis_document_matches_golden():
+    document = analyze_file(GOLDEN_TRACE)
+    expected = json.loads(GOLDEN_REPORT.read_text(encoding="utf-8"))
+    assert document == expected
+    # Deterministic: a second pass serializes identically.
+    again = analyze_file(GOLDEN_TRACE)
+    assert json.dumps(document, sort_keys=True) \
+        == json.dumps(again, sort_keys=True)
+
+
+def test_golden_report_renders_every_section():
+    text = format_report(analyze_file(GOLDEN_TRACE))
+    assert "critical path" in text
+    assert "time breakdown" in text
+    assert "slot utilization" in text
+    assert "wave occupancy" in text
+    assert "scan-sharing attribution" in text
+
+
+# ----------------------------------------------------------- forest/nesting
+
+def test_cross_lane_tasks_nest_under_their_wave():
+    forest = build_forest(
+        [e for t in build_fixture_tracers()
+         for e in _normalized(t)])
+    (root,) = forest["shared"]
+    assert root.name == "s3.run"
+    waves = [s for s in root.walk() if s.name == "map.wave"]
+    assert len(waves) == 2
+    for wave in waves:
+        tasks = [c for c in wave.children if c.name == "map.task"]
+        assert len(tasks) == 2
+        assert {t.lane for t in tasks} == {"w1", "w2"}
+
+
+def _normalized(tracer):
+    out = []
+    for event in tracer.events():
+        out.append({"ph": event.phase, "name": event.name, "ts": event.ts,
+                    "dur": event.dur, "lane": event.lane,
+                    "tracer": tracer.name, "subject": event.subject,
+                    "args": event.args})
+    return out
+
+
+def test_equal_interval_same_name_spans_stay_siblings():
+    # Concurrent sim tasks share exact tick boundaries; they must come
+    # out as peers, never as a parent-child chain (same lane and across
+    # lanes).
+    events = [span("task.map", 0.0, 5.0, lane="node_0", subject=f"t{i}")
+              for i in range(3)]
+    events += [span("task.map", 0.0, 5.0, lane=f"node_{n}", subject=f"r{n}")
+               for n in (1, 2)]
+    forest = build_forest(events)
+    roots = forest["t"]
+    assert len(roots) == 5
+    assert all(not r.children for r in roots)
+
+
+def test_equal_interval_different_name_still_nests():
+    events = [span("s3.segment", 0.0, 5.0, subject="seg_0"),
+              span("s3.map_wave", 0.0, 5.0, subject="seg_0")]
+    forest = build_forest(events)
+    (root,) = forest["t"]
+    assert root.name == "s3.segment"
+    assert [c.name for c in root.children] == ["s3.map_wave"]
+
+
+def test_self_time_does_not_double_count_parallel_children():
+    events = [span("run", 0.0, 10.0),
+              span("task", 1.0, 6.0, lane="w1"),
+              span("task", 2.0, 7.0, lane="w2")]
+    forest = build_forest(events)
+    (root,) = forest["t"]
+    assert root.child_time == pytest.approx(6.0)  # union [1, 7]
+    assert root.self_time == pytest.approx(4.0)
+
+
+# ------------------------------------------------------------ critical path
+
+def test_critical_path_follows_latest_ending_child():
+    document = analyze_file(GOLDEN_TRACE)
+    run = next(r for r in document["runs"] if r["name"] == "s3.run")
+    assert run["wall"] == pytest.approx(10.0)
+    last = run["critical_path"][-1]
+    assert (last["name"], last["subject"]) == ("reduce.job", "b")
+    for step in run["critical_path"]:
+        assert step["dur"] <= run["wall"] + 1e-9
+        assert step["self_time"] <= step["dur"] + 1e-9
+
+
+def test_name_breakdown_self_sums_to_wall_for_sequential_tree():
+    events = [span("run", 0.0, 10.0),
+              span("phase", 0.0, 4.0, subject="p0"),
+              span("phase", 4.0, 9.0, subject="p1")]
+    forest = build_forest(events)
+    breakdown = name_breakdown(forest["t"])
+    total_self = sum(stats["self"] for stats in breakdown.values())
+    assert total_self == pytest.approx(10.0)
+    assert breakdown["phase"]["count"] == 2
+
+
+def test_runs_section_is_capped_to_longest_roots():
+    events = [span("task.map", float(i), i + 0.5 + (i % 3) * 0.1,
+                   subject=f"t{i}")
+              for i in range(12)]
+    document = analyze_events(events)
+    assert len(document["runs"]) == 8
+    assert document["runs_omitted"] == 4
+    kept = {run["subject"] for run in document["runs"]}
+    # The shortest roots (i % 3 == 0 -> dur 0.5) are the omitted ones.
+    assert all(f"t{i}" in kept for i in range(12) if i % 3 == 2)
+
+
+# ---------------------------------------------------------------- timelines
+
+def test_utilization_values_within_bounds():
+    forest = build_forest(
+        [e for t in build_fixture_tracers() for e in _normalized(t)])
+    series = utilization_series("shared", forest["shared"], bins=20)
+    assert series is not None
+    assert series.lanes == 2
+    assert all(0.0 <= v <= 1.0 for v in series.values)
+    assert 0.0 < series.mean < 1.0
+
+
+def test_stragglers_flag_tasks_beyond_k_median():
+    events = [span("s3.iteration", 0.0, 10.0, subject="iter_0"),
+              span("map.task", 0.0, 1.0, lane="w1", subject="fast_a"),
+              span("map.task", 0.0, 1.1, lane="w2", subject="fast_b"),
+              span("map.task", 0.0, 1.2, lane="w3", subject="fast_c"),
+              span("map.task", 0.0, 9.9, lane="w4", subject="slow")]
+    forest = build_forest(events)
+    found = detect_stragglers("t", forest["t"], k=2.0)
+    assert [s.subject for s in found] == ["slow"]
+    assert found[0].ratio == pytest.approx(9.9 / 1.15)
+    assert not detect_stragglers("t", forest["t"], k=20.0)
+
+
+def test_straggler_rejects_nonpositive_k():
+    with pytest.raises(ValueError):
+        detect_stragglers("t", [], k=0.0)
+
+
+# -------------------------------------------------------------- attribution
+
+def test_sharing_attribution_exact_per_job_split():
+    document = analyze_file(GOLDEN_TRACE)
+    by_tracer = {r["tracer"]: r for r in document["sharing"]}
+
+    shared = by_tracer["shared"]
+    assert shared["logical_blocks"] == 4
+    assert shared["physical_blocks"] == 3
+    assert shared["standalone_blocks"] == 6
+    assert shared["sharing_ratio"] == pytest.approx(2.0)
+    jobs = {j["job_id"]: j for j in shared["jobs"]}
+    assert jobs["a"]["standalone_blocks"] == 4
+    assert jobs["a"]["attributed_physical"] == pytest.approx(2.0)
+    assert jobs["b"]["attributed_physical"] == pytest.approx(1.0)
+    attributed = sum(j["attributed_physical"] for j in shared["jobs"])
+    assert attributed == pytest.approx(shared["physical_blocks"])
+
+    fifo = by_tracer["fifo"]
+    assert fifo["sharing_ratio"] == pytest.approx(1.0)
+    assert all(j["sharing_ratio"] == pytest.approx(1.0)
+               for j in fifo["jobs"])
+
+
+def test_sharing_strictly_better_under_s3_than_fifo():
+    document = analyze_file(GOLDEN_TRACE)
+    by_tracer = {r["tracer"]: r for r in document["sharing"]}
+    assert by_tracer["shared"]["sharing_ratio"] \
+        > by_tracer["fifo"]["sharing_ratio"]
+
+
+def test_unattributable_waves_yield_empty_job_table():
+    events = [span("s3.iteration", 0.0, 4.0, subject="iter_0"),
+              instant("io.wave", 3.9, subject="iter_0",
+                      blocks=2, physical_blocks=2)]
+    document = analyze_events(events)
+    (report,) = document["sharing"]
+    assert report["jobs"] == []
+    assert report["physical_blocks"] == 2

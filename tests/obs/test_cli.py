@@ -1,6 +1,7 @@
-"""``python -m repro.obs`` CLI: summary and convert subcommands."""
+"""``python -m repro.obs`` CLI: summary, analyze, convert subcommands."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -42,6 +43,37 @@ def test_summary_corrupt_file_exits_2(tmp_path, capsys):
     bad.write_text("{oops", encoding="utf-8")
     assert main(["summary", str(bad)]) == 2
     assert "unreadable" in capsys.readouterr().err
+
+
+GOLDEN_TRACE = pathlib.Path(__file__).parent / "golden" / "analyze.trace.json"
+
+
+def test_analyze_text_report(capsys):
+    assert main(["analyze", str(GOLDEN_TRACE)]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "scan-sharing attribution" in out
+    assert "sharing_ratio=2.00x" in out
+
+
+def test_analyze_json_report(capsys):
+    assert main(["analyze", str(GOLDEN_TRACE), "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    ratios = {r["tracer"]: r["sharing_ratio"] for r in document["sharing"]}
+    assert ratios["shared"] > ratios["fifo"] == 1.0
+
+
+def test_analyze_honors_bins_and_straggler_k(capsys):
+    assert main(["analyze", str(GOLDEN_TRACE), "--format", "json",
+                 "--bins", "10", "--straggler-k", "1.1"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert all(len(series["values"]) == 10
+               for series in document["utilization"].values())
+
+
+def test_analyze_missing_file_exits_2(tmp_path, capsys):
+    assert main(["analyze", str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
 
 
 def test_convert_chrome_to_jsonl_and_back(trace_file, tmp_path, capsys):

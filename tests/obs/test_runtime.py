@@ -27,6 +27,21 @@ def test_session_owns_a_tracer_and_adopts_more():
     assert session.tracers() == (session.tracer, extra)
 
 
+def test_adopt_renames_duplicate_tracer_names():
+    # One simulator per sweep point, each with a tracer called "sim" on
+    # its own virtual clock: exporting them under one name would merge
+    # unrelated timelines, so adoption suffixes #2, #3, ...
+    session = TraceSession("s")
+    first = session.adopt(Tracer(name="sim", clock=lambda: 0.0))
+    second = session.adopt(Tracer(name="sim", clock=lambda: 0.0))
+    third = session.adopt(Tracer(name="sim", clock=lambda: 0.0))
+    assert first.name == "sim"
+    assert second.name == "sim#2"
+    assert third.name == "sim#3"
+    session.adopt(second)  # re-adoption does not rename again
+    assert second.name == "sim#2"
+
+
 def test_new_tracer_is_adopted_and_enabled():
     session = TraceSession("s")
     tracer = session.new_tracer("worker", clock=lambda: 1.0)

@@ -1,0 +1,111 @@
+"""Trace-analytics invariants over randomly shaped span forests.
+
+The analyzer must hold three promises for *any* trace it can load: a
+critical path never claims more time than its run root spans, slot
+utilization is a fraction, and scan-sharing attribution conserves the
+run's physical reads exactly (the per-job shares are computed in
+Fraction arithmetic and must sum back to the recorded total).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.analyze import (attribute_sharing, build_forest,
+                               critical_path, utilization_series)
+
+
+def span(name, start, end, *, lane="main", tracer="t", subject="", **args):
+    return {"ph": "X", "name": name, "ts": start, "dur": end - start,
+            "lane": lane, "tracer": tracer, "subject": subject, "args": args}
+
+
+def instant(name, ts, *, lane="main", tracer="t", subject="", **args):
+    return {"ph": "i", "name": name, "ts": ts, "dur": 0.0, "lane": lane,
+            "tracer": tracer, "subject": subject, "args": args}
+
+
+# Integer tick grids scaled down keep floats exact enough that interval
+# containment is unambiguous.
+tasks = st.lists(
+    st.tuples(st.integers(0, 400),          # start tick
+              st.integers(1, 200),          # duration ticks
+              st.integers(0, 3)),           # lane index
+    min_size=1, max_size=30)
+
+
+def _events_from(task_tuples):
+    starts = [s for s, _, _ in task_tuples]
+    ends = [s + d for s, d, _ in task_tuples]
+    events = [span("run", min(starts) / 10.0, max(ends) / 10.0,
+                   subject="run")]
+    for i, (start, dur, lane) in enumerate(task_tuples):
+        events.append(span("map.task", start / 10.0, (start + dur) / 10.0,
+                           lane=f"w{lane}", subject=f"t{i}"))
+    return events
+
+
+@given(task_tuples=tasks)
+@settings(max_examples=60, deadline=None)
+def test_critical_path_never_exceeds_run_wall_time(task_tuples):
+    forest = build_forest(_events_from(task_tuples))
+    for root in forest["t"]:
+        path = critical_path(root)
+        assert path, "critical path is never empty"
+        assert path[0].dur == root.dur
+        for step in path:
+            assert step.dur <= root.dur + 1e-9
+            assert root.start - 1e-9 <= step.start
+            assert step.end <= root.end + 1e-9
+            assert 0.0 <= step.self_time <= step.dur + 1e-9
+
+
+@given(task_tuples=tasks, bins=st.integers(1, 50))
+@settings(max_examples=60, deadline=None)
+def test_utilization_is_always_a_fraction(task_tuples, bins):
+    forest = build_forest(_events_from(task_tuples))
+    series = utilization_series("t", forest["t"], bins=bins)
+    assert series is not None
+    assert len(series.values) == bins
+    assert all(0.0 <= value <= 1.0 for value in series.values)
+    assert 0.0 <= series.mean <= 1.0
+
+
+waves = st.lists(
+    st.tuples(
+        st.integers(0, 30),                                 # physical reads
+        st.lists(st.sets(st.sampled_from(["a", "b", "c", "d"]),
+                         min_size=1, max_size=4),
+                 min_size=1, max_size=6)),                  # tasks' job sets
+    min_size=1, max_size=5)
+
+
+@given(wave_specs=waves)
+@settings(max_examples=60, deadline=None)
+def test_attributed_physical_reads_sum_to_run_total(wave_specs):
+    events = []
+    physical_total = 0
+    for w, (physical, task_jobs) in enumerate(wave_specs):
+        base = w * 100.0
+        physical_total += physical
+        job_ids = sorted(set().union(*task_jobs))
+        events.append(span("s3.iteration", base, base + 50.0,
+                           subject=f"iter_{w}", job_ids=job_ids,
+                           blocks=len(task_jobs)))
+        for i, jobs in enumerate(task_jobs):
+            events.append(span("map.task", base + i, base + i + 0.5,
+                               lane=f"w{i}", subject=f"t{w}_{i}",
+                               job_ids=sorted(jobs)))
+        events.append(instant("io.wave", base + 49.0, subject=f"iter_{w}",
+                              blocks=len(task_jobs),
+                              physical_blocks=physical))
+    forest = build_forest(events)
+    (report,) = attribute_sharing(events, forest)
+    assert report.physical_blocks == physical_total
+    attributed = sum(job.attributed_physical for job in report.jobs)
+    assert abs(attributed - physical_total) < 1e-6
+    assert report.standalone_blocks \
+        == sum(len(jobs) for _, task_jobs in wave_specs
+               for jobs in task_jobs)
+    for job in report.jobs:
+        assert job.attributed_physical >= 0.0
+        assert job.sharing_ratio >= 0.0

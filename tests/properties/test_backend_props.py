@@ -14,6 +14,7 @@ import pathlib
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.common.config import ExecutionConfig
 from repro.localrt.jobs import wordcount_job
 from repro.localrt.output import write_output
 from repro.localrt.parallel import BACKEND_NAMES
@@ -54,8 +55,9 @@ def test_all_backends_byte_identical(tmp_path_factory, corpus, seg, arrivals,
     counters: dict[str, list] = {}
     io: dict[str, tuple] = {}
     for backend in BACKEND_NAMES:
-        runner = SharedScanRunner(store, blocks_per_segment=seg,
-                                  backend=backend, workers=2)
+        runner = SharedScanRunner(
+            store, ExecutionConfig(blocks_per_segment=seg,
+                                   map_backend=backend, map_workers=2))
         report = runner.run(jobs(), arrival_iterations=arrival_map)
         per_job: dict[str, dict[str, str]] = {}
         for job_id, result in report.results.items():

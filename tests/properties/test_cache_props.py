@@ -15,7 +15,7 @@ import pathlib
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.localrt.cache import BlockCache
+from repro.common.config import ExecutionConfig
 from repro.localrt.jobs import wordcount_job
 from repro.localrt.output import write_output
 from repro.localrt.parallel import BACKEND_NAMES
@@ -49,17 +49,17 @@ def _run_variant(tmp_path_factory, directory, backend, runner_kind, seg,
 
     A fresh BlockStore per variant keeps every counter independent.
     """
-    cache = BlockCache(cache_bytes) if cache_bytes else None
-    store = BlockStore(directory, cache=cache)
+    store = BlockStore(directory)
+    config = ExecutionConfig(
+        map_backend=backend, map_workers=2,
+        cache_capacity_bytes=cache_bytes or None,
+        prefetch_depth=prefetch_depth if cache_bytes else 0,
+        blocks_per_segment=seg)
     if runner_kind == "fifo":
-        runner = FifoLocalRunner(store, backend=backend, workers=2,
-                                 prefetch_depth=prefetch_depth)
-        report = runner.run(_jobs(n_jobs))
+        report = FifoLocalRunner(store, config).run(_jobs(n_jobs))
     else:
-        runner = SharedScanRunner(store, blocks_per_segment=seg,
-                                  backend=backend, workers=2,
-                                  prefetch_depth=prefetch_depth)
-        report = runner.run(_jobs(n_jobs), arrival_iterations=arrival_map)
+        report = SharedScanRunner(store, config).run(
+            _jobs(n_jobs), arrival_iterations=arrival_map)
     per_job: dict[str, dict[str, str]] = {}
     outputs: dict[str, list] = {}
     for job_id, result in report.results.items():

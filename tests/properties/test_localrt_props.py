@@ -9,6 +9,7 @@ semantics change.
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.common.config import ExecutionConfig
 from repro.localrt.jobs import wordcount_job
 from repro.localrt.runners import FifoLocalRunner, SharedScanRunner
 from repro.localrt.storage import BlockStore
@@ -37,7 +38,7 @@ def test_shared_scan_equals_fifo(tmp_path_factory, corpus, seg, arrivals,
                 for i in range(len(arrivals))]
 
     fifo = FifoLocalRunner(store).run(jobs())
-    shared = SharedScanRunner(store, blocks_per_segment=seg).run(
+    shared = SharedScanRunner(store, ExecutionConfig(blocks_per_segment=seg)).run(
         jobs(), arrival_iterations={f"w{i}": a for i, a in enumerate(arrivals)})
     for i in range(len(arrivals)):
         job_id = f"w{i}"
