@@ -1,6 +1,7 @@
 """Perf-regression gate: re-run benchmarks, compare against baselines.
 
-Runs the payload-emitting benchmarks (``bench_cache``, ``bench_trace``)
+Runs the payload-emitting benchmarks (``bench_cache``, ``bench_service``,
+``bench_trace``)
 and gates each fresh ``BENCH_*.json`` against the committed baseline
 with the default metric specs from :mod:`repro.obs.regress` — only
 hardware-independent metrics (hit ratios, block counters, invariant
@@ -42,7 +43,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_DIR = ROOT / "benchmarks" / "baselines"
 
 #: Benchmarks that emit a gateable payload.
-BENCHMARKS = ("bench_cache", "bench_trace")
+BENCHMARKS = ("bench_cache", "bench_service", "bench_trace")
 
 
 def baseline_path(name: str, smoke: bool) -> pathlib.Path:

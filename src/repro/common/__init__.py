@@ -9,12 +9,14 @@ from .config import (
     paper_dfs,
 )
 from .errors import (
+    AdmissionRejected,
     ConfigError,
     DfsError,
     ExecutionError,
     ExperimentError,
     ReproError,
     SchedulingError,
+    ServiceError,
     SimulationError,
     WorkloadError,
 )
@@ -26,8 +28,9 @@ from .units import bytes_to_mb, fmt_duration, fmt_size_mb, gb, mb, mb_to_bytes, 
 __all__ = [
     "ClusterConfig", "DfsConfig", "ExecutionConfig", "TraceConfig",
     "paper_cluster", "paper_dfs",
-    "ConfigError", "DfsError", "ExecutionError", "ExperimentError",
-    "ReproError", "SchedulingError", "SimulationError", "WorkloadError",
+    "AdmissionRejected", "ConfigError", "DfsError", "ExecutionError",
+    "ExperimentError", "ReproError", "SchedulingError", "ServiceError",
+    "SimulationError", "WorkloadError",
     "IdAllocator", "DEFAULT_SEED", "make_rng",
     "TraceLog", "TraceRecord",
     "bytes_to_mb", "fmt_duration", "fmt_size_mb", "gb", "mb", "mb_to_bytes", "minutes",

@@ -38,3 +38,21 @@ class ExecutionError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured or driven incorrectly."""
+
+
+class ServiceError(ReproError):
+    """The long-running scheduler service was mis-used or is unavailable."""
+
+
+class AdmissionRejected(ServiceError):
+    """A submission was refused by the service's overload policy.
+
+    Carries the tenant and the queue depth observed at rejection time so
+    callers can implement client-side backoff.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "",
+                 queue_depth: int = 0) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.queue_depth = queue_depth

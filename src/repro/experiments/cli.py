@@ -51,21 +51,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_traced(experiment_id: str,
-                trace_dir: Path) -> tuple[ExperimentResult, Path, int]:
+                trace_dir: Path) -> tuple[ExperimentResult, float, Path, int]:
     """Run one experiment inside a TraceSession and export its trace.
 
     Simulator and local-runtime tracers created while the session is
     active are adopted automatically, so the export holds scheduler
     spans (``s3.*``), runtime spans (``map.wave`` etc.) and the
     top-level ``experiment.<id>`` span together.
+
+    The returned elapsed time covers only the experiment run itself —
+    the trace export (and any ``--analyze`` formatting the caller does
+    afterwards) is bookkeeping, not part of the reported runtime.
     """
+    watch = Stopwatch()
     with TraceSession(experiment_id) as session:
         with session.tracer.span(f"experiment.{experiment_id}",
                                  subject=experiment_id):
             result = run_experiment(experiment_id)
+    elapsed = watch.elapsed()
     path = trace_dir / f"{experiment_id}.trace.json"
     session.export(path)
-    return result, path, session.event_count()
+    return result, elapsed, path, session.event_count()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -88,11 +94,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     exit_code = 0
     report_sections: list[str] = []
+    failures: list[tuple[str, str]] = []
     for experiment_id in requested:
-        watch = Stopwatch()
         try:
             if trace_dir is not None:
-                result, trace_path, event_count = _run_traced(
+                result, elapsed, trace_path, event_count = _run_traced(
                     experiment_id, trace_dir)
                 print(f"[{experiment_id}] trace: {trace_path} "
                       f"({event_count} events)", file=sys.stderr)
@@ -101,12 +107,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                     print(format_report(analyze_file(trace_path)))
                     print()
             else:
+                # Time only the experiment run, not output formatting.
+                watch = Stopwatch()
                 result = run_experiment(experiment_id)
+                elapsed = watch.elapsed()
         except Exception as exc:  # surfaced per-experiment, keep going
             print(f"[{experiment_id}] FAILED: {exc}", file=sys.stderr)
+            failures.append((experiment_id, str(exc)))
             exit_code = 1
             continue
-        elapsed = watch.elapsed()
         if args.json:
             print(result_to_json(result))
         else:
@@ -115,10 +124,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         report_sections.append(
             f"## {experiment_id} — {result.title}\n\n"
             f"```\n{result.report}\n```\n")
-    if args.report and report_sections:
+    if args.report:
+        if failures:
+            report_sections.append(
+                "## Failed experiments\n\n"
+                + "\n".join(f"* `{experiment_id}` — {message}"
+                            for experiment_id, message in failures)
+                + "\n")
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write("# S3 reproduction — experiment report\n\n")
             handle.write("\n".join(report_sections))
+        if failures and len(failures) == len(requested):
+            print(f"all {len(failures)} experiment(s) failed; "
+                  f"{args.report} contains only the failure notes",
+                  file=sys.stderr)
         print(f"report written to {args.report}", file=sys.stderr)
     return exit_code
 

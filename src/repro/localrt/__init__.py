@@ -28,6 +28,7 @@ from .jobs import (
     selection_job,
     wordcount_job,
 )
+from .live import LiveScanExecutor
 from .output import SUCCESS_MARKER, read_output, write_output
 from .parallel import (
     MapBackend,
@@ -58,6 +59,6 @@ __all__ = [
     "aggregation_job", "selection_job", "wordcount_job",
     "SUCCESS_MARKER", "read_output", "write_output",
     "DelimitedReader", "RecordReader", "TextLineReader",
-    "FifoLocalRunner", "RunReport", "SharedScanRunner",
+    "FifoLocalRunner", "LiveScanExecutor", "RunReport", "SharedScanRunner",
     "BlockStore", "ReadStats",
 ]

@@ -1,0 +1,112 @@
+"""Long-lived map-wave execution for the scheduler service.
+
+The batch runners (:mod:`repro.localrt.runners`) own their scan cursor
+and run a pre-declared job list to completion.  A *live* system inverts
+that: the S3 job-queue machinery (:class:`~repro.schedulers.s3.jobqueue.
+JobQueueManager` / :class:`~repro.schedulers.s3.scanloop.ScanLoop`)
+decides what the next merged sub-job is while submissions and
+cancellations arrive, and this executor only knows how to run one such
+iteration over real bytes.
+
+:class:`LiveScanExecutor` therefore exposes exactly the three
+capabilities a long-running service needs from the runtime layer:
+
+* ``run_iteration`` — one shared map wave over a chunk of blocks, traced
+  as an ``s3.iteration`` span with a per-wave ``io.wave`` delta (the
+  same event shapes the batch runners emit, so scan-sharing attribution
+  works unchanged on service traces);
+* ``finish_job`` — shuffle/sort/reduce for a job whose scan completed,
+  yielding the same :class:`~repro.localrt.api.JobResult` a batch run
+  produces (byte-identical outputs are property of the engine, not the
+  driver);
+* ``close`` — release the map backend and the read-ahead prefetcher,
+  which live as long as the service instead of one ``run()`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..common.config import ExecutionConfig
+from ..obs.tracer import Tracer
+from .api import JobResult
+from .engine import JobRunState, count_pending_values, run_reduce
+from .parallel import MapTaskSpec, execute_map_wave
+from .prefetch import ReadAheadPrefetcher
+from .runners import _LocalRunnerBase, _start_prefetcher
+from .storage import BlockStore
+
+
+class LiveScanExecutor(_LocalRunnerBase):
+    """Executes scheduler-chosen iterations over a :class:`BlockStore`.
+
+    Construction mirrors the runners — ``LiveScanExecutor(store,
+    ExecutionConfig(...))`` — but the backend and prefetcher persist
+    across iterations until :meth:`close` (the executor is a context
+    manager).  All scheduling state lives with the caller.
+    """
+
+    _tracer_name = "service"
+
+    def __init__(self, store: BlockStore,
+                 config: "ExecutionConfig | None" = None, *,
+                 tracer: Tracer | None = None) -> None:
+        super().__init__(store, config, tracer=tracer)
+        self._prefetcher: ReadAheadPrefetcher | None = _start_prefetcher(
+            store, self.prefetch_depth, self.tracer)
+        #: Logical blocks read when this executor started (baseline for
+        #: per-job virtual completion times).
+        self._blocks_baseline = store.stats.blocks_read
+
+    @property
+    def blocks_read(self) -> int:
+        """Logical blocks read through this executor so far."""
+        return self.store.stats.blocks_read - self._blocks_baseline
+
+    def run_iteration(self, iteration_index: int,
+                      tasks: Sequence[MapTaskSpec], *,
+                      pointer: int,
+                      job_ids: Sequence[str],
+                      next_chunk: "range | None" = None) -> None:
+        """Run one merged sub-job's map wave (blocks read exactly once).
+
+        ``next_chunk``, when given, is warmed into the block cache while
+        this wave maps — the live analogue of the paper's partial-job
+        pipeline (prepare sub-job *i+1* during sub-job *i*).
+        """
+        label = f"iter_{iteration_index}"
+        wave_before = (self.store.stats.snapshot()
+                       if self.tracer.enabled else None)
+        with self.tracer.span("s3.iteration", subject=label,
+                              pointer=pointer, blocks=len(tasks),
+                              jobs=len(job_ids), job_ids=list(job_ids)):
+            if self._prefetcher is not None and next_chunk is not None:
+                self._prefetcher.schedule(next_chunk)
+            execute_map_wave(self.store, self.reader, list(tasks),
+                             backend=self.backend, tracer=self.tracer)
+        if wave_before is not None:
+            self._absorb_wave(label, wave_before)
+
+    def finish_job(self, run_state: JobRunState,
+                   completed_iteration: int) -> JobResult:
+        """Reduce a scan-complete job into its final :class:`JobResult`."""
+        reduce_input = count_pending_values(run_state)
+        output = run_reduce(run_state, self.tracer)
+        return JobResult(
+            job_id=run_state.job.job_id,
+            output=output,
+            map_input_records=run_state.map_input_records,
+            map_output_records=run_state.map_output_records,
+            reduce_output_records=len(output),
+            reduce_input_values=reduce_input,
+            completed_iteration=completed_iteration,
+            completed_blocks_read=self.blocks_read,
+            counters=run_state.counters,
+        )
+
+    def close(self) -> None:
+        """Stop the prefetcher and release the backend (idempotent)."""
+        if self._prefetcher is not None:
+            self._prefetcher.close()
+            self._prefetcher = None
+        super().close()

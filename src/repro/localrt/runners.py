@@ -55,8 +55,8 @@ from ..common.config import ExecutionConfig
 from ..common.errors import ExecutionError
 from ..obs.export import export_chrome, export_jsonl
 from ..obs.metrics import MetricsRegistry
-from ..obs.runtime import active_session
-from ..obs.tracer import NULL_TRACER, Tracer
+from ..obs.runtime import resolve_tracer
+from ..obs.tracer import Tracer
 from .api import JobResult, LocalJob
 from .cache import BlockCache
 from .counters import Counters
@@ -137,24 +137,14 @@ def _deprecated(message: str) -> None:
 
 def _resolve_tracer(tracer: Tracer | None, config: ExecutionConfig,
                     name: str) -> Tracer:
-    """Pick the runner's event sink.
+    """Pick the runner's event sink (see :func:`repro.obs.resolve_tracer`).
 
     Precedence: an explicit ``tracer=`` wins; else ``config.trace.enabled``
     creates a wall-clock tracer (adopted by any active session); else an
     active :class:`~repro.obs.runtime.TraceSession` supplies one; else
     the no-op :data:`~repro.obs.tracer.NULL_TRACER`.
     """
-    if tracer is not None:
-        return tracer
-    session = active_session()
-    if config.trace.enabled:
-        created = Tracer(name=name)
-        if session is not None:
-            session.adopt(created)
-        return created
-    if session is not None:
-        return session.new_tracer(name)
-    return NULL_TRACER
+    return resolve_tracer(tracer, config.trace.enabled, name)
 
 
 class _LocalRunnerBase:
@@ -219,6 +209,24 @@ class _LocalRunnerBase:
         self.tracer = _resolve_tracer(tracer, config, self._tracer_name)
         #: Per-run metric instruments (populated only while tracing).
         self.metrics = MetricsRegistry()
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the runner's owned resources (idempotent).
+
+        Long-lived holders — the scheduler service keeps one executor
+        across its whole lifetime — call this at shutdown; batch callers
+        get the same cleanup from ``run()``'s ``finally`` and may also
+        use the runner as a context manager.
+        """
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "_LocalRunnerBase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ---------------------------------------------------------- observability
     def _absorb_wave(self, label: str, before: ReadStats) -> None:

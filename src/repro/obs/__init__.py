@@ -60,7 +60,7 @@ from .regress import (
     compare,
     format_regression,
 )
-from .runtime import TraceSession, active_session
+from .runtime import TraceSession, active_session, resolve_tracer
 from .tracer import (
     NULL_TRACER,
     PHASE_INSTANT,
@@ -96,5 +96,6 @@ __all__ = [
     "format_report",
     "format_summary",
     "load_events",
+    "resolve_tracer",
     "summarize",
 ]

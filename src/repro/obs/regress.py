@@ -224,6 +224,20 @@ DEFAULT_SPECS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("shared_scan_prefetch.physical_blocks_read", "le",
                    rel_tol=0.1, abs_tol=2),
     ),
+    "bench_service": (
+        MetricSpec("checks.all_accepted_jobs_terminal"),
+        MetricSpec("checks.outputs_identical_to_batch"),
+        MetricSpec("checks.sharing_ratio_gt_one"),
+        MetricSpec("streaming.num_arrivals"),
+        MetricSpec("streaming.num_blocks"),
+        MetricSpec("streaming.iterations"),
+        MetricSpec("streaming.blocks_read"),
+        MetricSpec("streaming.virtual_art_blocks"),
+        MetricSpec("streaming.sharing_ratio", "ge", rel_tol=0.01),
+        MetricSpec("streaming.completed"),
+        MetricSpec("streaming.rejected"),
+        # fairness.* is wall-clock-derived and deliberately absent.
+    ),
     "bench_trace": (
         MetricSpec("checks.traced_io_counters_identical"),
         MetricSpec("checks.traced_outputs_identical"),

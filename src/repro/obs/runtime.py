@@ -20,7 +20,7 @@ import threading
 from typing import Any, Callable
 
 from .export import export_chrome, export_jsonl, format_summary, summarize
-from .tracer import Tracer
+from .tracer import NULL_TRACER, Tracer
 
 _ACTIVE: list["TraceSession"] = []
 _ACTIVE_LOCK = threading.Lock()
@@ -123,7 +123,32 @@ def active_session() -> TraceSession | None:
     return _ACTIVE[-1] if _ACTIVE else None
 
 
+def resolve_tracer(tracer: Tracer | None, enabled: bool,
+                   name: str) -> Tracer:
+    """Pick a component's event sink (the one shared precedence rule).
+
+    An explicit ``tracer`` wins; else ``enabled`` (a config's
+    ``trace.enabled``) creates a wall-clock tracer, adopted by any active
+    session; else an active :class:`TraceSession` supplies one; else the
+    no-op :data:`~repro.obs.tracer.NULL_TRACER`.  Used by the local
+    runners and the scheduler service so every traced component joins a
+    surrounding session the same way.
+    """
+    if tracer is not None:
+        return tracer
+    session = active_session()
+    if enabled:
+        created = Tracer(name=name)
+        if session is not None:
+            session.adopt(created)
+        return created
+    if session is not None:
+        return session.new_tracer(name)
+    return NULL_TRACER
+
+
 __all__ = [
     "TraceSession",
     "active_session",
+    "resolve_tracer",
 ]

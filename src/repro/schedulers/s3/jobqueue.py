@@ -9,17 +9,30 @@ round-robin so no file starves.
 
 from __future__ import annotations
 
+from typing import Protocol
+
 from ...common.errors import SchedulingError
-from ...dfs.namenode import NameNode
+from ...dfs.block import DfsFile
 from ...mapreduce.job import JobSpec
 from .scanloop import ScanLoop
 from .state import S3JobState
 
 
+class FileResolver(Protocol):
+    """Anything that can resolve a file name to its block chain.
+
+    The simulator's :class:`~repro.dfs.namenode.NameNode` satisfies this
+    structurally; the scheduler service satisfies it with a synthetic
+    single-node view of a local :class:`~repro.localrt.storage.BlockStore`.
+    """
+
+    def get_file(self, name: str) -> DfsFile: ...
+
+
 class JobQueueManager:
     """Per-file scan loops plus the round-robin loop selector."""
 
-    def __init__(self, namenode: NameNode, blocks_per_segment: int) -> None:
+    def __init__(self, namenode: FileResolver, blocks_per_segment: int) -> None:
         if blocks_per_segment <= 0:
             raise SchedulingError("blocks_per_segment must be positive")
         self._namenode = namenode
@@ -63,6 +76,26 @@ class JobQueueManager:
             if loop.has_work():
                 self._next_loop_index = (self._next_loop_index + step + 1) % count
                 return loop
+        return None
+
+    def find(self, job_id: str) -> S3JobState | None:
+        """Locate a live (scanning or waiting) job across all loops."""
+        for loop in self._loops.values():
+            state = loop.find(job_id)
+            if state is not None:
+                return state
+        return None
+
+    def cancel(self, job_id: str) -> S3JobState | None:
+        """Detach a live job from whichever loop holds it.
+
+        Returns the cancelled state, or ``None`` when no loop holds the
+        job (unknown id, or its scan already completed).
+        """
+        for loop in self._loops.values():
+            state = loop.cancel(job_id)
+            if state is not None:
+                return state
         return None
 
     def pending_jobs(self) -> int:

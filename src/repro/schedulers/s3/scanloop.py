@@ -106,9 +106,45 @@ class ScanLoop:
 
     def add_job(self, spec: JobSpec, now: float) -> S3JobState:
         """Register a newly submitted job; admission happens at next build."""
+        if self.find(spec.job_id) is not None:
+            raise SchedulingError(
+                f"{spec.job_id}: already queued on {self.dfs_file.name}; "
+                "job ids must be unique while a job is live")
         state = S3JobState(spec=spec, total_blocks=self.num_blocks,
                            arrival_time=now)
         self.waiting.append(state)
+        return state
+
+    def find(self, job_id: str) -> S3JobState | None:
+        """The live (waiting or active) state for ``job_id``, if any."""
+        for job in self.active:
+            if job.job_id == job_id:
+                return job
+        for job in self.waiting:
+            if job.job_id == job_id:
+                return job
+        return None
+
+    def cancel(self, job_id: str) -> S3JobState | None:
+        """Detach a job from the loop (the removal path cancellation needs).
+
+        Works in either pre-admission (``waiting``) or mid-scan
+        (``active``) state; the returned state is marked terminal so it can
+        never be re-admitted or advanced.  Detaching never perturbs the
+        scan pointer or the other jobs' coverage — the next
+        :meth:`build_iteration` simply no longer includes the job, and
+        :meth:`has_work` goes false once nothing else is queued (no
+        stranded ``waiting`` entries, no permanently-true ``has_work``).
+        Returns ``None`` when the job is not live on this loop.
+        """
+        state = self.find(job_id)
+        if state is None:
+            return None
+        state.cancel()
+        self.active = [job for job in self.active if job.job_id != job_id]
+        self.waiting = [job for job in self.waiting if job.job_id != job_id]
+        self.last_admitted = tuple(j for j in self.last_admitted
+                                   if j != job_id)
         return state
 
     # ---------------------------------------------------------------- build

@@ -31,6 +31,9 @@ class S3JobState:
     start_block: int | None = None
     #: Number of blocks covered so far (contiguous from ``start_block``).
     covered: int = 0
+    #: Set once the job is detached from its loop (terminal: a cancelled
+    #: state can never be admitted or advanced again).
+    cancelled: bool = False
 
     def __post_init__(self) -> None:
         if self.total_blocks <= 0:
@@ -55,6 +58,8 @@ class S3JobState:
 
     def admit(self, pointer: int) -> None:
         """Align the job's scan to start at the current pointer."""
+        if self.cancelled:
+            raise SchedulingError(f"{self.job_id}: admitting a cancelled job")
         if self.admitted:
             raise SchedulingError(f"{self.job_id}: admitted twice")
         if not 0 <= pointer < self.total_blocks:
@@ -62,8 +67,14 @@ class S3JobState:
                 f"{self.job_id}: pointer {pointer} out of range")
         self.start_block = pointer
 
+    def cancel(self) -> None:
+        """Mark the state terminal (callers detach it from the loop)."""
+        self.cancelled = True
+
     def advance(self, blocks: int) -> None:
         """Record ``blocks`` more covered blocks."""
+        if self.cancelled:
+            raise SchedulingError(f"{self.job_id}: advancing a cancelled job")
         if not self.admitted:
             raise SchedulingError(f"{self.job_id}: advancing before admission")
         if blocks < 0 or self.covered + blocks > self.total_blocks:

@@ -1,0 +1,46 @@
+"""The long-running scheduler service (live S3 shared scan behind an API).
+
+Layers
+------
+* :mod:`repro.service.core` — the threaded core: submit / status /
+  cancel / drain against a live circular scan, with mid-scan admission,
+  a bounded pending queue and per-tenant accounting.
+* :mod:`repro.service.asyncapi` — asyncio front-end over the core.
+* :mod:`repro.service.driver` — open-loop arrival driving (wall-clock
+  and deterministic iteration replay).
+* ``python -m repro.service`` — demo daemon: generates a corpus, drives
+  a Poisson multi-tenant schedule, prints the fairness report; optional
+  local HTTP status endpoint.
+"""
+
+from .asyncapi import AsyncSchedulerService
+from .config import OVERLOAD_POLICIES, ServiceConfig
+from .core import STORE_FILE_NAME, SchedulerService, batch_equivalent
+from .driver import DriverReport, JobFactory, OpenLoopDriver, replay_iterations
+from .records import (
+    FairnessReport,
+    JobStatus,
+    JobTicket,
+    TenantAccount,
+    fairness_report,
+    jain_index,
+)
+
+__all__ = [
+    "AsyncSchedulerService",
+    "DriverReport",
+    "FairnessReport",
+    "JobFactory",
+    "JobStatus",
+    "JobTicket",
+    "OVERLOAD_POLICIES",
+    "OpenLoopDriver",
+    "STORE_FILE_NAME",
+    "SchedulerService",
+    "ServiceConfig",
+    "TenantAccount",
+    "batch_equivalent",
+    "fairness_report",
+    "jain_index",
+    "replay_iterations",
+]

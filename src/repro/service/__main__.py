@@ -1,0 +1,166 @@
+"""``python -m repro.service`` — run the scheduler service as a demo daemon.
+
+Generates a small text corpus, starts a live :class:`SchedulerService`
+over it, drives a multi-tenant Poisson arrival schedule open-loop, then
+drains and prints the per-tenant fairness report.  With ``--http PORT``
+a local status endpoint (stdlib ``http.server``, JSON) runs for the
+duration: ``GET /status`` returns the live service snapshot.
+
+Examples::
+
+    python -m repro.service --jobs 12 --tenants 3 --time-scale 0.05
+    python -m repro.service --jobs 8 --max-pending 2 --policy reject
+    python -m repro.service --http 8753 --jobs 20 &
+    curl localhost:8753/status | python -m json.tool
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import tempfile
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from ..common.config import ExecutionConfig, TraceConfig
+from ..localrt.api import LocalJob
+from ..localrt.jobs import wordcount_job
+from ..localrt.storage import BlockStore
+from ..obs.export import export_chrome
+from ..workloads.arrivals import ArrivalEvent, poisson_streams
+from ..workloads.text import TextCorpusGenerator
+from ..workloads.wordcount import DEFAULT_PATTERNS
+from .config import OVERLOAD_POLICIES, ServiceConfig
+from .core import SchedulerService
+from .driver import OpenLoopDriver
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Live S3 shared-scan scheduler service demo")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="arrivals per tenant (default: 8)")
+    parser.add_argument("--tenants", type=int, default=2,
+                        help="number of tenants (default: 2)")
+    parser.add_argument("--mean-interarrival", type=float, default=2.0,
+                        help="per-tenant mean inter-arrival seconds "
+                             "(default: 2.0)")
+    parser.add_argument("--time-scale", type=float, default=0.05,
+                        help="schedule time multiplier; 0.05 plays a 2 s "
+                             "gap in 0.1 s (default: 0.05)")
+    parser.add_argument("--seed", type=int, default=2011,
+                        help="arrival-schedule RNG seed (default: 2011)")
+    parser.add_argument("--corpus-bytes", type=int, default=300_000,
+                        help="generated corpus size (default: 300000)")
+    parser.add_argument("--block-size", type=int, default=20_000,
+                        help="block size in bytes (default: 20000)")
+    parser.add_argument("--segment-blocks", type=int, default=4,
+                        help="scan-segment length in blocks (default: 4)")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="pending-queue bound (default: unbounded)")
+    parser.add_argument("--policy", choices=OVERLOAD_POLICIES,
+                        default="reject",
+                        help="overload policy once the bound is hit")
+    parser.add_argument("--max-jobs", type=int, default=None,
+                        help="S3 admission cap per iteration "
+                             "(default: uncapped)")
+    parser.add_argument("--http", type=int, metavar="PORT", default=None,
+                        help="serve GET /status as JSON on localhost:PORT "
+                             "while the run is live")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="export a Chrome trace of the run to PATH")
+    parser.add_argument("--json", action="store_true",
+                        help="print the final snapshot as JSON instead of "
+                             "the fairness table")
+    return parser
+
+
+def _status_server(service: SchedulerService,
+                   port: int) -> ThreadingHTTPServer:
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            if self.path.rstrip("/") not in ("", "/status"):
+                self.send_error(404, "try /status")
+                return
+            body = json.dumps(service.snapshot(), default=str).encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, fmt: str, *args: object) -> None:
+            pass  # silence per-request stderr chatter
+
+    server = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+    threading.Thread(target=server.serve_forever,
+                     name="s3-service-status", daemon=True).start()
+    return server
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.jobs < 1 or args.tenants < 1:
+        print("--jobs and --tenants must be >= 1", file=sys.stderr)
+        return 2
+
+    tenants = {f"t{i}": args.mean_interarrival for i in range(args.tenants)}
+    events = poisson_streams(tenants, args.jobs, seed=args.seed)
+
+    def factory(event: ArrivalEvent) -> LocalJob:
+        pattern = DEFAULT_PATTERNS[event.index % len(DEFAULT_PATTERNS)]
+        return wordcount_job(f"{event.tenant}_j{event.index:03d}", pattern)
+
+    execution = ExecutionConfig(
+        blocks_per_segment=args.segment_blocks,
+        trace=TraceConfig(enabled=args.trace is not None))
+    config = ServiceConfig(
+        execution=execution,
+        max_pending=args.max_pending,
+        overload_policy=args.policy,
+        max_jobs_per_iteration=args.max_jobs)
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        generator = TextCorpusGenerator(vocabulary_size=1500, seed=args.seed)
+        store = BlockStore.create(Path(tmp) / "corpus",
+                                  generator.lines(args.corpus_bytes),
+                                  block_size_bytes=args.block_size)
+        server: ThreadingHTTPServer | None = None
+        with SchedulerService(store, config) as service:
+            if args.http is not None:
+                server = _status_server(service, args.http)
+                print(f"status endpoint: "
+                      f"http://127.0.0.1:{server.server_address[1]}/status",
+                      file=sys.stderr)
+            driver = OpenLoopDriver(service, events, factory,
+                                    time_scale=args.time_scale)
+            report = driver.run()
+            service.drain()
+            snapshot = service.snapshot()
+            fairness = service.fairness()
+            if args.trace is not None:
+                export_chrome(args.trace, [service.tracer])
+            if server is not None:
+                server.shutdown()
+
+    if args.json:
+        print(json.dumps(snapshot, indent=2, default=str))
+    else:
+        print(f"{report.total} arrivals over {args.tenants} tenant(s): "
+              f"{len(report.submitted)} accepted, "
+              f"{len(report.rejected)} rejected "
+              f"({report.elapsed_s:.2f}s wall, "
+              f"{snapshot['iterations']} scan iterations, "
+              f"{snapshot['blocks_read']} blocks read)")
+        print(fairness.format_table())
+        if args.trace is not None:
+            print(f"trace written to {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Asyncio front-end over the threaded service core.
+
+The core (:class:`~repro.service.core.SchedulerService`) is thread-safe
+but blocking: ``submit`` under the ``"block"`` overload policy,
+``wait_for`` and ``drain`` all park the calling thread on a condition
+variable.  :class:`AsyncSchedulerService` lifts each call onto the event
+loop's default executor so coroutine code can drive the scheduler
+without stalling the loop — the asyncio-front / threaded-core split.
+
+Only stdlib ``asyncio`` is used; there is no event-loop ownership — the
+wrapper binds to whichever loop is running when a method is awaited.
+
+Usage::
+
+    async with AsyncSchedulerService(store, config) as svc:
+        job_id = await svc.submit(job, tenant="a")
+        ticket = await svc.wait_for(job_id)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, TypeVar
+
+from ..localrt.api import LocalJob
+from ..localrt.storage import BlockStore
+from ..obs.tracer import Tracer
+from .config import ServiceConfig
+from .core import SchedulerService
+from .records import FairnessReport, JobTicket
+
+_T = TypeVar("_T")
+
+
+class AsyncSchedulerService:
+    """Coroutine API mirroring :class:`SchedulerService` method-for-method.
+
+    Construct it from a store (it builds and owns the core) or wrap an
+    existing core with :meth:`wrap`.  Synchronous, never-blocking calls
+    (``status``/``jobs``/``fairness``) are also exposed as coroutines for
+    interface uniformity; only the blocking ones pay the executor hop.
+    """
+
+    def __init__(self, store: BlockStore,
+                 config: ServiceConfig | None = None, *,
+                 tracer: Tracer | None = None) -> None:
+        self._core = SchedulerService(store, config, tracer=tracer)
+        self._owns_core = True
+
+    @classmethod
+    def wrap(cls, core: SchedulerService) -> "AsyncSchedulerService":
+        """Adopt an already-constructed (possibly running) core.
+
+        The wrapper will not shut the core down on ``__aexit__`` — the
+        code that built the core keeps that responsibility.
+        """
+        wrapper = cls.__new__(cls)
+        wrapper._core = core
+        wrapper._owns_core = False
+        return wrapper
+
+    @property
+    def core(self) -> SchedulerService:
+        """The underlying threaded core (for synchronous access)."""
+        return self._core
+
+    async def _call(self, fn: Callable[[], _T]) -> _T:
+        return await asyncio.get_running_loop().run_in_executor(None, fn)
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> "AsyncSchedulerService":
+        await self._call(self._core.start)
+        return self
+
+    async def shutdown(self) -> None:
+        await self._call(self._core.shutdown)
+
+    async def __aenter__(self) -> "AsyncSchedulerService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        if self._owns_core:
+            await self.shutdown()
+
+    # ------------------------------------------------------------------- API
+    async def submit(self, job: LocalJob, *, tenant: str | None = None,
+                     priority: int = 0) -> str:
+        """Submit a job (may block in the executor under backpressure)."""
+        return await self._call(
+            lambda: self._core.submit(job, tenant=tenant, priority=priority))
+
+    async def cancel(self, job_id: str) -> bool:
+        return await self._call(lambda: self._core.cancel(job_id))
+
+    async def status(self, job_id: str) -> JobTicket:
+        return await self._call(lambda: self._core.status(job_id))
+
+    async def jobs(self) -> list[JobTicket]:
+        return await self._call(self._core.jobs)
+
+    async def wait_for(self, job_id: str,
+                       timeout: float | None = None) -> JobTicket:
+        return await self._call(
+            lambda: self._core.wait_for(job_id, timeout))
+
+    async def drain(self, timeout: float | None = None) -> list[JobTicket]:
+        return await self._call(lambda: self._core.drain(timeout))
+
+    async def fairness(self) -> FairnessReport:
+        return await self._call(self._core.fairness)
+
+    async def snapshot(self) -> dict[str, Any]:
+        return await self._call(self._core.snapshot)

@@ -1,0 +1,741 @@
+"""The long-running scheduler service: a live S3 shared scan behind an API.
+
+Everything before this package was batch-shaped — a pre-declared job
+list run to completion.  :class:`SchedulerService` inverts the control
+flow into a daemon: ``submit`` / ``status`` / ``cancel`` / ``drain``
+are first-class operations on a *running* scan, and a job submitted
+while an iteration is in flight joins the circular scan at the current
+segment pointer (the paper's mid-scan admission, Section IV-B).
+
+Architecture (one paragraph): a single **core thread** runs the scan
+loop.  Scheduling state — who waits, who scans, where the pointer is —
+lives in the existing S3 machinery (:class:`~repro.schedulers.s3.
+jobqueue.JobQueueManager` over a synthetic single-node view of the
+local :class:`~repro.localrt.storage.BlockStore`), so admission,
+alignment and the per-iteration admission cap are literally the
+scheduler the simulator validates.  Execution — reading blocks once and
+feeding every active job's mapper — is a :class:`~repro.localrt.live.
+LiveScanExecutor`.  All public methods synchronise with the core thread
+through one condition variable; no public call blocks while a map wave
+runs (the wave executes outside the lock).
+
+Overload behaviour: accepted-but-unadmitted jobs form a bounded pending
+queue (``ServiceConfig.max_pending``).  Beyond the bound the service
+either rejects immediately or applies backpressure (``overload_policy``),
+counted per tenant and surfaced as ``service.reject`` events plus a
+live ``service.queue_depth.<tenant>`` gauge.
+
+Observability: ``service.submit`` / ``service.admit`` /
+``service.reject`` / ``service.cancel`` / ``service.complete`` instant
+events, ``s3.align`` events at mid-scan admissions (same shape the
+simulator emits), ``s3.iteration`` spans with per-wave ``io.wave``
+deltas from the executor — so scan-sharing attribution and the trace
+analyzer work unchanged on service traces.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..analysis.lockgraph import OrderedLock
+from ..common import ids
+from ..common.clock import Clock, monotonic_clock
+from ..common.errors import AdmissionRejected, ServiceError
+from ..dfs.block import Block, DfsFile
+from ..localrt.api import JobResult, LocalJob
+from ..localrt.engine import JobRunState
+from ..localrt.live import LiveScanExecutor
+from ..localrt.parallel import MapTaskSpec
+from ..localrt.storage import BlockStore
+from ..mapreduce.job import JobSpec
+from ..mapreduce.profile import JobProfile, normal_wordcount
+from ..obs.metrics import MetricsRegistry
+from ..obs.runtime import resolve_tracer
+from ..obs.tracer import Tracer
+from ..schedulers.s3.jobqueue import JobQueueManager
+from ..schedulers.s3.state import S3JobState
+from .config import ServiceConfig
+from .records import (
+    FairnessReport,
+    JobStatus,
+    JobTicket,
+    TenantAccount,
+    fairness_report,
+)
+
+#: Name under which the service's block store appears in scan-loop state.
+STORE_FILE_NAME = "service.store"
+
+#: How long ``shutdown`` waits for the core thread.
+_JOIN_TIMEOUT_S = 30.0
+
+
+class _StoreView:
+    """A :class:`~repro.schedulers.s3.jobqueue.FileResolver` over a local
+    block store: one synthetic node holds every block, sizes taken from
+    the real on-disk block files."""
+
+    def __init__(self, store: BlockStore, name: str) -> None:
+        blocks = tuple(
+            Block(block_id=ids.block_id(name, index), file_name=name,
+                  index=index,
+                  size_mb=max(store.block_size_bytes(index), 1) / 2 ** 20,
+                  locations=("local",))
+            for index in range(store.num_blocks))
+        self._file = DfsFile(name=name, blocks=blocks)
+
+    def get_file(self, name: str) -> DfsFile:
+        if name != self._file.name:
+            raise ServiceError(f"unknown file {name!r} "
+                               f"(service scans {self._file.name!r})")
+        return self._file
+
+
+@dataclass
+class _Entry:
+    """Internal per-job record (ticket fields + live runtime state)."""
+
+    job: LocalJob
+    tenant: str
+    scan_state: S3JobState
+    run_state: JobRunState
+    status: JobStatus
+    submitted_at: float
+    admitted_at: float | None = None
+    finished_at: float | None = None
+    result: JobResult | None = None
+    error: str | None = None
+
+    def ticket(self) -> JobTicket:
+        return JobTicket(
+            job_id=self.job.job_id,
+            tenant=self.tenant,
+            status=self.status,
+            submitted_at=self.submitted_at,
+            admitted_at=self.admitted_at,
+            finished_at=self.finished_at,
+            start_block=self.scan_state.start_block,
+            covered_blocks=self.scan_state.covered,
+            total_blocks=self.scan_state.total_blocks,
+            result=self.result,
+            error=self.error,
+        )
+
+
+@dataclass
+class _Scheduled:
+    """An iteration-paced arrival (deterministic open-loop driving)."""
+
+    at_iteration: int
+    job: LocalJob
+    tenant: str
+    priority: int
+
+
+@dataclass
+class _Work:
+    """One built iteration, snapshotted for execution outside the lock."""
+
+    index: int
+    pointer: int
+    tasks: list[MapTaskSpec]
+    participants: tuple[str, ...]
+    finishing: tuple[str, ...]
+    next_chunk: "range | None" = None
+    admitted: tuple[str, ...] = field(default_factory=tuple)
+
+
+class SchedulerService:
+    """Live multi-tenant shared-scan scheduler over one block store.
+
+    Usage::
+
+        with SchedulerService(store, ServiceConfig(...)) as svc:
+            job_id = svc.submit(wordcount_job("wc0", r"s.*"), tenant="a")
+            ...                      # jobs join the scan mid-flight
+            svc.drain()              # block until everything is terminal
+            print(svc.status(job_id).result.output)
+
+    ``start`` / ``shutdown`` are explicit for non-context-manager use.
+    Thread-safe: every public method may be called from any thread (and
+    from the asyncio front-end in :mod:`repro.service.asyncapi`).
+    """
+
+    def __init__(self, store: BlockStore,
+                 config: ServiceConfig | None = None, *,
+                 tracer: Tracer | None = None,
+                 profile: JobProfile | None = None,
+                 clock: Clock | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.store = store
+        self._clock = clock if clock is not None else monotonic_clock()
+        self._t0 = self._clock()
+        self.tracer = resolve_tracer(
+            tracer, self.config.execution.trace.enabled, "service")
+        self.metrics = MetricsRegistry()
+        self._profile = profile if profile is not None else normal_wordcount()
+        self._resolver = _StoreView(store, STORE_FILE_NAME)
+        self._jqm = JobQueueManager(
+            self._resolver, self.config.execution.blocks_per_segment)
+        self._executor = LiveScanExecutor(
+            store, self.config.execution, tracer=self.tracer)
+        self._cond = threading.Condition(
+            OrderedLock("SchedulerService._cond"))  # type: ignore[arg-type]
+        self._entries: dict[str, _Entry] = {}
+        self._accounts: dict[str, TenantAccount] = {}
+        self._scheduled: list[_Scheduled] = []
+        self._iteration = 0
+        self._pending = 0
+        self._running = False
+        self._stopping = False
+        self._draining = False
+        self._core_error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "SchedulerService":
+        """Start the core scan thread (idempotent while running)."""
+        with self._cond:
+            if self._running:
+                return self
+            if self._thread is not None:
+                raise ServiceError("service cannot be restarted after "
+                                   "shutdown; construct a new one")
+            self._running = True
+        self._thread = threading.Thread(
+            target=self._run_core, name="s3-service-core", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the core thread; live jobs are cancelled (idempotent).
+
+        Call :meth:`drain` first for a graceful stop.  Pending jobs that
+        were never admitted and scanning jobs alike end ``CANCELLED``
+        with an explanatory error — shutdown must not strand a waiting
+        entry in a non-terminal state.
+        """
+        with self._cond:
+            if self._thread is None:
+                # Never started (or step-mode): no core thread will run
+                # the abort path, so terminal-ise live jobs here.
+                self._abort_live_locked("service shut down before completion")
+                self._running = False
+            self._stopping = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=_JOIN_TIMEOUT_S)
+            if self._thread.is_alive():  # pragma: no cover - defensive
+                raise ServiceError("service core thread failed to stop")
+        self._executor.close()
+
+    def __enter__(self) -> "SchedulerService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    @property
+    def running(self) -> bool:
+        with self._cond:
+            return self._running
+
+    # ------------------------------------------------------------------- API
+    def submit(self, job: LocalJob, *, tenant: str | None = None,
+               priority: int = 0) -> str:
+        """Submit a job for execution; returns its id immediately.
+
+        The job joins the shared scan at the next iteration boundary —
+        mid-scan, if a scan is running.  Over the pending bound the
+        overload policy applies: ``"reject"`` raises
+        :class:`~repro.common.errors.AdmissionRejected` now, ``"block"``
+        waits up to ``block_timeout_s`` for capacity first.
+        """
+        tenant = tenant or self.config.default_tenant
+        with self._cond:
+            self._ensure_accepting()
+            account = self._account_locked(tenant)
+            account.submitted += 1
+            if not self._await_capacity_locked():
+                account.rejected += 1
+                depth = self._pending
+                self.metrics.counter("service.reject").inc()
+                self.tracer.event("service.reject", subject=job.job_id,
+                                  tenant=tenant, queue_depth=depth)
+                raise AdmissionRejected(
+                    f"{job.job_id}: pending queue full "
+                    f"({depth}/{self.config.max_pending}) under policy "
+                    f"{self.config.overload_policy!r}",
+                    tenant=tenant, queue_depth=depth)
+            return self._accept_locked(job, tenant, priority)
+
+    def submit_at_iteration(self, job: LocalJob, at_iteration: int, *,
+                            tenant: str | None = None,
+                            priority: int = 0) -> str:
+        """Schedule a submission for when the scan reaches an iteration.
+
+        The deterministic open-loop mode: arrivals paced in iteration
+        index instead of wall time, released by the core thread itself,
+        so benchmarks and regression gates get bit-stable admission
+        patterns.  The overload bound still applies at release time
+        (a released job over the bound is recorded ``REJECTED``).
+        """
+        if at_iteration < 0:
+            raise ServiceError(
+                f"{job.job_id}: at_iteration must be >= 0, got {at_iteration}")
+        tenant = tenant or self.config.default_tenant
+        with self._cond:
+            self._ensure_accepting()
+            self._scheduled.append(_Scheduled(
+                at_iteration=at_iteration, job=job, tenant=tenant,
+                priority=priority))
+            self._cond.notify_all()
+            return job.job_id
+
+    def cancel(self, job_id: str) -> bool:
+        """Detach a job from the scan; True when the cancel took effect.
+
+        Pending jobs are removed from the admission queue; scanning jobs
+        are detached from the live loop at the current iteration
+        boundary (blocks already scanned for them are discarded).  A job
+        whose scan already completed — reduce running or done — is past
+        cancellation and returns False, as do unknown ids and jobs
+        already terminal.
+        """
+        with self._cond:
+            entry = self._entries.get(job_id)
+            if entry is None or entry.status.terminal:
+                return False
+            removed = self._jqm.cancel(job_id)
+            if removed is None:
+                # Scan finished; its reduce is imminent or in flight.
+                return False
+            was_pending = entry.status is JobStatus.PENDING
+            self._finish_locked(entry, JobStatus.CANCELLED,
+                                error="cancelled by client")
+            if was_pending:
+                self._pending -= 1
+                self._set_depth_gauge_locked(entry.tenant)
+            self.metrics.counter("service.cancel").inc()
+            self.tracer.event("service.cancel", subject=job_id,
+                              tenant=entry.tenant,
+                              was_pending=was_pending)
+            self._cond.notify_all()
+            return True
+
+    def status(self, job_id: str) -> JobTicket:
+        """Immutable snapshot of one job's lifecycle state."""
+        with self._cond:
+            entry = self._entries.get(job_id)
+            if entry is None:
+                raise ServiceError(f"unknown job {job_id!r}")
+            return entry.ticket()
+
+    def jobs(self) -> list[JobTicket]:
+        """Snapshots of every job the service has accepted, in submit order."""
+        with self._cond:
+            return [entry.ticket() for entry in self._entries.values()]
+
+    def wait_for(self, job_id: str,
+                 timeout: float | None = None) -> JobTicket:
+        """Block until a job reaches a terminal state (or timeout)."""
+        deadline = (None if timeout is None
+                    else self._clock() + timeout)
+        with self._cond:
+            while True:
+                entry = self._entries.get(job_id)
+                if entry is None:
+                    raise ServiceError(f"unknown job {job_id!r}")
+                if entry.status.terminal:
+                    return entry.ticket()
+                self._raise_if_dead_locked()
+                if not self._wait_locked(deadline):
+                    raise ServiceError(
+                        f"timed out waiting for job {job_id!r}")
+
+    def drain(self, timeout: float | None = None) -> list[JobTicket]:
+        """Complete all outstanding work, then return the final tickets.
+
+        While draining, new submissions are refused (``ServiceError``);
+        jobs already accepted — including capped ones still waiting for
+        admission — run to completion, so drain never strands a waiting
+        entry.  Raises on timeout.
+        """
+        deadline = (None if timeout is None
+                    else self._clock() + timeout)
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+            try:
+                while (self._scheduled
+                       or any(not e.status.terminal
+                              for e in self._entries.values())):
+                    self._raise_if_dead_locked()
+                    if not self._wait_locked(deadline):
+                        raise ServiceError("drain timed out")
+                return [entry.ticket() for entry in self._entries.values()]
+            finally:
+                self._draining = False
+
+    def queue_depths(self) -> dict[str, int]:
+        """Live pending-queue depth per tenant."""
+        with self._cond:
+            depths: dict[str, int] = {}
+            for entry in self._entries.values():
+                if entry.status is JobStatus.PENDING:
+                    depths[entry.tenant] = depths.get(entry.tenant, 0) + 1
+            return depths
+
+    def fairness(self) -> FairnessReport:
+        """Cross-tenant fairness summary (Jain index over ART)."""
+        with self._cond:
+            return fairness_report(list(self._accounts.values()))
+
+    def accounts(self) -> dict[str, TenantAccount]:
+        """Snapshot of the per-tenant accounting records."""
+        with self._cond:
+            return {name: TenantAccount(**vars(acc))
+                    for name, acc in self._accounts.items()}
+
+    @property
+    def iterations(self) -> int:
+        """Iterations the live scan has completed so far."""
+        with self._cond:
+            return self._iteration
+
+    def step(self) -> bool:
+        """Advance the scan by one iteration, synchronously.
+
+        The deterministic single-threaded mode: no core thread, no
+        sleeps — submit (or ``submit_at_iteration``), then call ``step``
+        until it returns ``False`` (no work left).  Exactly the same
+        scheduling and execution code paths as the threaded core; used
+        by unit tests and the regression benchmark so admission patterns
+        and I/O counts are bit-stable.  Must not be mixed with a running
+        core thread.
+        """
+        work: _Work | None
+        with self._cond:
+            if self._running:
+                raise ServiceError(
+                    "step() drives the scan inline; it cannot be mixed "
+                    "with a running core thread")
+            self._raise_if_dead_locked()
+            self._release_scheduled_locked()
+            work = self._build_iteration_locked()
+        if work is None:
+            with self._cond:
+                has_more = bool(self._scheduled) or self._jqm.has_work()
+            return has_more
+        self._execute_work(work)
+        return True
+
+    # ------------------------------------------------------ internal helpers
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    def _ensure_accepting(self) -> None:
+        # Submissions before start() are legal: they queue until the
+        # core thread starts (or until step() drives the scan inline).
+        self._raise_if_dead_locked()
+        if self._stopping:
+            raise ServiceError("service is shutting down")
+        if self._draining:
+            raise ServiceError("service is draining; resubmit afterwards")
+
+    def _raise_if_dead_locked(self) -> None:
+        if self._core_error is not None:
+            raise ServiceError(
+                f"service core failed: {self._core_error!r}")
+
+    def _wait_locked(self, deadline: float | None) -> bool:
+        """Wait on the condition; False once ``deadline`` has passed."""
+        if deadline is None:
+            self._cond.wait(self.config.idle_poll_s)
+            return True
+        remaining = deadline - self._clock()
+        if remaining <= 0:
+            return False
+        self._cond.wait(min(remaining, self.config.idle_poll_s))
+        return True
+
+    def _account_locked(self, tenant: str) -> TenantAccount:
+        account = self._accounts.get(tenant)
+        if account is None:
+            account = TenantAccount(tenant=tenant)
+            self._accounts[tenant] = account
+        return account
+
+    def _await_capacity_locked(self) -> bool:
+        """True when the pending queue has room (blocking if configured)."""
+        bound = self.config.max_pending
+        if bound is None or self._pending < bound:
+            return True
+        if self.config.overload_policy != "block":
+            return False
+        deadline = self._clock() + self.config.block_timeout_s
+        while self._pending >= bound:
+            self._raise_if_dead_locked()
+            if not self._running or self._stopping:
+                return False
+            if not self._wait_locked(deadline):
+                return False
+        return True
+
+    def _accept_locked(self, job: LocalJob, tenant: str,
+                       priority: int) -> str:
+        if job.job_id in self._entries:
+            raise ServiceError(
+                f"duplicate job id {job.job_id!r}; ids are unique for the "
+                "lifetime of the service")
+        now = self._now()
+        spec = JobSpec(job_id=job.job_id, file_name=STORE_FILE_NAME,
+                       profile=self._profile, priority=priority,
+                       tag=tenant)
+        scan_state = self._jqm.admit(spec, now)
+        self._entries[job.job_id] = _Entry(
+            job=job, tenant=tenant, scan_state=scan_state,
+            run_state=JobRunState(job), status=JobStatus.PENDING,
+            submitted_at=now)
+        account = self._account_locked(tenant)
+        account.in_flight += 1
+        self._pending += 1
+        self._set_depth_gauge_locked(tenant)
+        self.metrics.counter("service.submit").inc()
+        self.tracer.event("service.submit", subject=job.job_id,
+                          tenant=tenant, priority=priority,
+                          queue_depth=self._pending)
+        self._cond.notify_all()
+        return job.job_id
+
+    def _set_depth_gauge_locked(self, tenant: str) -> None:
+        depth = sum(1 for e in self._entries.values()
+                    if e.tenant == tenant
+                    and e.status is JobStatus.PENDING)
+        self.metrics.gauge(f"service.queue_depth.{tenant}").set(depth)
+
+    def _finish_locked(self, entry: _Entry, status: JobStatus, *,
+                       result: JobResult | None = None,
+                       error: str | None = None) -> None:
+        entry.status = status
+        entry.finished_at = self._now()
+        entry.result = result
+        entry.error = error
+        account = self._account_locked(entry.tenant)
+        account.in_flight -= 1
+        if status is JobStatus.DONE:
+            account.completed += 1
+            if entry.admitted_at is not None:
+                account.total_wait_s += entry.admitted_at - entry.submitted_at
+            account.total_response_s += (entry.finished_at
+                                         - entry.submitted_at)
+        elif status is JobStatus.CANCELLED:
+            account.cancelled += 1
+        elif status is JobStatus.FAILED:
+            account.failed += 1
+        elif status is JobStatus.REJECTED:
+            account.rejected += 1
+
+    # -------------------------------------------------------------- core loop
+    def _run_core(self) -> None:
+        try:
+            while True:
+                work: _Work | None = None
+                with self._cond:
+                    while work is None:
+                        if self._stopping:
+                            self._abort_live_locked(
+                                "service shut down before completion")
+                            self._running = False
+                            self._cond.notify_all()
+                            return
+                        self._release_scheduled_locked()
+                        work = self._build_iteration_locked()
+                        if work is None:
+                            self._cond.wait(self.config.idle_poll_s)
+                self._execute_work(work)
+        except BaseException as exc:  # the service must not die silently
+            with self._cond:
+                self._core_error = exc
+                self._abort_live_locked(f"service core failed: {exc!r}")
+                self._running = False
+                self._cond.notify_all()
+
+    def _release_scheduled_locked(self) -> None:
+        """Feed due iteration-paced arrivals through the admit path."""
+        if not self._scheduled:
+            return
+        if not self._jqm.has_work():
+            # Idle: jump the iteration counter to the next arrival so
+            # scheduled submissions cannot deadlock an empty loop.
+            self._iteration = max(
+                self._iteration,
+                min(item.at_iteration for item in self._scheduled))
+        due = [item for item in self._scheduled
+               if item.at_iteration <= self._iteration]
+        if not due:
+            return
+        self._scheduled = [item for item in self._scheduled
+                           if item.at_iteration > self._iteration]
+        for item in due:
+            account = self._account_locked(item.tenant)
+            account.submitted += 1
+            bound = self.config.max_pending
+            if bound is not None and self._pending >= bound:
+                account.rejected += 1
+                self.metrics.counter("service.reject").inc()
+                self.tracer.event("service.reject", subject=item.job.job_id,
+                                  tenant=item.tenant,
+                                  queue_depth=self._pending)
+                continue
+            self._accept_locked(item.job, item.tenant, item.priority)
+
+    def _build_iteration_locked(self) -> _Work | None:
+        loop = self._jqm.next_loop_with_work()
+        if loop is None:
+            return None
+        pointer_before = loop.pointer
+        iteration = loop.build_iteration(
+            self._jqm.blocks_per_segment,
+            max_jobs=self.config.max_jobs_per_iteration)
+        if iteration is None:
+            return None
+        now = self._now()
+        for job_id in loop.last_admitted:
+            entry = self._entries[job_id]
+            entry.status = JobStatus.SCANNING
+            entry.admitted_at = now
+            self._pending -= 1
+            account = self._account_locked(entry.tenant)
+            account.admitted += 1
+            self._set_depth_gauge_locked(entry.tenant)
+            self.metrics.counter("service.admit").inc()
+            self.tracer.event("service.admit", subject=job_id,
+                              tenant=entry.tenant,
+                              start_block=pointer_before,
+                              iteration=self._iteration)
+            # Sub-job alignment, same event shape as the simulator: the
+            # job's scan starts at the segment boundary the pointer sat on.
+            self.tracer.event("s3.align", subject=job_id,
+                              start_block=pointer_before,
+                              iteration=f"iter_{self._iteration}")
+        tasks = [
+            MapTaskSpec(
+                block_index=block,
+                states=tuple(self._entries[job_id].run_state
+                             for job_id in iteration.block_jobs[block]))
+            for block in iteration.chunk
+        ]
+        next_chunk: range | None = None
+        if loop.has_work():
+            num_blocks = loop.num_blocks
+            next_len = min(self._jqm.blocks_per_segment,
+                           num_blocks - loop.pointer)
+            next_chunk = range(loop.pointer, loop.pointer + next_len)
+        return _Work(
+            index=self._iteration,
+            pointer=pointer_before,
+            tasks=tasks,
+            participants=iteration.participants,
+            finishing=iteration.finishing_jobs,
+            next_chunk=next_chunk,
+            admitted=loop.last_admitted,
+        )
+
+    def _execute_work(self, work: _Work) -> None:
+        """Run one iteration's map wave + finishing reduces (unlocked)."""
+        self._executor.run_iteration(
+            work.index, work.tasks, pointer=work.pointer,
+            job_ids=list(work.participants), next_chunk=work.next_chunk)
+        with self._cond:
+            finishing = [self._entries[job_id] for job_id in work.finishing
+                         if self._entries[job_id].status
+                         is JobStatus.SCANNING]
+        results: list[tuple[_Entry, JobResult]] = []
+        for entry in finishing:
+            # Reduce outside the lock: shuffle/sort/reduce is CPU work.
+            results.append((entry, self._executor.finish_job(
+                entry.run_state, work.index)))
+        with self._cond:
+            now = self._now()
+            for entry, result in results:
+                self._finish_locked(entry, JobStatus.DONE, result=result)
+                self.metrics.counter("service.complete").inc()
+                self.tracer.event("service.complete",
+                                  subject=entry.job.job_id,
+                                  tenant=entry.tenant,
+                                  iteration=work.index,
+                                  response_s=now - entry.submitted_at)
+            self._iteration += 1
+            self._cond.notify_all()
+
+    def _abort_live_locked(self, reason: str) -> None:
+        """Terminal-ise every live job at shutdown/failure.
+
+        The state-audit guarantee: no entry is left PENDING/SCANNING
+        (stranded) and the scan loop keeps no detached state —
+        ``has_work()`` is false afterwards.
+        """
+        for entry in self._entries.values():
+            if entry.status.terminal:
+                continue
+            was_pending = entry.status is JobStatus.PENDING
+            self._jqm.cancel(entry.job.job_id)
+            self._finish_locked(entry, JobStatus.CANCELLED, error=reason)
+            if was_pending:
+                self._pending -= 1
+            self._set_depth_gauge_locked(entry.tenant)
+        for item in self._scheduled:
+            account = self._account_locked(item.tenant)
+            account.submitted += 1
+            account.rejected += 1
+        self._scheduled.clear()
+
+    # --------------------------------------------------------------- reports
+    def results(self) -> Iterator[tuple[str, JobResult]]:
+        """(job_id, result) for every completed job, in submit order."""
+        with self._cond:
+            snapshot = [(job_id, entry.result)
+                        for job_id, entry in self._entries.items()
+                        if entry.result is not None]
+        yield from snapshot
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-friendly dump: jobs, tenants, fairness, service metrics."""
+        with self._cond:
+            jobs = {job_id: {
+                "tenant": entry.tenant,
+                "status": entry.status.value,
+                "start_block": entry.scan_state.start_block,
+                "covered_blocks": entry.scan_state.covered,
+                "error": entry.error,
+            } for job_id, entry in self._entries.items()}
+            accounts = [acc.as_dict() for acc in self._accounts.values()]
+            iterations = self._iteration
+        report = self.fairness()
+        return {
+            "iterations": iterations,
+            "blocks_read": self._executor.blocks_read,
+            "jobs": jobs,
+            "tenants": accounts,
+            "fairness": report.as_dict(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+def batch_equivalent(store: BlockStore, jobs: Sequence[LocalJob],
+                     config: ServiceConfig | None = None) -> dict[str, JobResult]:
+    """Run the same job set batch-style (fresh runner) for comparisons.
+
+    Byte-identical outputs between this and a live service run are the
+    service's correctness contract (scheduling must never change
+    results).
+    """
+    from ..localrt.runners import SharedScanRunner
+
+    config = config or ServiceConfig()
+    runner = SharedScanRunner(store, config.execution)
+    report = runner.run(list(jobs))
+    return report.results

@@ -1,0 +1,138 @@
+"""Open-loop arrival driving for the scheduler service.
+
+Closed-loop harnesses (everything in :mod:`repro.experiments` before
+this package) hand the runner a complete job list; the runner controls
+when each job "arrives".  An **open-loop** driver is the opposite: a
+schedule of arrival times is fixed in advance and jobs are submitted at
+those times *regardless of how the service is keeping up* — the regime
+where admission control and backpressure actually matter.
+
+Two pacing modes:
+
+* :meth:`OpenLoopDriver.run` — wall-clock pacing.  Sleeps between
+  arrivals (scaled by ``time_scale``) and calls ``submit``; rejections
+  under the overload policy are recorded, not raised.  This is the
+  realistic mode used by the stress test and ``python -m repro.service``.
+* :func:`replay_iterations` — deterministic pacing.  Maps each arrival
+  time onto a scan-iteration index and uses ``submit_at_iteration``, so
+  the admission pattern is bit-stable run to run.  This is the mode the
+  benchmark/regression gate uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..common.clock import Clock, monotonic_clock
+from ..common.errors import AdmissionRejected, WorkloadError
+from ..localrt.api import LocalJob
+from ..workloads.arrivals import ArrivalEvent
+from .core import SchedulerService
+
+#: Builds the job a given arrival submits.
+JobFactory = Callable[[ArrivalEvent], LocalJob]
+
+
+@dataclass
+class DriverReport:
+    """What happened when a schedule was driven against a service."""
+
+    #: Job ids accepted by the service, in submission order.
+    submitted: list[str] = field(default_factory=list)
+    #: ``(job_id, tenant)`` pairs refused by the overload policy.
+    rejected: list[tuple[str, str]] = field(default_factory=list)
+    #: Wall seconds the driving took (0.0 for iteration replay).
+    elapsed_s: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.submitted) + len(self.rejected)
+
+
+class OpenLoopDriver:
+    """Submit a fixed arrival schedule against a live service.
+
+    Parameters
+    ----------
+    service:
+        A started :class:`~repro.service.core.SchedulerService`.
+    events:
+        Time-ordered arrival stream (see
+        :func:`repro.workloads.arrivals.merge_streams`).
+    job_factory:
+        Maps each arrival event to the job it submits.  Factories must
+        produce unique job ids across the schedule.
+    time_scale:
+        Multiplier applied to schedule times before sleeping; 0.1 runs a
+        "60 second" schedule in 6 wall seconds.  Must be positive — use
+        :func:`replay_iterations` for fully virtual time.
+    """
+
+    def __init__(self, service: SchedulerService,
+                 events: Sequence[ArrivalEvent],
+                 job_factory: JobFactory, *,
+                 time_scale: float = 1.0,
+                 clock: Clock | None = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if not events:
+            raise WorkloadError("no arrival events to drive")
+        if any(b.time < a.time for a, b in zip(events, events[1:])):
+            raise WorkloadError("arrival events must be time-ordered")
+        if time_scale <= 0:
+            raise WorkloadError(
+                f"time_scale must be positive, got {time_scale}")
+        self._service = service
+        self._events = list(events)
+        self._factory = job_factory
+        self._scale = time_scale
+        self._clock = clock if clock is not None else monotonic_clock()
+        self._sleep = sleep
+
+    def run(self) -> DriverReport:
+        """Drive the whole schedule; returns once the last job is in.
+
+        Open-loop semantics: a rejection never stalls the schedule — it
+        is recorded and the driver moves on to the next arrival.  The
+        caller decides when to ``drain()``.
+        """
+        report = DriverReport()
+        t0 = self._clock()
+        for event in self._events:
+            due = t0 + event.time * self._scale
+            delay = due - self._clock()
+            if delay > 0:
+                self._sleep(delay)
+            job = self._factory(event)
+            try:
+                report.submitted.append(
+                    self._service.submit(job, tenant=event.tenant))
+            except AdmissionRejected:
+                report.rejected.append((job.job_id, event.tenant))
+        report.elapsed_s = self._clock() - t0
+        return report
+
+
+def replay_iterations(service: SchedulerService,
+                      events: Sequence[ArrivalEvent],
+                      job_factory: JobFactory, *,
+                      iterations_per_second: float = 1.0) -> DriverReport:
+    """Deterministically replay a schedule in scan-iteration time.
+
+    Each arrival at ``t`` seconds is scheduled for iteration
+    ``floor(t * iterations_per_second)`` via ``submit_at_iteration``;
+    the service's core loop releases it when the scan reaches that
+    iteration.  Rejections (pending bound hit at release time) surface
+    in the per-tenant accounts rather than the report, since release
+    happens inside the service.
+    """
+    if iterations_per_second <= 0:
+        raise WorkloadError("iterations_per_second must be positive")
+    report = DriverReport()
+    for event in events:
+        job = job_factory(event)
+        report.submitted.append(service.submit_at_iteration(
+            job, int(event.time * iterations_per_second),
+            tenant=event.tenant))
+    return report

@@ -11,11 +11,19 @@ jobs separated by gaps; Figure 1(b)).  The experiment suite uses:
 
 Generic generators (uniform spacing, Poisson process) support the extended
 experiments.
+
+**Open-loop streams.** The scheduler service consumes arrivals as
+*streams*: sequences of :class:`ArrivalEvent` carrying a tenant id and a
+per-stream index, merged across tenants in time order.  Build one with
+:func:`poisson_streams` (independent Poisson processes per tenant, split
+deterministically from one seed), :func:`trace_stream` (replay explicit
+``(time, tenant)`` pairs), and :func:`merge_streams`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
 
 from ..common.errors import WorkloadError
 from ..common.rng import RngLike, make_rng
@@ -74,6 +82,82 @@ def poisson(num_jobs: int, mean_interarrival_s: float, *,
     gaps = rng.exponential(mean_interarrival_s, size=num_jobs)
     gaps[0] = 0.0  # first job arrives at `start`
     return [start + float(t) for t in gaps.cumsum()]
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One submission in an open-loop arrival stream."""
+
+    #: Seconds from the start of the run.
+    time: float
+    #: Which tenant submits.
+    tenant: str
+    #: Position within the tenant's own stream (0-based).
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise WorkloadError(f"arrival time must be >= 0, got {self.time}")
+        if not self.tenant:
+            raise WorkloadError("tenant must be non-empty")
+        if self.index < 0:
+            raise WorkloadError(f"index must be >= 0, got {self.index}")
+
+
+def merge_streams(
+        streams: Mapping[str, Sequence[float]]) -> list[ArrivalEvent]:
+    """Merge per-tenant arrival-time lists into one time-ordered stream.
+
+    Ties are broken by tenant name so the merged order is deterministic
+    regardless of dict iteration order.
+    """
+    events: list[ArrivalEvent] = []
+    for tenant, times in streams.items():
+        for index, t in enumerate(validate_arrivals(times)):
+            events.append(ArrivalEvent(time=t, tenant=tenant, index=index))
+    if not events:
+        raise WorkloadError("no arrival streams supplied")
+    events.sort(key=lambda e: (e.time, e.tenant, e.index))
+    return events
+
+
+def poisson_streams(tenants: Mapping[str, float], num_jobs: int, *,
+                    seed: RngLike = None,
+                    start: float = 0.0) -> list[ArrivalEvent]:
+    """Independent Poisson arrival streams, one per tenant.
+
+    ``tenants`` maps tenant name to that tenant's mean inter-arrival time
+    in seconds; each tenant contributes ``num_jobs`` arrivals.  Streams
+    are split deterministically from one ``seed`` per tenant name
+    (sorted), so adding a tenant never perturbs the others' draws.
+    """
+    if not tenants:
+        raise WorkloadError("tenants must be non-empty")
+    streams: dict[str, Sequence[float]] = {}
+    for offset, (tenant, mean_s) in enumerate(sorted(tenants.items())):
+        rng = make_rng(seed)
+        # Deterministic per-tenant decorrelation: burn `offset` draws.
+        for _ in range(offset):
+            rng.exponential(mean_s, size=num_jobs)
+        gaps = rng.exponential(mean_s, size=num_jobs)
+        streams[tenant] = [start + float(t) for t in gaps.cumsum()]
+    return merge_streams(streams)
+
+
+def trace_stream(
+        trace: Iterable[tuple[float, str]]) -> list[ArrivalEvent]:
+    """Replay an explicit ``(time, tenant)`` trace as an arrival stream.
+
+    The trace-driven schedule for open-loop experiments: pairs need not
+    be sorted; per-tenant indices follow each tenant's own time order.
+    """
+    per_tenant: dict[str, list[float]] = {}
+    for t, tenant in trace:
+        per_tenant.setdefault(tenant, []).append(t)
+    if not per_tenant:
+        raise WorkloadError("empty arrival trace")
+    return merge_streams(
+        {tenant: sorted(times) for tenant, times in per_tenant.items()})
 
 
 def validate_arrivals(arrivals: Sequence[float]) -> list[float]:

@@ -1,0 +1,13 @@
+"""Shared fixtures for the scheduler-service tests."""
+
+import pytest
+
+from repro.localrt.storage import BlockStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A small deterministic corpus: ~13 blocks of patterned text."""
+    lines = [f"alpha beta gamma delta line {i:04d} spam" for i in range(160)]
+    return BlockStore.create(tmp_path / "corpus", lines,
+                             block_size_bytes=512)

@@ -1,0 +1,80 @@
+"""Asyncio front-end over the threaded core."""
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import ServiceError
+from repro.localrt.jobs import wordcount_job
+from repro.service.asyncapi import AsyncSchedulerService
+from repro.service.config import ServiceConfig
+from repro.service.core import SchedulerService
+from repro.service.records import JobStatus
+
+
+def test_async_submit_wait_drain(store):
+    async def scenario():
+        async with AsyncSchedulerService(store, ServiceConfig()) as svc:
+            first = await svc.submit(wordcount_job("wc_a", r"alpha"),
+                                     tenant="t1")
+            second = await svc.submit(wordcount_job("wc_b", r"beta"),
+                                      tenant="t2")
+            ticket = await svc.wait_for(first, timeout=60.0)
+            assert ticket.status is JobStatus.DONE
+            tickets = await svc.drain(timeout=60.0)
+            assert {t.job_id for t in tickets} == {first, second}
+            report = await svc.fairness()
+            assert 0.0 < report.response_fairness <= 1.0
+            snap = await svc.snapshot()
+            assert snap["jobs"]["wc_b"]["status"] == "done"
+
+    asyncio.run(scenario())
+
+
+def test_async_cancel_and_status(store):
+    async def scenario():
+        async with AsyncSchedulerService(store, ServiceConfig(
+                max_jobs_per_iteration=1)) as svc:
+            await svc.submit(wordcount_job("keep", r"alpha"))
+            held = await svc.submit(wordcount_job("held", r"beta"))
+            # The held job is either still pending (cancellable) or was
+            # admitted; both outcomes are legal — assert consistency.
+            cancelled = await svc.cancel(held)
+            ticket = await svc.status(held)
+            if cancelled:
+                assert ticket.status is JobStatus.CANCELLED
+            await svc.drain(timeout=60.0)
+            final = await svc.status("keep")
+            assert final.status is JobStatus.DONE
+
+    asyncio.run(scenario())
+
+
+def test_wrap_does_not_own_core(store):
+    async def scenario(core):
+        wrapper = AsyncSchedulerService.wrap(core)
+        assert wrapper.core is core
+        async with wrapper as svc:
+            job_id = await svc.submit(wordcount_job("wc", r"alpha"))
+            await svc.wait_for(job_id, timeout=60.0)
+        # __aexit__ must NOT have shut the wrapped core down.
+        assert core.running
+
+    core = SchedulerService(store, ServiceConfig()).start()
+    try:
+        asyncio.run(scenario(core))
+        core.submit(wordcount_job("after", r"beta"))
+        core.drain(timeout=60.0)
+    finally:
+        core.shutdown()
+    with pytest.raises(ServiceError):
+        core.submit(wordcount_job("late", r"a"))
+
+
+def test_async_unknown_job_raises(store):
+    async def scenario():
+        async with AsyncSchedulerService(store, ServiceConfig()) as svc:
+            with pytest.raises(ServiceError, match="unknown"):
+                await svc.status("ghost")
+
+    asyncio.run(scenario())

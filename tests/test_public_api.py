@@ -33,7 +33,7 @@ def test_top_level_exports():
     "repro.common", "repro.simengine", "repro.cluster", "repro.dfs",
     "repro.mapreduce", "repro.schedulers", "repro.schedulers.s3",
     "repro.localrt", "repro.workloads", "repro.metrics", "repro.planning",
-    "repro.experiments", "repro.ext", "repro.obs",
+    "repro.experiments", "repro.ext", "repro.obs", "repro.service",
 ])
 def test_subpackage_all_exports_resolve(module_name):
     module = importlib.import_module(module_name)
