@@ -1,7 +1,7 @@
 """Perf-regression gate: re-run benchmarks, compare against baselines.
 
 Runs the payload-emitting benchmarks (``bench_cache``, ``bench_service``,
-``bench_trace``)
+``bench_trace``, ``bench_localrt``)
 and gates each fresh ``BENCH_*.json`` against the committed baseline
 with the default metric specs from :mod:`repro.obs.regress` — only
 hardware-independent metrics (hit ratios, block counters, invariant
@@ -43,7 +43,8 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_DIR = ROOT / "benchmarks" / "baselines"
 
 #: Benchmarks that emit a gateable payload.
-BENCHMARKS = ("bench_cache", "bench_service", "bench_trace")
+BENCHMARKS = ("bench_cache", "bench_service", "bench_trace",
+              "bench_localrt")
 
 
 def baseline_path(name: str, smoke: bool) -> pathlib.Path:

@@ -157,6 +157,9 @@ READSTATS_FIELDS = frozenset({
     "blocks_read", "bytes_read", "physical_blocks_read",
     "physical_bytes_read", "cache_hits", "cache_misses",
     "cache_evictions", "prefetched_blocks",
+    # Bytes-path counters (batched zero-copy scan, PR 7): writable only
+    # from the same allowlist so path attribution stays trustworthy.
+    "bytes_blocks_read", "mmap_blocks_read",
 })
 
 #: Receiver names that identify a ReadStats holder (``store.stats``,

@@ -2,6 +2,8 @@
 shared scanning, used to demonstrate byte-level scan sharing on real data."""
 
 from .api import (
+    BlockData,
+    BlockMapper,
     IdentityReducer,
     JobResult,
     LocalJob,
@@ -21,8 +23,12 @@ from .engine import (
     run_reduce,
 )
 from .jobs import (
+    AggregationBlockMapper,
     AggregationMapper,
+    DelimitedBlockMapper,
     PatternWordCount,
+    PatternWordCountBlock,
+    SelectionBlockMapper,
     SelectionMapper,
     aggregation_job,
     selection_job,
@@ -46,8 +52,8 @@ from .runners import FifoLocalRunner, RunReport, SharedScanRunner
 from .storage import BlockStore, ReadStats
 
 __all__ = [
-    "IdentityReducer", "JobResult", "LocalJob", "Mapper", "Record",
-    "Reducer", "SumReducer", "default_partitioner",
+    "BlockData", "BlockMapper", "IdentityReducer", "JobResult", "LocalJob",
+    "Mapper", "Record", "Reducer", "SumReducer", "default_partitioner",
     "BlockCache", "CacheStats", "ReadAheadPrefetcher",
     "FRAMEWORK_GROUP", "Counters", "CounterUser",
     "JobRunState", "collect_map_outputs", "count_pending_values",
@@ -55,8 +61,9 @@ __all__ = [
     "MapBackend", "MapTaskSpec", "ProcessMapBackend", "SerialMapBackend",
     "ThreadMapBackend", "backend_from_config", "execute_map_wave",
     "make_backend",
-    "AggregationMapper", "PatternWordCount", "SelectionMapper",
-    "aggregation_job", "selection_job", "wordcount_job",
+    "AggregationBlockMapper", "AggregationMapper", "DelimitedBlockMapper",
+    "PatternWordCount", "PatternWordCountBlock", "SelectionBlockMapper",
+    "SelectionMapper", "aggregation_job", "selection_job", "wordcount_job",
     "SUCCESS_MARKER", "read_output", "write_output",
     "DelimitedReader", "RecordReader", "TextLineReader",
     "FifoLocalRunner", "LiveScanExecutor", "RunReport", "SharedScanRunner",

@@ -10,14 +10,101 @@ optionally a combiner, and the framework handles splits, shuffle and sort.
 from __future__ import annotations
 
 import abc
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, Iterator
+from typing import Any, Callable, Hashable, Iterable, Iterator
 
 from ..common.errors import ExecutionError
 from .counters import Counters
+from .records import RecordReader, TextLineReader
 
 #: A key/value record flowing through the pipeline.
 Record = tuple[Hashable, Any]
+
+
+class BlockData(bytes):
+    """One block's raw bytes plus lazily memoized derived views.
+
+    The batched engine wraps each block in a :class:`BlockData` and hands
+    the *same* object to every batched mapper in the wave, so expensive
+    derivations — UTF-8 decode, line split, whitespace tokenization —
+    happen at most once per block regardless of how many jobs share the
+    scan.  Memoization is write-once per attribute and the derived
+    values are never mutated, so sharing across jobs is safe.
+    """
+
+    _text: "str | None" = None
+    _lines: "list[bytes] | None" = None
+    _line_count: "int | None" = None
+    _token_counts: "Counter[str] | None" = None
+    _derived: "dict[Hashable, Any] | None" = None
+
+    def text(self) -> str:
+        """The block decoded as UTF-8 (memoized; one decode per block)."""
+        if self._text is None:
+            self._text = self.decode("utf-8")
+        return self._text
+
+    def lines(self) -> list[bytes]:
+        """Newline-delimited raw records (memoized).
+
+        Mirrors :func:`repro.localrt.records.split_records` at the byte
+        level: split on ``b"\\n"``, trailing empty fragment dropped.
+        UTF-8 never embeds ``0x0A`` in a multi-byte sequence, so the
+        per-line byte count always matches the record boundaries the
+        per-record readers see.
+        """
+        if self._lines is None:
+            parts = self.split(b"\n")
+            if parts and parts[-1] == b"":
+                parts.pop()
+            self._lines = parts
+        return self._lines
+
+    def line_count(self) -> int:
+        """Number of records in the block (== per-record reader count).
+
+        Counted from the newline bytes directly (memoized) — no line
+        objects are allocated unless :meth:`lines` is also used.
+        """
+        if self._line_count is None:
+            count = self.count(b"\n")
+            if self and not self.endswith(b"\n"):
+                count += 1
+            self._line_count = count
+        return self._line_count
+
+    def token_counts(self) -> "Counter[str]":
+        """Whitespace-token occurrence counts, keys in first-seen order.
+
+        One ``str.split()`` over the decoded block — newlines are
+        whitespace, so this is the same token sequence (and therefore
+        the same ``Counter`` content and first-occurrence key order) as
+        splitting every line separately, which is what the per-record
+        wordcount mapper does.
+        """
+        if self._token_counts is None:
+            self._token_counts = Counter(self.text().split())
+        return self._token_counts
+
+    def memo(self, key: Hashable, compute: "Callable[[], Any]") -> Any:
+        """Kernel-defined derived view, computed once per block.
+
+        Lets batch kernels share work that depends on their own
+        configuration (e.g. the delimiter-position structure of a
+        delimited block, keyed by delimiter + field count): the first
+        kernel in the wave computes, the rest reuse.  ``compute`` must
+        be a pure function of the block bytes and the key, and the
+        cached value must never be mutated — the same object is handed
+        to every job in the wave.
+        """
+        cache = self._derived
+        if cache is None:
+            cache = {}
+            self._derived = cache
+        if key not in cache:
+            cache[key] = compute()
+        return cache[key]
 
 
 class Mapper(abc.ABC):
@@ -26,6 +113,54 @@ class Mapper(abc.ABC):
     @abc.abstractmethod
     def map(self, key: Hashable, value: Any) -> Iterable[Record]:
         """Process one record; yield intermediate ``(key, value)`` pairs."""
+
+
+class BlockMapper(Mapper):
+    """A mapper that can additionally consume one whole block at a time.
+
+    The batched protocol moves the unit of work from the record to the
+    block so CPU cost scales with bytes scanned instead of
+    records × jobs.  The engine prefers :meth:`map_block` whenever
+    :meth:`supports_reader` accepts the wave's record reader, and falls
+    back to the inherited per-record :meth:`~Mapper.map` loop otherwise
+    — both paths must produce *observably identical* results: the same
+    record count the reader would report, an output list whose
+    post-combiner content is identical, and the same counter totals.
+
+    ``map_block`` must be pure with respect to the mapper instance: the
+    engine shares one instance across concurrently running block tasks
+    (unlike the per-record path, which copies counter-carrying mappers
+    per task), so per-block counters are *returned*, never accumulated
+    on ``self``.
+    """
+
+    #: Set True when ``map_block``'s output is already a fixed point of
+    #: the job's combiner — unique keys, one value per key, keys in the
+    #: first-occurrence order ``_combine`` would emit, and each value
+    #: bit-identical to ``combiner.reduce(key, [value])``.  The engine
+    #: then skips the (redundant) map-side combine pass for this kernel.
+    combined_output: bool = False
+
+    def supports_reader(self, reader: RecordReader) -> bool:
+        """True when ``map_block`` reproduces ``reader``'s record model.
+
+        The default accepts exactly :class:`TextLineReader` (not
+        subclasses, whose overridden parsing the kernel cannot see).
+        """
+        return type(reader) is TextLineReader
+
+    @abc.abstractmethod
+    def map_block(self, data: bytes, base_offset: int,
+                  ) -> tuple[int, list[Record], Counters | None]:
+        """Process one whole block of raw bytes.
+
+        Returns ``(record_count, outputs, counters)``: how many input
+        records the block contained (exactly what the per-record reader
+        would have yielded), the pre-combiner output records, and the
+        task's user counters (``None`` when the mapper keeps none).
+        ``data`` may be a :class:`BlockData`, in which case derived
+        views (decode/tokenize) are shared with the wave's other jobs.
+        """
 
 
 class Reducer(abc.ABC):

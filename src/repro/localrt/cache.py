@@ -62,13 +62,14 @@ class CacheStats:
 
 
 class BlockCache:
-    """A thread-safe LRU cache of block texts, bounded by total bytes.
+    """A thread-safe LRU cache of raw block bytes, bounded by total bytes.
 
-    Keys are block indices; values are the decoded block texts.  The
-    byte charge of an entry is the block's *on-disk* size (supplied by
-    the caller, which knows it from the stat cache), so the budget
-    matches the file sizes users reason about, not Python string
-    overhead.
+    Keys are block indices; values are the blocks' undecoded on-disk
+    bytes (decoding happens in the store's ``read_block`` shim, so the
+    batched bytes path shares residency with the per-record text path).
+    The byte charge of an entry is the block's *on-disk* size — for raw
+    bytes that is exactly ``len(data)``, so the budget matches the file
+    sizes users reason about, with no Python object overhead counted.
     """
 
     def __init__(self, capacity_bytes: int) -> None:
@@ -78,13 +79,13 @@ class BlockCache:
         self.capacity_bytes = capacity_bytes
         self.stats = CacheStats()
         self._lock = OrderedLock("BlockCache._lock")
-        #: index -> (text, nbytes), in LRU order (oldest first).
-        self._entries: "OrderedDict[int, tuple[str, int]]" = OrderedDict()
+        #: index -> (data, nbytes), in LRU order (oldest first).
+        self._entries: "OrderedDict[int, tuple[bytes, int]]" = OrderedDict()
         self._current_bytes = 0
 
     # ---------------------------------------------------------------- lookup
-    def get(self, index: int) -> str | None:
-        """Return the cached text for ``index`` (refreshing its recency),
+    def get(self, index: int) -> bytes | None:
+        """Return the cached bytes for ``index`` (refreshing its recency),
         or ``None`` on a miss.  Counts a hit or a miss."""
         with self._lock:
             entry = self._entries.get(index)
@@ -114,7 +115,7 @@ class BlockCache:
             return self._current_bytes
 
     # ---------------------------------------------------------------- insert
-    def put(self, index: int, text: str, nbytes: int) -> int:
+    def put(self, index: int, data: bytes, nbytes: int) -> int:
         """Insert (or refresh) ``index``; returns how many entries were
         evicted to make room.
 
@@ -136,7 +137,7 @@ class BlockCache:
                 _, (_, old_bytes) = self._entries.popitem(last=False)
                 self._current_bytes -= old_bytes
                 evicted += 1
-            self._entries[index] = (text, nbytes)
+            self._entries[index] = (data, nbytes)
             self._current_bytes += nbytes
             self.stats.insertions += 1
             self.stats.evictions += evicted

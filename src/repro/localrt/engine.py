@@ -1,21 +1,32 @@
 """Execution engine of the local runtime: map, combine, shuffle, sort, reduce.
 
 The shared-scan primitive lives here: :func:`run_map_on_block` reads a block
-**once** and feeds every record to all jobs of the batch — the real,
-byte-level realisation of the merged sub-jobs that the simulator models in
-time.
+**once** and feeds it to all jobs of the batch — the real, byte-level
+realisation of the merged sub-jobs that the simulator models in time.
+
+Two execution paths share that entry point.  The *batched* path hands
+the whole block (as a :class:`~repro.localrt.api.BlockData`) to any
+mapper implementing :class:`~repro.localrt.api.BlockMapper` whose
+``supports_reader`` accepts the wave's reader — CPU cost then scales
+with bytes scanned, not records × jobs.  Everything else takes the
+original *per-record* path: parse the block once with the
+:class:`~repro.localrt.records.RecordReader` and dispatch each record to
+each remaining mapper.  The two paths are observably identical —
+same record counts, post-combiner outputs, counters — which the
+property suite pins across all map backends.
 """
 
 from __future__ import annotations
 
 import copy
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from ..common.errors import ExecutionError
 from ..obs.tracer import Tracer
-from .api import LocalJob, Record, default_partitioner
+from .api import BlockData, BlockMapper, LocalJob, Record, default_partitioner
 from .counters import FRAMEWORK_GROUP, Counters, CounterUser
 from .records import RecordReader
 
@@ -46,22 +57,42 @@ class JobRunState:
             self.partitions[partition][key].append(value)
 
 
-def collect_map_outputs(jobs: list[LocalJob], reader: RecordReader,
-                        block_text: str, base_offset: int = 0,
+def batch_mapper_for(job: LocalJob, reader: RecordReader,
+                     ) -> "BlockMapper | None":
+    """The job's mapper as a batch kernel, or ``None`` for per-record.
+
+    A job takes the batched path when its mapper implements
+    :class:`BlockMapper` *and* vouches for the wave's reader.  A
+    :class:`BlockMapper` that declines the reader is a wiring regression
+    for the paper workloads (the batch kernel silently degrades to
+    per-record dispatch), so that fallback emits a
+    :class:`DeprecationWarning` — which the test suite escalates to an
+    error via the ``filterwarnings`` config.
+    """
+    mapper = job.mapper
+    if not isinstance(mapper, BlockMapper):
+        return None
+    if mapper.supports_reader(reader):
+        return mapper
+    warnings.warn(
+        f"per-record fallback for {type(mapper).__name__} in job "
+        f"{job.job_id!r} is deprecated; {type(reader).__name__} is not "
+        f"supported by its map_block kernel — pass a supported reader "
+        f"or construct the job with batched=False",
+        DeprecationWarning, stacklevel=3)
+    return None
+
+
+def _collect_per_record(jobs: list[LocalJob], reader: RecordReader,
+                        block_text: str, base_offset: int,
                         ) -> tuple[int, list[list[Record]],
                                    "list[Counters | None]"]:
-    """The pure (side-effect-free) half of a shared map task.
+    """The original record-at-a-time loop (shared parse, per-job dispatch).
 
-    Parses the block once, runs every job's mapper on each record and
-    applies per-job combiners.  Returns ``(record_count, outputs_per_job,
-    counters_per_job)`` without touching any shared state — which is what
-    makes map tasks safely parallelisable (see :mod:`repro.localrt.
-    parallel`).  Mappers that mix in :class:`CounterUser` are shallow-
-    copied per task (as Hadoop instantiates a fresh Mapper per task), so
-    user counters are race-free under the thread pool.
+    Mappers that mix in :class:`CounterUser` are shallow-copied per task
+    (as Hadoop instantiates a fresh Mapper per task), so user counters
+    are race-free under the thread pool.
     """
-    if not jobs:
-        raise ExecutionError("map task with no participating job")
     mappers = []
     task_counters: list[Counters | None] = []
     for job in jobs:
@@ -88,16 +119,89 @@ def collect_map_outputs(jobs: list[LocalJob], reader: RecordReader,
     return record_count, outputs, task_counters
 
 
+def collect_map_outputs(jobs: list[LocalJob], reader: RecordReader,
+                        block_data: "str | bytes", base_offset: int = 0,
+                        ) -> tuple[int, list[list[Record]],
+                                   "list[Counters | None]"]:
+    """The pure (side-effect-free) half of a shared map task.
+
+    Splits the wave's jobs into batched and per-record subsets (see
+    :func:`batch_mapper_for`).  Batched jobs receive one shared
+    :class:`BlockData` wrapping the block's bytes, so decoding and
+    tokenization are amortized across every job in the wave; per-record
+    jobs share one reader parse of the decoded text.  Per-job combiners
+    apply identically on both paths.  Returns ``(record_count,
+    outputs_per_job, counters_per_job)`` without touching any shared
+    state — which is what makes map tasks safely parallelisable (see
+    :mod:`repro.localrt.parallel`).  Every path must agree on the
+    block's record count; a batch kernel that disagrees with the reader
+    (or another kernel) raises :class:`ExecutionError` rather than
+    silently corrupting ``map_input_records``.
+
+    ``block_data`` may be ``str`` (legacy text path) or ``bytes`` (the
+    zero-copy path from ``BlockStore.read_block_bytes``); a ``str`` is
+    encoded back to UTF-8 only when a batch kernel needs it.
+    """
+    if not jobs:
+        raise ExecutionError("map task with no participating job")
+    kernels = [batch_mapper_for(job, reader) for job in jobs]
+    if not any(kernel is not None for kernel in kernels):
+        text = (block_data.decode("utf-8")
+                if isinstance(block_data, bytes) else block_data)
+        return _collect_per_record(jobs, reader, text, base_offset)
+    if isinstance(block_data, BlockData):
+        data = block_data
+    elif isinstance(block_data, bytes):
+        data = BlockData(block_data)
+    else:
+        data = BlockData(block_data.encode("utf-8"))
+    fallback_jobs = [job for job, kernel in zip(jobs, kernels)
+                     if kernel is None]
+    record_count: int | None = None
+    fallback_outputs: list[list[Record]] = []
+    fallback_counters: list[Counters | None] = []
+    if fallback_jobs:
+        record_count, fallback_outputs, fallback_counters = \
+            _collect_per_record(fallback_jobs, reader, data.text(),
+                                base_offset)
+    outputs: list[list[Record]] = []
+    task_counters: list[Counters | None] = []
+    fallback_at = 0
+    for job, kernel in zip(jobs, kernels):
+        if kernel is None:
+            buffer = fallback_outputs[fallback_at]
+            counters = fallback_counters[fallback_at]
+            fallback_at += 1
+            outputs.append(buffer)
+            task_counters.append(counters)
+            continue
+        count, buffer, counters = kernel.map_block(data, base_offset)
+        if record_count is None:
+            record_count = count
+        elif count != record_count:
+            raise ExecutionError(
+                f"{job.job_id}: batch kernel {type(kernel).__name__} "
+                f"reported {count} records where the wave saw "
+                f"{record_count}")
+        if job.combiner is not None and not kernel.combined_output:
+            buffer = _combine(job, buffer)
+        outputs.append(buffer)
+        task_counters.append(counters)
+    assert record_count is not None
+    return record_count, outputs, task_counters
+
+
 def run_map_on_block(states: list[JobRunState], reader: RecordReader,
-                     block_text: str, base_offset: int = 0) -> None:
+                     block_data: "str | bytes", base_offset: int = 0) -> None:
     """One map task over one block, shared by every job in ``states``.
 
-    The block is parsed once; each record is offered to every job's mapper.
-    Per-job combiners run over the block's local output before it enters
-    the shuffle (Hadoop's map-side combine).
+    The block is read once; batch-capable mappers consume it whole,
+    every other job's mapper is offered each parsed record.  Per-job
+    combiners run over the block's local output before it enters the
+    shuffle (Hadoop's map-side combine).
     """
     record_count, outputs, task_counters = collect_map_outputs(
-        [state.job for state in states], reader, block_text, base_offset)
+        [state.job for state in states], reader, block_data, base_offset)
     for state, buffer, counters in zip(states, outputs, task_counters):
         absorb_map_result(state, record_count, buffer, counters)
 

@@ -2,10 +2,20 @@
 
 * :class:`PatternWordCount` — the modified wordcount of Section V.B:
   counts only words matching a user-specified regular expression.
-* :class:`SelectionJob` — the SQL selection of Section V.G:
+* :class:`SelectionMapper` — the SQL selection of Section V.G:
   ``SELECT * FROM lineitem WHERE l_quantity < VAL``.
-* :class:`AggregationJob` — a per-group SUM used by the Section V.G
+* :class:`AggregationMapper` — a per-group SUM used by the Section V.G
   output-collection extension (partial aggregation across sub-jobs).
+
+Each workload has two mapper implementations: the original per-record
+class, and a batched :class:`~repro.localrt.api.BlockMapper` kernel
+(:class:`PatternWordCountBlock`, :class:`SelectionBlockMapper`,
+:class:`AggregationBlockMapper`) that consumes one whole block of raw
+bytes per call and is observably identical to running the per-record
+mapper over every record — same outputs after the combiner, same record
+counts, same counters.  The job factories build the batched kernels by
+default (``batched=False`` restores the per-record classes, which the
+benchmarks use as their baseline).
 """
 
 from __future__ import annotations
@@ -13,10 +23,24 @@ from __future__ import annotations
 import re
 from typing import Any, Hashable, Iterator
 
+try:  # numpy powers the columnar fast path; everything works without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _np=None monkeypatch
+    _np = None  # type: ignore[assignment]
+
 from ..common.errors import ExecutionError
 from ..workloads.tpch import LINEITEM_COLUMNS
-from .api import IdentityReducer, LocalJob, Mapper, Record, SumReducer
-from .counters import CounterUser
+from .api import (
+    BlockData,
+    BlockMapper,
+    IdentityReducer,
+    LocalJob,
+    Mapper,
+    Record,
+    SumReducer,
+)
+from .counters import Counters, CounterUser
+from .records import DelimitedReader, RecordReader
 
 
 class PatternWordCount(Mapper, CounterUser):
@@ -44,13 +68,80 @@ class PatternWordCount(Mapper, CounterUser):
         self.counters.increment("wordcount", "words_matched", matched)
 
 
+class PatternWordCountBlock(PatternWordCount, BlockMapper):
+    """Batched wordcount: one tokenization pass per block, not per record.
+
+    ``map_block`` works from the block's distinct-token counts (shared
+    with every other wordcount job in the wave via
+    :class:`~repro.localrt.api.BlockData`), so the regex runs once per
+    *distinct* word instead of once per occurrence, and match verdicts
+    are memoized across blocks — the regex cost amortizes to once per
+    vocabulary word for the whole scan.
+
+    ``counted`` controls the emission shape: ``True`` (for jobs with the
+    standard ``SumReducer`` combiner) emits one ``(word, count)`` record
+    per matching word in first-occurrence order — exactly the per-record
+    path's post-combine output, so ``combined_output`` is set and the
+    engine skips the redundant combine pass; ``False`` (no combiner)
+    expands to ``count`` copies of ``(word, 1)`` so job-level record
+    counters stay identical.  Construct with ``counted`` matching the
+    job's combiner or the framework counters will diverge.
+    """
+
+    def __init__(self, pattern: str, *, counted: bool = True) -> None:
+        super().__init__(pattern)
+        self.counted = counted
+        self.combined_output = counted
+        #: word -> did the regex match (memoized across blocks; a pure
+        #: function of the pattern, so races/pickling are harmless).
+        self._match_memo: dict[str, bool] = {}
+
+    def map_block(self, data: bytes, base_offset: int,
+                  ) -> tuple[int, list[Record], Counters | None]:
+        block = data if isinstance(data, BlockData) else BlockData(data)
+        counts = block.token_counts()
+        match = self._regex.match
+        memo = self._match_memo
+        scanned = 0
+        matched = 0
+        outputs: list[Record] = []
+        for word, count in counts.items():
+            scanned += count
+            hit = memo.get(word)
+            if hit is None:
+                hit = match(word) is not None
+                memo[word] = hit
+            if hit:
+                matched += count
+                if self.counted:
+                    outputs.append((word, count))
+                else:
+                    outputs.extend([(word, 1)] * count)
+        counters = Counters()
+        if block.line_count():
+            # The per-record path increments once per record, creating
+            # the counter entries even when every count is zero; an
+            # empty block creates none.  Mirror that exactly.
+            counters.increment("wordcount", "words_scanned", scanned)
+            counters.increment("wordcount", "words_matched", matched)
+        return block.line_count(), outputs, counters
+
+
 def wordcount_job(job_id: str, pattern: str, *,
-                  num_partitions: int = 4, use_combiner: bool = True) -> LocalJob:
+                  num_partitions: int = 4, use_combiner: bool = True,
+                  batched: bool = True) -> LocalJob:
     """A pattern-restricted wordcount job (combiner on by default, as in
-    Hadoop's wordcount example)."""
+    Hadoop's wordcount example).
+
+    ``batched=True`` (default) installs the block-level kernel; pass
+    ``batched=False`` for the original record-at-a-time mapper (the
+    benchmark baseline).
+    """
+    mapper: Mapper = (PatternWordCountBlock(pattern, counted=use_combiner)
+                      if batched else PatternWordCount(pattern))
     return LocalJob(
         job_id=job_id,
-        mapper=PatternWordCount(pattern),
+        mapper=mapper,
         reducer=SumReducer(),
         combiner=SumReducer() if use_combiner else None,
         num_partitions=num_partitions,
@@ -81,12 +172,202 @@ class SelectionMapper(Mapper):
             yield (row_key, fields)
 
 
+class DelimitedBlockMapper(BlockMapper):
+    """Base for block kernels over :class:`DelimitedReader`-shaped input.
+
+    Carries the reader configuration the kernel reproduces at the byte
+    level — a kernel only batches (``supports_reader``) for a
+    :class:`DelimitedReader` with exactly this delimiter and field-count
+    contract, because it re-implements that reader's record model:
+    ``"\\n"``-delimited lines, non-overlapping left-to-right delimiter
+    splits, and the same ``malformed record at offset ...`` error.
+    """
+
+    def __init__(self, delimiter: str = "|",
+                 expected_fields: int | None = None) -> None:
+        if not delimiter:
+            raise ValueError("delimiter must be non-empty")
+        self.delimiter = delimiter
+        self.expected_fields = expected_fields
+        self._delimiter_bytes = delimiter.encode("utf-8")
+
+    def supports_reader(self, reader: RecordReader) -> bool:
+        return (type(reader) is DelimitedReader
+                and reader.delimiter == self.delimiter
+                and reader.expected_fields == self.expected_fields)
+
+    def _check_fields(self, line: bytes, offset: int) -> None:
+        """Reader-identical field-count validation, without splitting."""
+        if self.expected_fields is None:
+            return
+        found = line.count(self._delimiter_bytes) + 1
+        if found != self.expected_fields:
+            raise ValueError(
+                f"malformed record at offset {offset}: "
+                f"{found} fields, expected {self.expected_fields}")
+
+    def _raw_field(self, line: bytes, index: int) -> bytes:
+        """Field ``index`` of a delimited line, no full split or decode."""
+        delim = self._delimiter_bytes
+        start = 0
+        for _ in range(index):
+            start = line.index(delim, start) + len(delim)
+        end = line.find(delim, start)
+        return line[start:end if end >= 0 else len(line)]
+
+    def _columnar_uint_column(self, block: bytes, index: int,
+                              ) -> "tuple[Any, Any, Any] | None":
+        """Vectorized parse of one non-negative-integer column.
+
+        Returns ``(values, line_starts, line_ends)`` — a float64 array of
+        the column parsed per line plus each line's byte span — or
+        ``None`` whenever the block falls outside the fast path's strict
+        shape: numpy missing, multi-byte delimiter, unknown field count,
+        a block not ending in ``\\n``, any line whose delimiter count
+        differs from the expected-fields contract, or a column value
+        that is not a plain 1-9 digit ASCII integer.  Callers must treat
+        ``None`` as "use the per-line path", which reproduces the
+        reader-identical errors for genuinely malformed input.
+
+        On a :class:`BlockData` the result (including a rejection) is
+        memoized per ``(delimiter, field count, column)``, so every
+        kernel in the wave reading the same column shares one
+        structural pass — the delimited analogue of the shared
+        ``token_counts`` tokenization.
+        """
+        if (_np is None or self.expected_fields is None
+                or len(self._delimiter_bytes) != 1):
+            return None
+        if isinstance(block, BlockData):
+            key = ("uint_column", self._delimiter_bytes,
+                   self.expected_fields, index)
+            return block.memo(
+                key, lambda: self._columnar_uint_uncached(block, index))
+        return self._columnar_uint_uncached(block, index)
+
+    def _columnar_uint_uncached(self, block: bytes, index: int,
+                                ) -> "tuple[Any, Any, Any] | None":
+        expected = self.expected_fields
+        if expected is None:
+            return None
+        per_line = expected - 1
+        if per_line <= 0 or not 0 <= index < expected:
+            return None
+        delimiter = self._delimiter_bytes[0]
+        if delimiter == 10:
+            return None
+        arr = _np.frombuffer(block, dtype=_np.uint8)
+        if arr.size == 0:
+            return None
+        # One structural pass: newlines and delimiters together.  A
+        # well-formed block has exactly ``per_line`` delimiters then one
+        # newline per record, so the sorted mark positions tile into
+        # rows of ``expected_fields`` — and the per-cell byte checks
+        # below reject every misalignment (a line with a missing or
+        # extra delimiter shifts some newline out of the last column).
+        marks = _np.flatnonzero((arr == 10) | (arr == delimiter))
+        if (marks.size == 0 or marks.size % expected
+                or marks[-1] != arr.size - 1):
+            return None
+        mark_bytes = arr[marks].reshape(-1, expected)
+        if not bool((mark_bytes[:, -1] == 10).all()
+                    and (mark_bytes[:, :-1] == delimiter).all()):
+            return None
+        table = marks.reshape(-1, expected)
+        newlines = table[:, -1]
+        grid = table[:, :-1]
+        starts = _np.concatenate(
+            (_np.zeros(1, dtype=newlines.dtype), newlines[:-1] + 1))
+        field_starts = starts if index == 0 else grid[:, index - 1] + 1
+        field_ends = newlines if index == per_line else grid[:, index]
+        widths = field_ends - field_starts
+        max_width = int(widths.max())
+        if int(widths.min()) < 1 or max_width > 9:
+            return None
+        values = _np.zeros(newlines.size, dtype=_np.float64)
+        for position in range(max_width):
+            active = widths > position
+            probe = _np.minimum(field_starts + position, arr.size - 1)
+            digits = arr[probe].astype(_np.int64) - 48
+            if bool(((digits < 0) | (digits > 9))[active].any()):
+                return None
+            values = _np.where(active, values * 10.0 + digits, values)
+        return values, starts, newlines
+
+
+class SelectionBlockMapper(SelectionMapper, DelimitedBlockMapper):
+    """Columnar single-pass selection over a raw lineitem block.
+
+    The fast path vectorizes the whole predicate with numpy: one pass
+    over the raw bytes locates every newline and delimiter, validates
+    the field-count contract for all lines at once, parses the
+    ``l_quantity`` column as integers, and applies ``< threshold`` as an
+    array mask.  Decode + split + tuple construction — the dominant
+    per-record cost — is paid only for *qualifying* rows, so low
+    selectivities scan at near-memory speed.  Blocks the vectorized
+    shape check rejects (malformed lines, non-integer quantities, no
+    numpy, trailing partial line) take a per-line scalar path that
+    reproduces the per-record reader's exact errors and results.
+    """
+
+    def __init__(self, threshold: float, *, delimiter: str = "|",
+                 expected_fields: int | None = len(LINEITEM_COLUMNS)) -> None:
+        SelectionMapper.__init__(self, threshold)
+        DelimitedBlockMapper.__init__(self, delimiter, expected_fields)
+
+    def map_block(self, data: bytes, base_offset: int,
+                  ) -> tuple[int, list[Record], Counters | None]:
+        block = data if isinstance(data, BlockData) else BlockData(data)
+        columnar = self._columnar_uint_column(block, _QUANTITY_INDEX)
+        if columnar is None:
+            return self._map_block_lines(block, base_offset)
+        values, starts, ends = columnar
+        delimiter = self.delimiter
+        outputs: list[Record] = []
+        hits = values < self.threshold
+        for start, end in zip(starts[hits].tolist(), ends[hits].tolist()):
+            fields = tuple(block[start:end].decode("utf-8").split(delimiter))
+            row_key = (int(fields[_ORDERKEY_INDEX]),
+                       int(fields[_LINENUMBER_INDEX]))
+            outputs.append((row_key, fields))
+        return int(ends.size), outputs, None
+
+    def _map_block_lines(self, block: BlockData, base_offset: int,
+                         ) -> tuple[int, list[Record], Counters | None]:
+        """Scalar per-line path (and error-reporting authority)."""
+        threshold = self.threshold
+        delimiter = self.delimiter
+        outputs: list[Record] = []
+        offset = base_offset
+        count = 0
+        for line in block.lines():
+            count += 1
+            self._check_fields(line, offset)
+            quantity = self._raw_field(line, _QUANTITY_INDEX)
+            # Decode the tiny slice so numeric parsing is exactly the
+            # per-record path's float(str), unicode digits and all.
+            if float(quantity.decode("utf-8")) < threshold:
+                fields = tuple(line.decode("utf-8").split(delimiter))
+                row_key = (int(fields[_ORDERKEY_INDEX]),
+                           int(fields[_LINENUMBER_INDEX]))
+                outputs.append((row_key, fields))
+            offset += len(line) + 1
+        return count, outputs, None
+
+
 def selection_job(job_id: str, threshold: float, *,
-                  num_partitions: int = 4) -> LocalJob:
-    """A lineitem selection job (identity reduce: output = selected rows)."""
+                  num_partitions: int = 4, batched: bool = True) -> LocalJob:
+    """A lineitem selection job (identity reduce: output = selected rows).
+
+    The batched kernel (default) expects the runner to use a
+    ``DelimitedReader("|", len(LINEITEM_COLUMNS))``; other readers fall
+    back to the per-record mapper with a :class:`DeprecationWarning`.
+    """
+    mapper: Mapper = (SelectionBlockMapper(threshold)
+                      if batched else SelectionMapper(threshold))
     return LocalJob(
         job_id=job_id,
-        mapper=SelectionMapper(threshold),
+        mapper=mapper,
         reducer=IdentityReducer(),
         num_partitions=num_partitions,
     )
@@ -100,15 +381,62 @@ class AggregationMapper(Mapper):
         yield (fields[_RETURNFLAG_INDEX], float(fields[_EXTENDEDPRICE_INDEX]))
 
 
-def aggregation_job(job_id: str, *, num_partitions: int = 2) -> LocalJob:
+class AggregationBlockMapper(AggregationMapper, DelimitedBlockMapper):
+    """Block-level SUM(extendedprice) GROUP BY returnflag.
+
+    Accumulates one running partial sum per flag in row order — float
+    addition in exactly the order ``SumReducer``'s ``sum()`` would apply
+    it, so partial sums are bit-identical to the per-record + combiner
+    path.  Emits one ``(flag, partial_sum)`` record per distinct flag in
+    first-occurrence order — already-combined output
+    (``combined_output``), so the engine skips its combine pass; only
+    meaningful for jobs with the standard ``SumReducer`` combiner (which
+    :func:`aggregation_job` always has).
+    """
+
+    combined_output = True
+
+    def __init__(self, *, delimiter: str = "|",
+                 expected_fields: int | None = len(LINEITEM_COLUMNS)) -> None:
+        DelimitedBlockMapper.__init__(self, delimiter, expected_fields)
+
+    def map_block(self, data: bytes, base_offset: int,
+                  ) -> tuple[int, list[Record], Counters | None]:
+        block = data if isinstance(data, BlockData) else BlockData(data)
+        delim = self._delimiter_bytes
+        expected = self.expected_fields
+        sums: dict[str, float] = {}
+        offset = base_offset
+        count = 0
+        for line in block.lines():
+            count += 1
+            fields = line.split(delim)
+            if expected is not None and len(fields) != expected:
+                raise ValueError(
+                    f"malformed record at offset {offset}: "
+                    f"{len(fields)} fields, expected {expected}")
+            flag = fields[_RETURNFLAG_INDEX].decode("utf-8")
+            price = float(fields[_EXTENDEDPRICE_INDEX].decode("utf-8"))
+            sums[flag] = sums.get(flag, 0.0) + price
+            offset += len(line) + 1
+        outputs: list[Record] = [(flag, total) for flag, total in sums.items()]
+        return count, outputs, None
+
+
+def aggregation_job(job_id: str, *, num_partitions: int = 2,
+                    batched: bool = True) -> LocalJob:
     """SUM(extendedprice) GROUP BY returnflag, with a map-side combiner.
 
     Because SUM is algebraic, per-segment partial sums can be folded
     progressively — the property the Section V.G extension exploits.
+    The batched kernel (default) folds each block's partial sums in one
+    pass over the raw bytes.
     """
+    mapper: Mapper = (AggregationBlockMapper()
+                      if batched else AggregationMapper())
     return LocalJob(
         job_id=job_id,
-        mapper=AggregationMapper(),
+        mapper=mapper,
         reducer=SumReducer(),
         combiner=SumReducer(),
         num_partitions=num_partitions,

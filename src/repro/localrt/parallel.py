@@ -40,7 +40,7 @@ from typing import TYPE_CHECKING, Sequence
 from ..common.config import ExecutionConfig
 from ..common.errors import ExecutionError
 from ..obs.tracer import NULL_TRACER, Tracer
-from .api import LocalJob, Record
+from .api import BlockMapper, LocalJob, Record
 from .counters import Counters
 from .engine import JobRunState, absorb_map_result, collect_map_outputs
 from .records import RecordReader
@@ -170,7 +170,11 @@ class ProcessMapBackend(MapBackend):
             record_count, outputs, task_counters, block_bytes = future.result()
             # The read happened in the worker's store instance; mirror it
             # into the parent's counters so I/O accounting stays exact.
-            store.note_external_read(blocks=1, nbytes=block_bytes)
+            # Whether the worker took the bytes path is a pure function
+            # of (jobs, reader), so the parent mirrors that too.
+            bytes_blocks = 1 if _task_wants_bytes(task, reader) else 0
+            store.note_external_read(blocks=1, nbytes=block_bytes,
+                                     bytes_blocks=bytes_blocks)
             if tracer is not None and tracer.enabled:
                 tracer.event("map.task.remote",
                              subject=f"block_{task.block_index}",
@@ -210,22 +214,47 @@ def _resolve_workers(workers: int | None) -> int:
     return workers
 
 
+def _job_wants_bytes(job: LocalJob, reader: RecordReader) -> bool:
+    """True when the job's mapper will take the batched bytes path."""
+    mapper = job.mapper
+    return isinstance(mapper, BlockMapper) and mapper.supports_reader(reader)
+
+
+def _task_wants_bytes(task: MapTaskSpec, reader: RecordReader) -> bool:
+    """True when any job in the task batches — the block is then read
+    through ``read_block_bytes`` and decoded at most once in-engine."""
+    return any(_job_wants_bytes(state.job, reader) for state in task.states)
+
+
+def _read_for_task(store: BlockStore, reader: RecordReader,
+                   task: MapTaskSpec) -> "tuple[str | bytes, int]":
+    """Read the task's block via the path its jobs will consume.
+
+    Bytes for waves with at least one batch kernel (zero decode when
+    every job batches), text for purely per-record waves — keeping the
+    legacy path's counters and decode-error behaviour untouched.
+    """
+    if _task_wants_bytes(task, reader):
+        data: "str | bytes" = store.read_block_bytes(task.block_index)
+    else:
+        data = store.read_block(task.block_index)
+    return data, store.block_offset(task.block_index)
+
+
 def _collect_in_parent(store: BlockStore, reader: RecordReader,
                        task: MapTaskSpec,
                        tracer: Tracer | None = None) -> TaskResult:
     """Read + map + combine one block inside the parent process."""
     if tracer is None or not tracer.enabled:
-        text = store.read_block(task.block_index)
-        offset = store.block_offset(task.block_index)
+        data, offset = _read_for_task(store, reader, task)
         return collect_map_outputs([s.job for s in task.states], reader,
-                                   text, offset)
+                                   data, offset)
     with tracer.span("map.task", subject=f"block_{task.block_index}",
                      jobs=len(task.states),
                      job_ids=[s.job.job_id for s in task.states]):
-        text = store.read_block(task.block_index)
-        offset = store.block_offset(task.block_index)
+        data, offset = _read_for_task(store, reader, task)
         return collect_map_outputs([s.job for s in task.states], reader,
-                                   text, offset)
+                                   data, offset)
 
 
 #: Per-worker-process cache of opened stores (keyed by directory), so a
@@ -242,12 +271,15 @@ def _collect_in_worker(directory: str, block_index: int,
     if store is None:
         store = BlockStore(directory)
         _WORKER_STORES[directory] = store
-    text = store.read_block(block_index)
+    if any(_job_wants_bytes(job, reader) for job in jobs):
+        data: "str | bytes" = store.read_block_bytes(block_index)
+    else:
+        data = store.read_block(block_index)
     offset = store.block_offset(block_index)
     record_count, outputs, task_counters = collect_map_outputs(
-        list(jobs), reader, text, offset)
-    # Report the on-disk byte size, not len(text): they differ for
-    # non-ASCII corpora, and the parent mirrors *bytes* read.
+        list(jobs), reader, data, offset)
+    # Report the on-disk byte size, not the decoded length: they differ
+    # for non-ASCII corpora, and the parent mirrors *bytes* read.
     return record_count, outputs, task_counters, \
         store.block_size_bytes(block_index)
 

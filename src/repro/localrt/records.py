@@ -3,12 +3,34 @@
 Equivalent to Hadoop's ``InputFormat``/``RecordReader`` layer.  Blocks in
 the local store end at line boundaries (see :mod:`repro.localrt.storage`),
 so readers never have to stitch split records across blocks.
+
+Records are delimited by ``"\\n"`` *only* — the same contract
+``BlockStore.create`` writes.  Splitting with ``str.splitlines()`` would
+also break on ``\\r\\n``, ``\\x0b``, ``\\x85`` and the other unicode
+terminators while the offset arithmetic assumes one ``"\\n"`` per line,
+silently corrupting the byte-offset keys; a ``\\r`` before the newline
+is therefore part of the record value, exactly as in Hadoop's
+``TextInputFormat`` with default ``textinputformat.record.delimiter``
+semantics for lone ``\\n`` files.
 """
 
 from __future__ import annotations
 
 import abc
 from typing import Any, Hashable, Iterator
+
+
+def split_records(block_text: str) -> list[str]:
+    """Split block text into newline-delimited records.
+
+    One entry per ``"\\n"``-terminated line; a trailing fragment with no
+    terminator still yields a record (store-written blocks always end in
+    ``"\\n"``, so this only matters for hand-made text).
+    """
+    lines = block_text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return lines
 
 
 class RecordReader(abc.ABC):
@@ -26,7 +48,7 @@ class TextLineReader(RecordReader):
     def read(self, block_text: str, base_offset: int = 0,
              ) -> Iterator[tuple[int, str]]:
         offset = base_offset
-        for line in block_text.splitlines():
+        for line in split_records(block_text):
             yield (offset, line)
             offset += len(line) + 1
 
@@ -46,7 +68,7 @@ class DelimitedReader(RecordReader):
     def read(self, block_text: str, base_offset: int = 0,
              ) -> Iterator[tuple[int, tuple[str, ...]]]:
         offset = base_offset
-        for line in block_text.splitlines():
+        for line in split_records(block_text):
             fields = tuple(line.split(self.delimiter))
             if (self.expected_fields is not None
                     and len(fields) != self.expected_fields):

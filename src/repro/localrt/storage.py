@@ -22,6 +22,7 @@ The counter model distinguishes two layers:
 
 from __future__ import annotations
 
+import mmap
 import pathlib
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Iterable, Iterator
@@ -51,6 +52,15 @@ class ReadStats:
     cache_misses: int = 0
     cache_evictions: int = 0
     prefetched_blocks: int = 0
+    #: Logical reads served through the raw-bytes API
+    #: (``read_block_bytes``); a subset of ``blocks_read``.  The batched
+    #: scan path reads bytes, the per-record fallback reads text, so
+    #: this counter is how benchmarks audit which path actually ran.
+    bytes_blocks_read: int = 0
+    #: Physical reads satisfied via ``mmap`` rather than a buffered
+    #: ``read()``.  Diagnostic only — hosts without usable mmap fall
+    #: back silently and the returned bytes are identical.
+    mmap_blocks_read: int = 0
 
     def reset(self) -> None:
         for spec in fields(self):
@@ -198,28 +208,40 @@ class BlockStore:
 
         Always charges one *logical* block read; goes to disk (and
         charges a *physical* read) only when no cache is attached or the
-        block is not resident.
+        block is not resident.  This is a decoding shim over
+        :meth:`read_block_bytes`'s load path — blocks are stored and
+        cached as raw bytes, and this method pays one UTF-8 decode per
+        call.  Batched mappers should prefer the bytes API.
         """
         self._check(index)
-        if self.cache is None:
-            text = self._physical_read(index)
-        else:
-            text = self.cache.get(index)
-            if text is None:
-                with self._stats_lock:
-                    self.stats.cache_misses += 1
-                text = self._physical_read(index)
-                evicted = self.cache.put(index, text, self._sizes[index])
-                if evicted:
-                    with self._stats_lock:
-                        self.stats.cache_evictions += evicted
-            else:
-                with self._stats_lock:
-                    self.stats.cache_hits += 1
+        data = self._load_bytes(index)
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ExecutionError(
+                f"block {index} of {self.directory} is not valid UTF-8 "
+                f"({exc})") from exc
         with self._stats_lock:
             self.stats.blocks_read += 1
             self.stats.bytes_read += self._sizes[index]
         return text
+
+    def read_block_bytes(self, index: int) -> bytes:
+        """Read one block's raw bytes, updating the I/O counters.
+
+        The zero-copy scan path: no decode, and a cached block is
+        returned as the same immutable ``bytes`` object that is resident
+        in the cache.  Charges exactly the same logical/physical
+        counters as :meth:`read_block` plus ``bytes_blocks_read`` so the
+        two paths stay distinguishable in benchmarks.
+        """
+        self._check(index)
+        data = self._load_bytes(index)
+        with self._stats_lock:
+            self.stats.blocks_read += 1
+            self.stats.bytes_read += self._sizes[index]
+            self.stats.bytes_blocks_read += 1
+        return data
 
     def prefetch_block(self, index: int) -> bool:
         """Warm block ``index`` into the cache without logical accounting.
@@ -233,15 +255,16 @@ class BlockStore:
         self._check(index)
         if self.cache is None or self.cache.contains(index):
             return False
-        text = self._physical_read(index)
-        evicted = self.cache.put(index, text, self._sizes[index])
+        data = self._physical_read_bytes(index)
+        evicted = self.cache.put(index, data, self._sizes[index])
         with self._stats_lock:
             self.stats.prefetched_blocks += 1
             if evicted:
                 self.stats.cache_evictions += evicted
         return True
 
-    def note_external_read(self, blocks: int, nbytes: int) -> None:
+    def note_external_read(self, blocks: int, nbytes: int, *,
+                           bytes_blocks: int = 0) -> None:
         """Fold reads performed outside this process into the I/O counters.
 
         The process map backend reads blocks in worker processes, whose
@@ -249,36 +272,73 @@ class BlockStore:
         this per completed task so scan-sharing accounting stays exact.
         Worker reads are genuine disk trips (workers do not share the
         parent's cache), so both the logical and the physical counters
-        advance.
+        advance.  ``bytes_blocks`` mirrors how many of those reads went
+        through the worker's raw-bytes path (``read_block_bytes``).
         """
-        if blocks < 0 or nbytes < 0:
+        if blocks < 0 or nbytes < 0 or bytes_blocks < 0:
             raise ExecutionError(
                 f"external read counts must be non-negative, "
-                f"got blocks={blocks}, nbytes={nbytes}")
+                f"got blocks={blocks}, nbytes={nbytes}, "
+                f"bytes_blocks={bytes_blocks}")
+        if bytes_blocks > blocks:
+            raise ExecutionError(
+                f"bytes_blocks ({bytes_blocks}) cannot exceed "
+                f"blocks ({blocks})")
         with self._stats_lock:
             self.stats.blocks_read += blocks
             self.stats.bytes_read += nbytes
             self.stats.physical_blocks_read += blocks
             self.stats.physical_bytes_read += nbytes
+            self.stats.bytes_blocks_read += bytes_blocks
 
     def iter_blocks(self) -> Iterator[tuple[int, str]]:
         """Sequentially read every block (counts toward the I/O stats)."""
         for index in range(self.num_blocks):
             yield index, self.read_block(index)
 
-    def _physical_read(self, index: int) -> str:
-        """One actual disk read (always charged to the physical counters)."""
-        data = self._blocks[index].read_bytes()
+    def _load_bytes(self, index: int) -> bytes:
+        """Fetch block bytes via the cache (charging hit/miss/eviction
+        and, on the miss path, physical counters) — no logical charge."""
+        if self.cache is None:
+            return self._physical_read_bytes(index)
+        data = self.cache.get(index)
+        if data is None:
+            with self._stats_lock:
+                self.stats.cache_misses += 1
+            data = self._physical_read_bytes(index)
+            evicted = self.cache.put(index, data, self._sizes[index])
+            if evicted:
+                with self._stats_lock:
+                    self.stats.cache_evictions += evicted
+        else:
+            with self._stats_lock:
+                self.stats.cache_hits += 1
+        return data
+
+    def _physical_read_bytes(self, index: int) -> bytes:
+        """One actual disk read (always charged to the physical counters).
+
+        Reads via ``mmap`` when the file can be mapped (zero kernel
+        buffer copy; the bytes are materialized once so the mapping can
+        be closed immediately) and falls back to a plain buffered read
+        for anything unmappable — empty files, exotic filesystems.
+        """
+        path = self._blocks[index]
+        mapped = False
         try:
-            text = data.decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise ExecutionError(
-                f"block {index} of {self.directory} is not valid UTF-8 "
-                f"({exc})") from exc
+            with open(path, "rb") as handle:
+                with mmap.mmap(handle.fileno(), 0,
+                               access=mmap.ACCESS_READ) as view:
+                    data = bytes(view)
+            mapped = True
+        except (ValueError, OSError):
+            data = path.read_bytes()
         with self._stats_lock:
             self.stats.physical_blocks_read += 1
             self.stats.physical_bytes_read += len(data)
-        return text
+            if mapped:
+                self.stats.mmap_blocks_read += 1
+        return data
 
     def _check(self, index: int) -> None:
         if not 0 <= index < self.num_blocks:

@@ -238,6 +238,37 @@ DEFAULT_SPECS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("streaming.rejected"),
         # fairness.* is wall-clock-derived and deliberately absent.
     ),
+    "bench_localrt": (
+        MetricSpec("checks.wordcount_speedup_ge_5x"),
+        MetricSpec("checks.selection_speedup_ge_5x"),
+        MetricSpec("checks.outputs_identical"),
+        MetricSpec("checks.counters_identical"),
+        MetricSpec("checks.logical_io_identical"),
+        MetricSpec("checks.batched_reads_all_bytes"),
+        MetricSpec("wordcount.corpus_bytes"),
+        MetricSpec("wordcount.num_blocks"),
+        MetricSpec("wordcount.records"),
+        MetricSpec("wordcount.output_records"),
+        MetricSpec("wordcount.blocks_read"),
+        MetricSpec("wordcount.bytes_blocks_read"),
+        MetricSpec("wordcount.wave_jobs"),
+        MetricSpec("selection.corpus_bytes"),
+        MetricSpec("selection.num_blocks"),
+        MetricSpec("selection.records"),
+        MetricSpec("selection.output_records"),
+        MetricSpec("selection.blocks_read"),
+        MetricSpec("selection.bytes_blocks_read"),
+        MetricSpec("selection.wave_jobs"),
+        MetricSpec("selection.threshold"),
+        # Speedup *ratios* are host-comparable (both paths run
+        # interleaved on the same machine) but still noisy on loaded CI
+        # hosts, so the tolerances are generous; the hard ≥5x floor is
+        # enforced by the checks.* booleans above.
+        MetricSpec("wordcount.wave_speedup", "ge", rel_tol=0.35),
+        MetricSpec("selection.wave_speedup", "ge", rel_tol=0.35),
+        MetricSpec("wordcount.single_job_speedup", "ge", rel_tol=0.5),
+        MetricSpec("selection.single_job_speedup", "ge", rel_tol=0.5),
+    ),
     "bench_trace": (
         MetricSpec("checks.traced_io_counters_identical"),
         MetricSpec("checks.traced_outputs_identical"),

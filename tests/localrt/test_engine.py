@@ -3,15 +3,17 @@
 import pytest
 
 from repro.common.errors import ExecutionError
-from repro.localrt.api import LocalJob, SumReducer
+from repro.localrt.api import BlockData, BlockMapper, LocalJob, SumReducer
+from repro.localrt.counters import Counters
 from repro.localrt.engine import (
     JobRunState,
+    collect_map_outputs,
     count_pending_values,
     run_map_on_block,
     run_reduce,
 )
-from repro.localrt.jobs import PatternWordCount
-from repro.localrt.records import TextLineReader
+from repro.localrt.jobs import PatternWordCount, PatternWordCountBlock
+from repro.localrt.records import DelimitedReader, TextLineReader
 
 
 def make_state(pattern=".*", combiner=False):
@@ -71,3 +73,124 @@ def test_multiple_blocks_accumulate():
     run_map_on_block([state], TextLineReader(), "x\n")
     run_map_on_block([state], TextLineReader(), "x y\n")
     assert dict(run_reduce(state)) == {"x": 2, "y": 1}
+
+
+# ------------------------------------------------------ batched protocol
+
+class UpperBlock(BlockMapper):
+    """Minimal batched kernel: per-record ``(LINE, 1)`` emission."""
+
+    def map(self, key, value):
+        yield (str(value).upper(), 1)
+
+    def map_block(self, data, base_offset):
+        block = data if isinstance(data, BlockData) else BlockData(data)
+        outputs = [(line.decode("utf-8").upper(), 1)
+                   for line in block.lines()]
+        return block.line_count(), outputs, None
+
+
+class MiscountingBlock(UpperBlock):
+    """A broken kernel that disagrees with the reader's record count."""
+
+    def map_block(self, data, base_offset):
+        count, outputs, counters = super().map_block(data, base_offset)
+        return count + 1, outputs, counters
+
+
+def upper_state(mapper, combiner=False):
+    job = LocalJob(job_id="u", mapper=mapper, reducer=SumReducer(),
+                   combiner=SumReducer() if combiner else None)
+    return JobRunState(job)
+
+
+def test_batched_str_and_bytes_inputs_identical():
+    for block in ("aa\nbb\naa\n", b"aa\nbb\naa\n", BlockData(b"aa\nbb\naa\n")):
+        state = upper_state(UpperBlock())
+        run_map_on_block([state], TextLineReader(), block)
+        assert state.map_input_records == 3
+        assert dict(run_reduce(state)) == {"AA": 2, "BB": 1}
+
+
+def test_batched_and_per_record_jobs_share_one_wave():
+    batched = upper_state(UpperBlock(), combiner=True)
+    per_record = make_state()  # plain Mapper, never batched
+    run_map_on_block([batched, per_record], TextLineReader(), "x\ny\nx\n")
+    assert batched.map_input_records == per_record.map_input_records == 3
+    assert count_pending_values(batched) == 2   # combiner ran
+    assert dict(run_reduce(batched)) == {"X": 2, "Y": 1}
+    assert dict(run_reduce(per_record)) == {"x": 2, "y": 1}
+
+
+def test_unsupported_reader_falls_back_with_deprecation_warning():
+    state = upper_state(UpperBlock())
+    # The default BlockMapper kernel only vouches for TextLineReader.
+    reader = DelimitedReader("|")
+    with pytest.warns(DeprecationWarning, match="per-record fallback"):
+        count, outputs, _ = collect_map_outputs(
+            [state.job], reader, "a|b\n", 0)
+    assert count == 1
+    # The per-record path fed the mapper DelimitedReader's field tuples.
+    assert outputs[0] == [("('A', 'B')", 1)]
+
+
+def test_record_count_mismatch_raises():
+    bad = upper_state(MiscountingBlock())
+    witness = make_state()  # per-record job pins the true count
+    with pytest.raises(ExecutionError, match="reported"):
+        run_map_on_block([witness, bad], TextLineReader(), "x\ny\n")
+
+
+def test_combined_output_skips_engine_combine():
+    class PreCombined(UpperBlock):
+        combined_output = True
+
+    # Two equal keys stay two records when combined_output vouches the
+    # kernel's output is already combined (here it is not — this test
+    # only observes the skip).
+    state = upper_state(PreCombined(), combiner=True)
+    run_map_on_block([state], TextLineReader(), "x\nx\n")
+    assert count_pending_values(state) == 2
+    # Without the flag the engine's combiner collapses them.
+    state = upper_state(UpperBlock(), combiner=True)
+    run_map_on_block([state], TextLineReader(), "x\nx\n")
+    assert count_pending_values(state) == 1
+
+
+def test_batched_counters_are_returned_not_accumulated():
+    class CountingBlock(UpperBlock):
+        def map_block(self, data, base_offset):
+            count, outputs, _ = super().map_block(data, base_offset)
+            counters = Counters()
+            counters.increment("g", "blocks", 1)
+            return count, outputs, counters
+
+    state = upper_state(CountingBlock())
+    run_map_on_block([state], TextLineReader(), "x\n")
+    run_map_on_block([state], TextLineReader(), "y\n")
+    assert state.counters.value("g", "blocks") == 2
+
+
+def test_wave_shares_one_blockdata_tokenization():
+    """Both wordcount kernels in a wave must see the same BlockData and
+    reuse its memoized token counts (one tokenization per block)."""
+    seen = []
+    original = BlockData.token_counts
+
+    def spying(self):
+        result = original(self)
+        seen.append((id(self), id(result)))
+        return result
+
+    s1 = upper_state(PatternWordCountBlock("^a.*"), combiner=True)
+    s2 = upper_state(PatternWordCountBlock("^b.*"), combiner=True)
+    try:
+        BlockData.token_counts = spying
+        run_map_on_block([s1, s2], TextLineReader(), b"aa bb\naa\n")
+    finally:
+        BlockData.token_counts = original
+    # Same BlockData object, and the second lookup returned the
+    # memoized Counter (identical object — tokenized once).
+    assert len(seen) == 2 and seen[0] == seen[1]
+    assert s1.map_output_records == 1  # ("aa", 2) pre-combined
+    assert s2.map_output_records == 1  # ("bb", 1)

@@ -2,14 +2,18 @@
 
 import pytest
 
+import repro.localrt.jobs as jobs_module
 from repro.common.errors import ExecutionError
+from repro.localrt.api import BlockData
 from repro.localrt.jobs import (
     PatternWordCount,
+    PatternWordCountBlock,
+    SelectionBlockMapper,
     aggregation_job,
     selection_job,
     wordcount_job,
 )
-from repro.localrt.records import DelimitedReader
+from repro.localrt.records import DelimitedReader, TextLineReader
 from repro.localrt.runners import FifoLocalRunner
 from repro.localrt.storage import BlockStore
 from repro.workloads.tpch import (
@@ -86,3 +90,163 @@ def test_aggregation_sums_by_returnflag(lineitem_store):
                                            + float(fields[price_index]))
     for flag, total in totals.items():
         assert total == pytest.approx(expected[flag])
+
+
+# --------------------------------------------------------- batched kernels
+
+def _signature(result):
+    """Everything observable about one job's outcome."""
+    return (sorted(map(repr, result.output)), result.map_input_records,
+            result.map_output_records, result.reduce_output_records,
+            result.counters.format())
+
+
+def _run(store, reader, jobs):
+    report = FifoLocalRunner(store, reader=reader).run(jobs)
+    return {job_id: _signature(result)
+            for job_id, result in report.results.items()}
+
+
+@pytest.mark.parametrize("use_combiner", [True, False])
+def test_batched_wordcount_observably_identical(tmp_path, use_combiner):
+    store = BlockStore.create(
+        tmp_path / "s",
+        ["the thing sings", "other things", "the the thought"],
+        block_size_bytes=25)
+    reader = TextLineReader()
+
+    def jobs(batched):
+        return [wordcount_job("w", "^th.*", use_combiner=use_combiner,
+                              batched=batched)]
+
+    assert _run(store, reader, jobs(True)) == _run(store, reader, jobs(False))
+
+
+def test_batched_selection_observably_identical(lineitem_store):
+    reader = DelimitedReader("|", len(LINEITEM_COLUMNS))
+    threshold = quantity_threshold_for_selectivity(0.10)
+
+    def jobs(batched):
+        return [selection_job("s", threshold, batched=batched)]
+
+    assert (_run(lineitem_store, reader, jobs(True))
+            == _run(lineitem_store, reader, jobs(False)))
+
+
+def test_batched_aggregation_observably_identical(lineitem_store):
+    reader = DelimitedReader("|", len(LINEITEM_COLUMNS))
+
+    def jobs(batched):
+        return [aggregation_job("a", batched=batched)]
+
+    assert (_run(lineitem_store, reader, jobs(True))
+            == _run(lineitem_store, reader, jobs(False)))
+
+
+def test_selection_scalar_path_identical_without_numpy(
+        lineitem_store, monkeypatch):
+    """With numpy gated off the kernel takes the per-line scalar path and
+    must stay observably identical."""
+    reader = DelimitedReader("|", len(LINEITEM_COLUMNS))
+    threshold = quantity_threshold_for_selectivity(0.10)
+    with_numpy = _run(lineitem_store, reader,
+                      [selection_job("s", threshold)])
+    monkeypatch.setattr(jobs_module, "_np", None)
+    without = _run(lineitem_store, reader, [selection_job("s", threshold)])
+    assert with_numpy == without
+
+
+_ORDERKEY = LINEITEM_COLUMNS.index("l_orderkey")
+_LINENUMBER = LINEITEM_COLUMNS.index("l_linenumber")
+_QUANTITY = LINEITEM_COLUMNS.index("l_quantity")
+
+
+def _row(orderkey, linenumber, quantity):
+    """A minimal lineitem-shaped row with the fields selection reads."""
+    fields = ["1"] * len(LINEITEM_COLUMNS)
+    fields[_ORDERKEY] = str(orderkey)
+    fields[_LINENUMBER] = str(linenumber)
+    fields[_QUANTITY] = str(quantity)
+    return "|".join(fields)
+
+
+def test_selection_columnar_rejects_malformed_with_reader_error():
+    mapper = SelectionBlockMapper(5.0)
+    good = (_row(1, 1, 2) + "\n" + _row(2, 1, 7) + "\n").encode()
+    count, outputs, _ = mapper.map_block(good, 0)
+    assert count == 2
+    assert [key for key, _ in outputs] == [(1, 1)]
+    # A line violating the field-count contract must raise the exact
+    # per-record reader error (via the scalar fallback path).
+    reader = DelimitedReader("|", len(LINEITEM_COLUMNS))
+    bad = _row(1, 1, 2) + "\n4|5\n"
+    with pytest.raises(ValueError) as from_reader:
+        list(reader.read(bad))
+    with pytest.raises(ValueError) as from_kernel:
+        mapper.map_block(bad.encode(), 0)
+    assert str(from_kernel.value) == str(from_reader.value)
+
+
+def test_selection_columnar_rejects_non_integer_quantity():
+    # quantity "2.5" is not a plain-digit integer: the vectorized parse
+    # must bail to the scalar path, which parses it as float — same as
+    # the per-record mapper.
+    mapper = SelectionBlockMapper(3.0)
+    block = (_row(9, 1, "2.5") + "\n" + _row(9, 2, 7) + "\n").encode()
+    count, outputs, _ = mapper.map_block(block, 0)
+    assert count == 2
+    assert [key for key, _ in outputs] == [(9, 1)]
+
+
+def test_selection_columnar_requires_trailing_newline():
+    mapper = SelectionBlockMapper(50.0)
+    # No trailing \n: vectorized shape check refuses; scalar path still
+    # yields the dangling record, like split_records does.
+    block = (_row(1, 1, 2) + "\n" + _row(2, 1, 7)).encode()
+    count, outputs, _ = mapper.map_block(block, 0)
+    assert count == 2
+    assert len(outputs) == 2
+
+
+def test_columnar_structural_pass_shared_across_wave(monkeypatch):
+    """Two selection kernels on one BlockData must run the structural
+    numpy pass once (memoized by delimiter/field-count/column)."""
+    if jobs_module._np is None:
+        pytest.skip("numpy not available")
+    calls = []
+    original = SelectionBlockMapper._columnar_uint_uncached
+
+    def spying(self, block, index):
+        calls.append(index)
+        return original(self, block, index)
+
+    monkeypatch.setattr(SelectionBlockMapper, "_columnar_uint_uncached",
+                        spying)
+    block = BlockData((_row(1, 1, 2) + "\n" + _row(2, 1, 5) + "\n").encode())
+    first = SelectionBlockMapper(5.0)
+    second = SelectionBlockMapper(6.0)
+    count_a, out_a, _ = first.map_block(block, 0)
+    count_b, out_b, _ = second.map_block(block, 0)
+    assert calls == [_QUANTITY]  # one structural pass for the wave
+    assert count_a == count_b == 2
+    assert len(out_a) == 1 and len(out_b) == 2
+
+
+def test_wordcount_match_memo_amortizes_across_blocks():
+    mapper = PatternWordCountBlock("^th.*")
+    mapper.map_block(b"the thing\n", 0)
+    assert mapper._match_memo == {"the": True, "thing": True}
+    mapper.map_block(b"the other\n", 0)
+    assert mapper._match_memo["other"] is False
+
+
+def test_batched_kernels_vouch_only_for_exact_reader():
+    selection = SelectionBlockMapper(2.0)
+    assert selection.supports_reader(
+        DelimitedReader("|", len(LINEITEM_COLUMNS)))
+    assert not selection.supports_reader(DelimitedReader(","))
+    assert not selection.supports_reader(DelimitedReader("|"))
+    assert not selection.supports_reader(TextLineReader())
+    wordcount = PatternWordCountBlock(".*")
+    assert wordcount.supports_reader(TextLineReader())
+    assert not wordcount.supports_reader(DelimitedReader("|"))

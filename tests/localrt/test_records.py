@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.localrt.records import DelimitedReader, TextLineReader
+from repro.localrt.records import (
+    DelimitedReader,
+    TextLineReader,
+    split_records,
+)
 
 
 def test_text_line_reader_offsets():
@@ -38,3 +42,44 @@ def test_delimited_reader_custom_delimiter():
 def test_delimited_reader_empty_delimiter_rejected():
     with pytest.raises(ValueError):
         DelimitedReader("")
+
+
+def test_split_records_trailing_fragment_kept():
+    assert split_records("a\nb") == ["a", "b"]
+    assert split_records("a\nb\n") == ["a", "b"]
+    assert split_records("") == []
+    assert split_records("\n") == [""]
+
+
+# Regression tests for the splitlines() bug: records are delimited by
+# "\n" ONLY.  splitlines() also breaks on \r\n, \v, \x85 and the other
+# unicode terminators while the offset arithmetic assumes one "\n" per
+# line, silently corrupting the byte-offset keys.
+
+def test_crlf_stays_inside_the_record_value():
+    # Hadoop TextInputFormat semantics for a lone-\n file: the \r is data.
+    records = list(TextLineReader().read("ab\r\ncd\r\n"))
+    assert records == [(0, "ab\r"), (4, "cd\r")]
+
+
+def test_unicode_terminators_do_not_split_records():
+    # \v (0x0b), \x85 (NEL) and \u2028 (LINE SEPARATOR) all break
+    # str.splitlines() but must stay inside the record; only "\n"
+    # delimits.
+    text = "a\vb\x85c\nd\u2028e\n"
+    records = list(TextLineReader().read(text))
+    assert records == [(0, "a\vb\x85c"), (6, "d\u2028e")]
+    # Offsets advance by len(line) + 1 exactly.
+    assert records[1][0] == len(records[0][1]) + 1
+
+
+def test_offsets_exact_with_crlf_and_base_offset():
+    text = "x\r\nlonger line\r\n"
+    records = list(TextLineReader().read(text, base_offset=1000))
+    assert records == [(1000, "x\r"), (1003, "longer line\r")]
+    assert 1003 == 1000 + len("x\r") + 1
+
+
+def test_delimited_reader_crlf_lands_in_last_field():
+    records = list(DelimitedReader("|").read("a|b\r\nc|d\r\n"))
+    assert records == [(0, ("a", "b\r")), (5, ("c", "d\r"))]

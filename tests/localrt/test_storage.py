@@ -204,3 +204,87 @@ def test_read_stats_snapshot_and_delta():
 
 def test_cache_hit_ratio_zero_without_lookups():
     assert ReadStats().cache_hit_ratio == 0.0
+
+
+# ------------------------------------------------- zero-copy bytes path
+
+def test_read_block_bytes_matches_text_path(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(40), block_size_bytes=150)
+    for index in range(store.num_blocks):
+        raw = store.read_block_bytes(index)
+        assert isinstance(raw, bytes)
+        assert raw == store.read_block(index).encode("utf-8")
+        assert len(raw) == store.block_size_bytes(index)
+
+
+def test_read_block_bytes_counter_accounting(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(30), block_size_bytes=120)
+    store.read_block_bytes(0)
+    store.read_block_bytes(1)
+    store.read_block(0)
+    # Logical counters are charged identically on both paths;
+    # bytes_blocks_read singles out the raw-bytes reads.
+    assert store.stats.blocks_read == 3
+    assert store.stats.bytes_blocks_read == 2
+    assert store.stats.bytes_read == (2 * store.block_size_bytes(0)
+                                      + store.block_size_bytes(1))
+
+
+def test_mmap_path_used_and_counted(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(20), block_size_bytes=100)
+    data = store.read_block_bytes(0)
+    assert data  # sanity: mappable non-empty file
+    assert store.stats.mmap_blocks_read == store.stats.physical_blocks_read
+
+
+def test_mmap_fallback_returns_identical_bytes(tmp_path, monkeypatch):
+    """Hosts without usable mmap silently take the plain-read path —
+    same bytes, same logical/physical counters, mmap counter stays 0."""
+    store = BlockStore.create(tmp_path / "s", lines(40), block_size_bytes=150)
+    mapped = [store.read_block_bytes(i) for i in range(store.num_blocks)]
+    mapped_stats = store.stats.snapshot()
+    store.stats.reset()
+
+    import repro.localrt.storage as storage_module
+
+    def broken_mmap(*args, **kwargs):
+        raise OSError("mmap unavailable on this host")
+
+    monkeypatch.setattr(storage_module.mmap, "mmap", broken_mmap)
+    fallback = [store.read_block_bytes(i) for i in range(store.num_blocks)]
+    assert fallback == mapped
+    assert store.stats.mmap_blocks_read == 0
+    assert mapped_stats.mmap_blocks_read == store.num_blocks
+    assert store.stats.blocks_read == mapped_stats.blocks_read
+    assert store.stats.bytes_read == mapped_stats.bytes_read
+    assert (store.stats.physical_blocks_read
+            == mapped_stats.physical_blocks_read)
+    assert store.stats.bytes_blocks_read == mapped_stats.bytes_blocks_read
+
+
+def test_cache_stores_raw_bytes_with_exact_sizes(tmp_path):
+    cache = BlockCache(10_000_000)
+    store = BlockStore.create(tmp_path / "s", lines(30), block_size_bytes=120,
+                              cache=cache)
+    # The text path populates the cache with *bytes* (decoding happens in
+    # the read_block shim), so both paths share residency.
+    text = store.read_block(0)
+    raw = store.read_block_bytes(0)
+    assert raw == text.encode("utf-8")
+    assert store.stats.cache_hits == 1
+    assert store.stats.cache_misses == 1
+    # Byte accounting is the exact on-disk size, no object overhead.
+    assert cache.current_bytes == store.block_size_bytes(0)
+    # A cached block is returned as the resident object (zero-copy).
+    assert store.read_block_bytes(0) is raw
+
+
+def test_note_external_read_mirrors_bytes_blocks(tmp_path):
+    store = BlockStore.create(tmp_path / "s", lines(10), block_size_bytes=100)
+    store.note_external_read(blocks=4, nbytes=400, bytes_blocks=3)
+    assert store.stats.blocks_read == 4
+    assert store.stats.bytes_blocks_read == 3
+    with pytest.raises(ExecutionError, match="cannot exceed"):
+        store.note_external_read(blocks=1, nbytes=10, bytes_blocks=2)
+    with pytest.raises(ExecutionError, match="non-negative"):
+        store.note_external_read(blocks=1, nbytes=10, bytes_blocks=-1)
