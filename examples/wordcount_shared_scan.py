@@ -24,9 +24,9 @@ python examples/wordcount_shared_scan.py
 """
 
 import tempfile
-import time
 from pathlib import Path
 
+from repro.common.clock import Stopwatch
 from repro.common.config import ExecutionConfig, TraceConfig
 from repro.localrt import (
     BlockStore,
@@ -91,9 +91,9 @@ def main() -> None:
         for backend in BACKEND_NAMES:
             runner = SharedScanRunner(store, ExecutionConfig(
                 map_backend=backend, map_workers=4, blocks_per_segment=3))
-            start = time.perf_counter()
+            watch = Stopwatch()
             report = runner.run(make_jobs(), arrival_iterations=ARRIVALS)
-            elapsed = time.perf_counter() - start
+            elapsed = watch.elapsed()
             assert all(report.results[j].output == reference[j]
                        for j in PATTERNS), f"{backend} output mismatch"
             print(f"  {backend:<10} {elapsed:6.2f}s "

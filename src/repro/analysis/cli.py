@@ -8,6 +8,11 @@ Usage::
     python -m repro.analysis src --baseline b.json --write-baseline
     python -m repro.analysis --list-rules
 
+When ``--baseline`` is not given and ``analysis-baseline.json`` exists
+in the current directory, it is applied automatically (the repo commits
+one for the benchmarks' legitimate wall-clock use); ``--no-baseline``
+opts out.
+
 Exit status: 0 when clean (after noqa and baseline filtering), 1 when
 violations remain, 2 on usage errors.
 """
@@ -30,12 +35,16 @@ from .core import (
 )
 from .rules import RULES, RULES_BY_CODE
 
+#: Auto-discovered baseline (relative to the invocation CWD) when
+#: ``--baseline`` is not given.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
         description="Project-specific static analysis for the S3 "
-                    "reproduction (rule catalog: REP001..REP005).")
+                    "reproduction (rule catalog: REP001..REP008).")
     parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories to analyze")
     parser.add_argument("--select", metavar="CODES",
@@ -46,7 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--format", choices=("text", "json"),
                         default="text", help="output format")
     parser.add_argument("--baseline", metavar="FILE",
-                        help="baseline file of grandfathered violations")
+                        help="baseline file of grandfathered violations "
+                             f"(default: {DEFAULT_BASELINE} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore a discovered default baseline file")
     parser.add_argument("--write-baseline", action="store_true",
                         help="write current violations to --baseline and "
                              "exit 0")
@@ -93,9 +105,13 @@ def main(argv: Sequence[str] | None = None,
             print(f"baseline written: {count} entries -> {args.baseline}",
                   file=out)
             return 0
-        if args.baseline:
+        baseline = args.baseline
+        if (baseline is None and not args.no_baseline
+                and pathlib.Path(DEFAULT_BASELINE).is_file()):
+            baseline = DEFAULT_BASELINE
+        if baseline:
             violations = apply_baseline(
-                violations, load_baseline(pathlib.Path(args.baseline)))
+                violations, load_baseline(pathlib.Path(baseline)))
     except AnalysisError as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return 2

@@ -64,10 +64,23 @@ class Rule:
     summary: str
     #: ``(tree, path) -> violations``; ``path`` is posix-relative to the
     #: analysis root so rules can scope themselves by directory.
-    check: Callable[[ast.Module, str], Iterable[tuple[int, int, str]]]
+    check: Callable[[ast.Module, str], Iterable[tuple[int, int, str]]] | None = None
+    #: Source-aware variant ``(tree, path, source) -> violations`` for
+    #: rules that read comment conventions (``# guarded-by:`` lives in
+    #: comments, which the AST does not carry).  Exactly one of
+    #: ``check``/``check_src`` must be set.
+    check_src: Callable[[ast.Module, str, str],
+                        Iterable[tuple[int, int, str]]] | None = None
 
-    def run(self, tree: ast.Module, path: str) -> Iterator[Violation]:
-        for line, col, message in self.check(tree, path):
+    def run(self, tree: ast.Module, path: str,
+            source: str = "") -> Iterator[Violation]:
+        if self.check_src is not None:
+            found = self.check_src(tree, path, source)
+        elif self.check is not None:
+            found = self.check(tree, path)
+        else:  # pragma: no cover - construction error
+            raise AnalysisError(f"rule {self.code} has no check callable")
+        for line, col, message in found:
             yield Violation(path=path, line=line, col=col,
                             code=self.code, message=message)
 
@@ -131,7 +144,7 @@ def analyze_source(source: str, path: str,
     noqa = noqa_lines(source)
     found: dict[Violation, None] = {}  # dedup (nested with-blocks rescan)
     for rule in rules:
-        for violation in rule.run(tree, path):
+        for violation in rule.run(tree, path, source):
             if not _suppressed(violation, noqa):
                 found[violation] = None
     return sorted(found, key=lambda v: (v.path, v.line, v.col, v.code))

@@ -32,6 +32,7 @@ from typing import Iterator
 __all__ = [
     "LockOrderError", "OrderedLock", "lockcheck_enabled",
     "set_lockcheck", "lock_order_graph", "reset_lock_graph",
+    "set_held_tracking", "held_tracking_enabled", "held_locks",
 ]
 
 #: Environment variable that turns checking on ("1" = enabled).
@@ -69,6 +70,36 @@ def set_lockcheck(enabled: bool | None) -> None:
     _STATE.enabled = enabled
 
 
+class _Tracking:
+    """Held-set bookkeeping without order checking.
+
+    The race checker (:mod:`repro.analysis.racecheck`) needs to know
+    which locks the current thread holds even when lock-*order*
+    checking is off.  It flips this switch rather than the order
+    switch, so enabling ``REPRO_RACECHECK=1`` alone records held sets
+    but draws no order edges and never raises
+    :class:`LockOrderError`.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+_TRACKING = _Tracking()
+
+
+def set_held_tracking(enabled: bool) -> None:
+    """Turn per-thread held-set bookkeeping on/off independently of
+    lock-order checking (used by ``repro.analysis.racecheck``)."""
+    _TRACKING.enabled = enabled
+
+
+def held_tracking_enabled() -> bool:
+    """Whether held sets are being recorded (order checking or the race
+    checker's tracking switch)."""
+    return _STATE.resolve() or _TRACKING.enabled
+
+
 class _LockGraph:
     """The global acquisition-order graph (edges between lock names)."""
 
@@ -86,23 +117,29 @@ class _LockGraph:
         return stack
 
     # ---------------------------------------------------------- bookkeeping
-    def note_acquire(self, name: str) -> None:
-        """Record edges ``held -> name``; raise on a fresh cycle."""
+    def note_acquire(self, name: str, *, record_edges: bool = True) -> None:
+        """Record edges ``held -> name``; raise on a fresh cycle.
+
+        With ``record_edges=False`` only the per-thread held stack is
+        maintained (the race checker's mode: it needs held sets, not
+        order edges).
+        """
         stack = self._held_stack()
-        with self._guard:
-            for held in stack:
-                if held == name:
-                    continue
-                successors = self._edges.setdefault(held, set())
-                if name not in successors:
-                    cycle = self._find_path(name, held)
-                    if cycle is not None:
-                        raise LockOrderError(
-                            f"lock-order cycle: acquiring {name!r} while "
-                            f"holding {held!r}, but the recorded order is "
-                            f"{' -> '.join(cycle + [name])} "
-                            f"(potential deadlock)")
-                    successors.add(name)
+        if record_edges:
+            with self._guard:
+                for held in stack:
+                    if held == name:
+                        continue
+                    successors = self._edges.setdefault(held, set())
+                    if name not in successors:
+                        cycle = self._find_path(name, held)
+                        if cycle is not None:
+                            raise LockOrderError(
+                                f"lock-order cycle: acquiring {name!r} while "
+                                f"holding {held!r}, but the recorded order is "
+                                f"{' -> '.join(cycle + [name])} "
+                                f"(potential deadlock)")
+                        successors.add(name)
         stack.append(name)
 
     def note_release(self, name: str) -> None:
@@ -171,16 +208,18 @@ class OrderedLock:
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         acquired = self._lock.acquire(blocking, timeout)
-        if acquired and _STATE.resolve():
-            try:
-                _GRAPH.note_acquire(self.name)
-            except LockOrderError:
-                self._lock.release()
-                raise
+        if acquired:
+            order = _STATE.resolve()
+            if order or _TRACKING.enabled:
+                try:
+                    _GRAPH.note_acquire(self.name, record_edges=order)
+                except LockOrderError:
+                    self._lock.release()
+                    raise
         return acquired
 
     def release(self) -> None:
-        if _STATE.resolve():
+        if _STATE.resolve() or _TRACKING.enabled:
             _GRAPH.note_release(self.name)
         self._lock.release()
 

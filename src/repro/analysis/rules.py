@@ -1,4 +1,4 @@
-"""The project-specific rule catalog (REP001..REP006).
+"""The project-specific rule catalog (REP001..REP008).
 
 Each rule encodes an invariant the S3 reproduction depends on but no
 generic linter can know:
@@ -12,15 +12,25 @@ REP002    no stdlib ``random`` / unseeded or legacy-global numpy RNG —
 REP003    ``ReadStats`` counter fields are written only by
           ``localrt/storage.py`` and ``localrt/counters.py`` (protects
           the logical-vs-physical accounting split)
-REP004    no blocking calls lexically inside a ``with ...lock:`` /
-          ``.acquire()`` region (sleep, file I/O, join, subprocess,
-          queue get/put, event wait)
-REP005    public functions in ``localrt/`` and ``schedulers/`` are
-          fully type-annotated (mypy strict backs this in CI)
-REP006    runtime/scheduler code emits telemetry only through
-          ``repro.obs`` — no ``print()`` and no ``logging`` in
-          ``localrt/`` or ``schedulers/`` (ad-hoc emission bypasses the
-          tracer's clock discipline and the no-op fast path)
+REP004    no blocking calls lexically inside a lock-held region — a
+          ``with ...lock:`` / ``with ...cond:`` block or a bare
+          ``.acquire()`` .. ``.release()`` span, including one-hop
+          ``self._helper()`` calls (sleep, file I/O, join, subprocess,
+          queue get/put, event wait).  Carve-out: ``.wait()`` /
+          ``.wait_for()`` on a condition-ish receiver, because
+          ``Condition.wait`` *releases* the lock while blocked
+REP005    public functions in ``localrt/``, ``schedulers/``,
+          ``service/``, and ``common/`` are fully type-annotated
+          (mypy strict backs this in CI)
+REP006    runtime/scheduler/service code emits telemetry only through
+          ``repro.obs`` — no ``print()`` and no ``logging`` outside the
+          sanctioned CLI surfaces (``__main__.py``/``cli.py``); ad-hoc
+          emission bypasses the tracer's clock discipline and the
+          no-op fast path
+REP007    attribute annotated ``# guarded-by: <lock>`` accessed
+          without that lock held (see ``guardedby.py``)
+REP008    attribute written under ≥2 distinct locks, or both under and
+          outside a lock — an inconsistent guard (see ``guardedby.py``)
 ========  ==============================================================
 
 Rules are lexical on purpose: they run on any tree without imports or
@@ -36,6 +46,7 @@ import pathlib
 from typing import Iterator, Sequence
 
 from .core import Rule
+from .guardedby import check_rep007, check_rep008
 
 # --------------------------------------------------------------- path scoping
 
@@ -206,12 +217,18 @@ def check_rep003(tree: ast.Module,
 
 #: Attribute calls that (may) block the calling thread.
 _BLOCKING_ATTRS = frozenset({
-    "sleep", "wait", "read", "readline", "readlines", "write",
+    "sleep", "wait", "wait_for", "read", "readline", "readlines", "write",
     "writelines", "read_bytes", "read_text", "write_bytes", "write_text",
     "flush", "fsync",
 })
 
 _QUEUEISH = ("queue", "_q")
+
+#: Receiver names that identify a condition variable.  ``.wait()`` /
+#: ``.wait_for()`` on these is the documented carve-out:
+#: ``Condition.wait`` atomically *releases* the lock while blocked, so
+#: it is the sanctioned way to block inside a ``with cond:`` region.
+_CONDISH = ("cond", "cv", "condition")
 
 
 def _terminal_name(node: ast.expr) -> str:
@@ -222,13 +239,26 @@ def _terminal_name(node: ast.expr) -> str:
     return ""
 
 
+def _lockish_name(name: str) -> bool:
+    low = name.lower()
+    return ("lock" in low or "mutex" in low
+            or any(tag in low for tag in _CONDISH) or low == "cv"
+            or low.endswith("_cv"))
+
+
+def _condish_name(name: str) -> bool:
+    low = name.lower()
+    return (any(tag in low for tag in _CONDISH)
+            or low == "cv" or low.endswith("_cv"))
+
+
 def _is_lock_context(item: ast.withitem) -> bool:
     expr = item.context_expr
     if isinstance(expr, ast.Call):
         # ``with lock.acquire_timeout(...)`` style / ``.acquire()``
         name = _terminal_name(expr.func)
-        return name == "acquire" or "lock" in name.lower()
-    return "lock" in _terminal_name(expr).lower()
+        return name == "acquire" or _lockish_name(name)
+    return _lockish_name(_terminal_name(expr))
 
 
 def _blocking_reason(call: ast.Call) -> str | None:
@@ -247,6 +277,9 @@ def _blocking_reason(call: ast.Call) -> str | None:
     if chain[:2] == ["os", "system"]:
         return "subprocess call (os.system)"
     attr = func.attr
+    if attr in ("wait", "wait_for") and _condish_name(
+            _terminal_name(func.value)):
+        return None  # Condition.wait releases the lock (carve-out)
     if attr == "sleep":
         return "sleep"
     if attr == "join" and not call.args:
@@ -260,10 +293,93 @@ def _blocking_reason(call: ast.Call) -> str | None:
     return None
 
 
-def _scan_lock_body(body: Sequence[ast.stmt]) -> Iterator[tuple[int, int, str]]:
-    """Find blocking calls in ``body``, not descending into nested
-    function definitions (those run later, outside the lock)."""
-    stack: list[ast.AST] = list(body)
+def _bare_lock_op(stmt: ast.stmt, op: str) -> str | None:
+    """``lock.acquire()`` / ``lock.release()`` as a bare expression
+    statement -> the receiver's dotted name, else ``None``."""
+    if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+        return None
+    func = stmt.value.func
+    if not (isinstance(func, ast.Attribute) and func.attr == op):
+        return None
+    chain = _attr_chain(func.value)
+    if chain and _lockish_name(chain[-1]):
+        return ".".join(chain)
+    return None
+
+
+def _helper_blocking(helper: ast.FunctionDef | ast.AsyncFunctionDef
+                     ) -> str | None:
+    """First blocking reason in a one-hop callee, skipping regions the
+    callee already protects itself (its own ``with lock:`` bodies and
+    bare acquire/release spans are flagged when *it* is scanned)."""
+    def first_reason(node: ast.AST) -> str | None:
+        stack: list[ast.AST] = [node]
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+                continue
+            if isinstance(sub, ast.Call):
+                reason = _blocking_reason(sub)
+                if reason:
+                    return reason
+            stack.extend(ast.iter_child_nodes(sub))
+        return None
+
+    def scan(stmts: Sequence[ast.stmt]) -> str | None:
+        bare = 0
+        for stmt in stmts:
+            if _bare_lock_op(stmt, "acquire"):
+                bare += 1
+                continue
+            if _bare_lock_op(stmt, "release"):
+                bare = max(0, bare - 1)
+                continue
+            if bare:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)) and any(
+                    _is_lock_context(item) for item in stmt.items):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith, ast.Try, ast.If,
+                                 ast.While, ast.For, ast.AsyncFor)):
+                for expr in filter(None, (getattr(stmt, "test", None),
+                                          getattr(stmt, "iter", None))):
+                    found = first_reason(expr)
+                    if found:
+                        return found
+                for block in _stmt_blocks(stmt):
+                    found = scan(block)
+                    if found:
+                        return found
+            else:
+                found = first_reason(stmt)
+                if found:
+                    return found
+        return None
+
+    return scan(helper.body)
+
+
+def _stmt_blocks(stmt: ast.stmt) -> Iterator[Sequence[ast.stmt]]:
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if block:
+            yield block
+    for handler in getattr(stmt, "handlers", ()):
+        yield handler.body
+
+
+_Methods = dict[str, "ast.FunctionDef | ast.AsyncFunctionDef"]
+
+
+def _locked_stmt_violations(stmt: ast.stmt, methods: _Methods
+                            ) -> Iterator[tuple[int, int, str]]:
+    """Blocking calls in one lock-held statement (header expressions
+    included), plus one-hop ``self._helper()`` calls whose body blocks."""
+    stack: list[ast.AST] = [stmt]
     while stack:
         node = stack.pop()
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
@@ -275,21 +391,87 @@ def _scan_lock_body(body: Sequence[ast.stmt]) -> Iterator[tuple[int, int, str]]:
                 yield (node.lineno, node.col_offset,
                        f"{reason} while holding a lock; move the "
                        "blocking work outside the critical section")
+            else:
+                chain = _attr_chain(node.func)
+                if (len(chain) == 2 and chain[0] == "self"
+                        and chain[1] in methods):
+                    helper_reason = _helper_blocking(methods[chain[1]])
+                    if helper_reason:
+                        yield (node.lineno, node.col_offset,
+                               f"call to self.{chain[1]}() does "
+                               f"{helper_reason} while holding a lock; "
+                               "move the blocking work outside the "
+                               "critical section")
         stack.extend(ast.iter_child_nodes(node))
+
+
+def _scan_region(stmts: Sequence[ast.stmt], locked: bool,
+                 methods: _Methods) -> Iterator[tuple[int, int, str]]:
+    """Walk a statement sequence tracking lock-held spans.
+
+    ``locked`` means a lock is held on entry (an enclosing ``with
+    lock:``).  Bare ``lock.acquire()`` opens a span that the matching
+    bare ``lock.release()`` — directly or in a ``try/finally`` —
+    closes; the tracking is linear/lexical by design, like the rest of
+    the analyzer.
+    """
+    bare: list[str] = []
+    for stmt in stmts:
+        acquired = _bare_lock_op(stmt, "acquire")
+        if acquired is not None:
+            bare.append(acquired)
+            continue
+        released = _bare_lock_op(stmt, "release")
+        if released is not None:
+            if released in bare:
+                bare.remove(released)
+            continue
+        held = locked or bool(bare)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Runs later, outside the lock; fresh scope.
+            yield from _scan_region(stmt.body, False, methods)
+        elif isinstance(stmt, ast.ClassDef):
+            nested = {s.name: s for s in stmt.body
+                      if isinstance(s, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))}
+            yield from _scan_region(stmt.body, False, nested)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            is_lock = any(_is_lock_context(item) for item in stmt.items)
+            if held:
+                for item in stmt.items:
+                    yield from _locked_stmt_violations(
+                        ast.Expr(value=item.context_expr), methods)
+            yield from _scan_region(stmt.body, held or is_lock, methods)
+        elif isinstance(stmt, (ast.Try, ast.If, ast.While, ast.For,
+                               ast.AsyncFor)):
+            if held:
+                for expr in filter(None, (getattr(stmt, "test", None),
+                                          getattr(stmt, "iter", None))):
+                    yield from _locked_stmt_violations(
+                        ast.Expr(value=expr), methods)
+            for block in _stmt_blocks(stmt):
+                yield from _scan_region(block, held, methods)
+            if isinstance(stmt, ast.Try):
+                # ``finally: lock.release()`` closes a span opened
+                # before the try.
+                for sub in stmt.finalbody:
+                    done = _bare_lock_op(sub, "release")
+                    if done is not None and done in bare:
+                        bare.remove(done)
+        else:
+            if held:
+                yield from _locked_stmt_violations(stmt, methods)
 
 
 def check_rep004(tree: ast.Module,
                  path: str) -> Iterator[tuple[int, int, str]]:
     del path  # applies everywhere
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.With, ast.AsyncWith)) and any(
-                _is_lock_context(item) for item in node.items):
-            yield from _scan_lock_body(node.body)
+    yield from _scan_region(tree.body, False, {})
 
 
 # ------------------------------------------------- REP005: type annotations
 
-_REP005_DIRS = ("localrt", "schedulers")
+_REP005_DIRS = ("localrt", "schedulers", "service", "common")
 
 
 class _PublicDefVisitor(ast.NodeVisitor):
@@ -338,7 +520,11 @@ def check_rep005(tree: ast.Module,
 
 # -------------------------------------------- REP006: emission through obs
 
-_REP006_DIRS = ("localrt", "schedulers")
+_REP006_DIRS = ("localrt", "schedulers", "service", "common")
+
+#: Sanctioned CLI emission surfaces — a ``__main__``/``cli`` module's
+#: job *is* writing to stdout; everything else goes through repro.obs.
+_REP006_EXEMPT_BASENAMES = ("__main__.py", "cli.py")
 
 #: ``logging`` emission methods (on a Logger or the module itself).
 _LOG_EMIT = frozenset({
@@ -352,7 +538,10 @@ _LOGGERISH = ("logger", "log", "logging")
 
 def check_rep006(tree: ast.Module,
                  path: str) -> Iterator[tuple[int, int, str]]:
-    if not any(part in _REP006_DIRS for part in _parts(path)):
+    parts = _parts(path)
+    if not any(part in _REP006_DIRS for part in parts):
+        return
+    if parts and parts[-1] in _REP006_EXEMPT_BASENAMES:
         return
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
@@ -397,10 +586,14 @@ RULES: tuple[Rule, ...] = (
          check_rep003),
     Rule("REP004", "no blocking calls inside a lock-held region",
          check_rep004),
-    Rule("REP005", "public localrt/schedulers functions fully annotated",
-         check_rep005),
-    Rule("REP006", "localrt/schedulers telemetry goes through repro.obs only",
-         check_rep006),
+    Rule("REP005", "public runtime/scheduler/service functions fully "
+         "annotated", check_rep005),
+    Rule("REP006", "runtime/scheduler/service telemetry goes through "
+         "repro.obs only", check_rep006),
+    Rule("REP007", "guarded attribute accessed without its lock held",
+         check_src=check_rep007),
+    Rule("REP008", "attribute written under inconsistent guards",
+         check_src=check_rep008),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in RULES}

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..analysis.lockgraph import OrderedLock
+from ..analysis.racecheck import register_instance
 from ..common.errors import ExecutionError
 
 
@@ -77,11 +78,17 @@ class BlockCache:
             raise ExecutionError(
                 f"cache capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
-        self.stats = CacheStats()
         self._lock = OrderedLock("BlockCache._lock")
+        self.stats = CacheStats()  # guarded-by: _lock
         #: index -> (data, nbytes), in LRU order (oldest first).
-        self._entries: "OrderedDict[int, tuple[bytes, int]]" = OrderedDict()
-        self._current_bytes = 0
+        self._entries: "OrderedDict[int, tuple[bytes, int]]" = \
+            OrderedDict()  # guarded-by: _lock
+        self._current_bytes = 0  # guarded-by: _lock
+        register_instance(
+            self.stats,
+            fields=("hits", "misses", "insertions", "evictions",
+                    "oversized_skips"),
+            guard="BlockCache._lock", label="BlockCache.stats")
 
     # ---------------------------------------------------------------- lookup
     def get(self, index: int) -> bytes | None:
@@ -144,7 +151,13 @@ class BlockCache:
             return evicted
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept; use ``stats.reset()``)."""
+        """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
         with self._lock:
             self._entries.clear()
             self._current_bytes = 0
+
+    def reset_stats(self) -> None:
+        """Zero the counters, under the cache lock (an unlocked
+        ``stats.reset()`` races concurrent readers)."""
+        with self._lock:
+            self.stats.reset()

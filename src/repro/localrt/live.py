@@ -56,12 +56,12 @@ class LiveScanExecutor(_LocalRunnerBase):
             store, self.prefetch_depth, self.tracer)
         #: Logical blocks read when this executor started (baseline for
         #: per-job virtual completion times).
-        self._blocks_baseline = store.stats.blocks_read
+        self._blocks_baseline = store.logical_blocks_read()
 
     @property
     def blocks_read(self) -> int:
         """Logical blocks read through this executor so far."""
-        return self.store.stats.blocks_read - self._blocks_baseline
+        return self.store.logical_blocks_read() - self._blocks_baseline
 
     def run_iteration(self, iteration_index: int,
                       tasks: Sequence[MapTaskSpec], *,
@@ -75,7 +75,7 @@ class LiveScanExecutor(_LocalRunnerBase):
         pipeline (prepare sub-job *i+1* during sub-job *i*).
         """
         label = f"iter_{iteration_index}"
-        wave_before = (self.store.stats.snapshot()
+        wave_before = (self.store.stats_snapshot()
                        if self.tracer.enabled else None)
         with self.tracer.span("s3.iteration", subject=label,
                               pointer=pointer, blocks=len(tasks),

@@ -27,6 +27,7 @@ from collections import deque
 from typing import Iterable
 
 from ..analysis.lockgraph import OrderedLock
+from ..analysis.racecheck import register_instance
 from ..common.errors import ExecutionError
 from ..obs.tracer import NULL_TRACER, Tracer
 from .storage import BlockStore
@@ -65,19 +66,23 @@ class ReadAheadPrefetcher:
         self._store = store
         self.depth = depth
         self._tracer = tracer if tracer is not None else NULL_TRACER
-        self._pending: "deque[int]" = deque()
         #: Condition over an OrderedLock so waits/notifies participate in
         #: lock-order checking (REPRO_LOCKCHECK=1).
         self._cond = threading.Condition(
             OrderedLock("ReadAheadPrefetcher._cond"))  # type: ignore[arg-type]
+        self._pending: "deque[int]" = deque()  # guarded-by: _cond
         self._stop = threading.Event()
-        self._closed = False
-        #: Blocks dequeued by the worker (pacing position).
-        self._processed = 0
-        #: Demand-read position when this prefetcher started.
-        self._baseline = store.stats.blocks_read
+        self._closed = False  # guarded-by: _cond
+        #: Blocks warmed by the worker (pacing position).
+        self._processed = 0  # guarded-by: _cond
+        #: Demand-read position when this prefetcher started (read-only
+        #: after construction).
+        self._baseline = store.logical_blocks_read()
         #: First warming failure, kept for inspection (never raised here).
-        self.error: BaseException | None = None
+        self.error: BaseException | None = None  # guarded-by: _cond
+        register_instance(
+            self, fields=("_processed", "_closed", "error"),
+            guard="ReadAheadPrefetcher._cond", label="ReadAheadPrefetcher")
         self._thread = threading.Thread(
             target=self._run, name="s3-prefetch", daemon=True)
         self._thread.start()
@@ -89,9 +94,9 @@ class ReadAheadPrefetcher:
         Duplicates of already-queued indices are dropped (the worker also
         skips blocks already resident in the cache).
         """
-        if self._closed:
-            raise ExecutionError("cannot schedule on a closed prefetcher")
         with self._cond:
+            if self._closed:
+                raise ExecutionError("cannot schedule on a closed prefetcher")
             queued = 0
             present = set(self._pending)
             for index in indices:
@@ -112,6 +117,10 @@ class ReadAheadPrefetcher:
 
     # ---------------------------------------------------------------- worker
     def _run(self) -> None:
+        # Worker-local mirror of _processed: only this thread advances
+        # the pacing position, so it can read its own copy lock-free and
+        # publish under _cond for scheduled_ever.
+        processed = 0
         while True:
             with self._cond:
                 while not self._pending and not self._stop.is_set():
@@ -119,28 +128,30 @@ class ReadAheadPrefetcher:
                 if self._stop.is_set():
                     return
                 index = self._pending.popleft()
-            if not self._wait_for_window():
+            if not self._wait_for_window(processed):
                 return
             try:
                 self._store.prefetch_block(index)
             except BaseException as exc:  # advisory: record, stop warming
-                self.error = exc
+                with self._cond:
+                    self.error = exc
                 return
+            processed += 1
             if self._tracer.enabled:
-                demand = self._store.stats.blocks_read - self._baseline
+                demand = self._store.logical_blocks_read() - self._baseline
                 self._tracer.event("prefetch.block", subject=f"block_{index}",
-                                   ahead=self._processed + 1 - demand)
+                                   ahead=processed - demand)
             with self._cond:
-                self._processed += 1
+                self._processed = processed
 
-    def _wait_for_window(self) -> bool:
+    def _wait_for_window(self, processed: int) -> bool:
         """Block until the worker is within ``depth`` of the demand reads.
 
         Returns False when stopped while waiting.
         """
         while not self._stop.is_set():
-            demand = self._store.stats.blocks_read - self._baseline
-            if self._processed - demand < self.depth:
+            demand = self._store.logical_blocks_read() - self._baseline
+            if processed - demand < self.depth:
                 return True
             self._stop.wait(_POLL_SECONDS)
         return False
@@ -148,11 +159,11 @@ class ReadAheadPrefetcher:
     # --------------------------------------------------------------- teardown
     def close(self) -> None:
         """Stop the worker and join it (idempotent; drops pending work)."""
-        if self._closed:
-            return
-        self._closed = True
-        self._stop.set()
         with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._stop.set()
             self._cond.notify_all()
         self._thread.join(timeout=_JOIN_TIMEOUT_SECONDS)
         if self._thread.is_alive():  # pragma: no cover - defensive
@@ -160,7 +171,8 @@ class ReadAheadPrefetcher:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._cond:
+            return self._closed
 
     def __enter__(self) -> "ReadAheadPrefetcher":
         return self

@@ -231,7 +231,7 @@ class _LocalRunnerBase:
     # ---------------------------------------------------------- observability
     def _absorb_wave(self, label: str, before: ReadStats) -> None:
         """Record one wave's I/O delta as an ``io.wave`` event + metrics."""
-        delta = self.store.stats.delta(before)
+        delta = self.store.stats_snapshot().delta(before)
         self.metrics.absorb_read_stats(delta)
         self.metrics.histogram("wave.blocks",
                                buckets=_WAVE_BUCKETS).observe(delta.blocks_read)
@@ -288,7 +288,7 @@ class FifoLocalRunner(_LocalRunnerBase):
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
             raise ExecutionError(f"duplicate job ids: {ids}")
-        before = self.store.stats.snapshot()
+        before = self.store.stats_snapshot()
         results: dict[str, JobResult] = {}
         prefetcher = _start_prefetcher(self.store, self.prefetch_depth,
                                        self.tracer)
@@ -301,7 +301,7 @@ class FifoLocalRunner(_LocalRunnerBase):
             # Pools re-create lazily, so closing keeps the runner reusable.
             if self._owns_backend:
                 self.backend.close()
-        io = self.store.stats.delta(before)
+        io = self.store.stats_snapshot().delta(before)
         return self._finish_trace(RunReport(
             results=results,
             blocks_read=io.blocks_read,
@@ -313,7 +313,7 @@ class FifoLocalRunner(_LocalRunnerBase):
                   results: dict[str, JobResult],
                   prefetcher: ReadAheadPrefetcher | None) -> None:
         traced = self.tracer.enabled
-        before_blocks = self.store.stats.blocks_read
+        before_blocks = self.store.logical_blocks_read()
         for job in jobs:
             state = JobRunState(job)
             tasks = [MapTaskSpec(block_index=index, states=(state,))
@@ -322,7 +322,7 @@ class FifoLocalRunner(_LocalRunnerBase):
                 # Sequential read-ahead over this job's scan; the depth
                 # cap keeps the warmer just ahead of the demand reads.
                 prefetcher.schedule(range(self.store.num_blocks))
-            job_before = self.store.stats.snapshot() if traced else None
+            job_before = self.store.stats_snapshot() if traced else None
             with self.tracer.span("fifo.job", subject=job.job_id,
                                   blocks=len(tasks)):
                 execute_map_wave(self.store, self.reader, tasks,
@@ -338,7 +338,7 @@ class FifoLocalRunner(_LocalRunnerBase):
                 map_output_records=state.map_output_records,
                 reduce_output_records=len(output),
                 reduce_input_values=reduce_input,
-                completed_blocks_read=(self.store.stats.blocks_read
+                completed_blocks_read=(self.store.logical_blocks_read()
                                        - before_blocks),
                 counters=state.counters,
             )
@@ -445,7 +445,7 @@ class SharedScanRunner(_LocalRunnerBase):
         pending: dict[int, list[LocalJob]] = {}
         for job in jobs:
             pending.setdefault(arrivals.get(job.job_id, 0), []).append(job)
-        before = self.store.stats.snapshot()
+        before = self.store.stats_snapshot()
         results: dict[str, JobResult] = {}
         prefetcher = _start_prefetcher(self.store, self.prefetch_depth,
                                        self.tracer)
@@ -461,7 +461,7 @@ class SharedScanRunner(_LocalRunnerBase):
             # Pools re-create lazily, so closing keeps the runner reusable.
             if self._owns_backend:
                 self.backend.close()
-        io = self.store.stats.delta(before)
+        io = self.store.stats_snapshot().delta(before)
         return self._finish_trace(RunReport(
             results=results,
             blocks_read=io.blocks_read,
@@ -501,7 +501,7 @@ class SharedScanRunner(_LocalRunnerBase):
                                      if s.remaining > offset)
                 tasks.append(MapTaskSpec(block_index=pointer + offset,
                                          states=participants))
-            wave_before = self.store.stats.snapshot() if traced else None
+            wave_before = self.store.stats_snapshot() if traced else None
             with self.tracer.span("s3.iteration", subject=f"iter_{iteration}",
                                   pointer=pointer, blocks=chunk_len,
                                   jobs=len(active),
@@ -541,7 +541,7 @@ class SharedScanRunner(_LocalRunnerBase):
                     reduce_output_records=len(output),
                     reduce_input_values=reduce_input,
                     completed_iteration=iteration,
-                    completed_blocks_read=(self.store.stats.blocks_read
+                    completed_blocks_read=(self.store.logical_blocks_read()
                                            - before_blocks),
                     counters=state.run_state.counters,
                 )

@@ -28,6 +28,7 @@ from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..analysis.lockgraph import OrderedLock
+from ..analysis.racecheck import register_instance
 from ..common.errors import ExecutionError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -108,12 +109,15 @@ class BlockStore:
         self._blocks = sorted(self.directory.glob("block_*.dat"))
         if not self._blocks:
             raise ExecutionError(f"block store {self.directory} is empty")
-        self.stats = ReadStats()
         #: Guards the read counters (read_block may be called from a
         #: thread pool; see repro.localrt.parallel).  OrderedLock: with
         #: REPRO_LOCKCHECK=1 the acquisition order against the cache and
         #: prefetcher locks is recorded and cycles fail fast.
         self._stats_lock = OrderedLock("BlockStore._stats_lock")
+        self.stats = ReadStats()  # guarded-by: _stats_lock
+        register_instance(
+            self.stats, fields=tuple(f.name for f in fields(ReadStats)),
+            guard="BlockStore._stats_lock", label="BlockStore.stats")
         #: Byte offset of each block within the logical file, and each
         #: block's on-disk size (one stat per block, at open only).
         self._offsets: list[int] = []
@@ -202,6 +206,27 @@ class BlockStore:
     def attach_cache(self, cache: "BlockCache | None") -> None:
         """Attach (or detach, with ``None``) a block cache."""
         self.cache = cache
+
+    def stats_snapshot(self) -> ReadStats:
+        """Consistent copy of the I/O counters, taken under the stats
+        lock — the only way to read multi-field deltas without tearing
+        while reader threads are running."""
+        with self._stats_lock:
+            return self.stats.snapshot()
+
+    def logical_blocks_read(self) -> int:
+        """Current logical ``blocks_read``, read under the stats lock
+        (the prefetcher's demand-progress signal)."""
+        with self._stats_lock:
+            return self.stats.blocks_read
+
+    def reset_stats(self) -> None:
+        """Zero every counter, under the stats lock.  Prefer this over
+        ``store.stats.reset()`` between measurement phases: an unlocked
+        reset races any still-running reader thread (and trips the
+        ``REPRO_RACECHECK=1`` lockset checker)."""
+        with self._stats_lock:
+            self.stats.reset()
 
     def read_block(self, index: int) -> str:
         """Read one block's text, updating the I/O counters (thread-safe).

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Protocol
 
+from ...analysis.racecheck import race_checked
 from ...common.errors import SchedulingError
 from ...dfs.block import DfsFile
 from ...mapreduce.job import JobSpec
@@ -29,8 +30,15 @@ class FileResolver(Protocol):
     def get_file(self, name: str) -> DfsFile: ...
 
 
+@race_checked(fields=("_next_loop_index",), guard="SchedulerService._cond")
 class JobQueueManager:
-    """Per-file scan loops plus the round-robin loop selector."""
+    """Per-file scan loops plus the round-robin loop selector.
+
+    Like :class:`~repro.schedulers.s3.scanloop.ScanLoop`, lock-free by
+    design — single-threaded in the simulator, serialised under the
+    service's condition variable when live (checked by
+    ``REPRO_RACECHECK=1``).
+    """
 
     def __init__(self, namenode: FileResolver, blocks_per_segment: int) -> None:
         if blocks_per_segment <= 0:

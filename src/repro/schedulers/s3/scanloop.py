@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...analysis.racecheck import race_checked
 from ...common.errors import SchedulingError
 from ...dfs.block import DfsFile
 from ...dfs.segments import SegmentPlan
@@ -82,8 +83,17 @@ class Iteration:
         return self.maps_outstanding == 0
 
 
+@race_checked(fields=("pointer", "active", "waiting", "last_admitted",
+                      "_iteration_counter"),
+              guard="SchedulerService._cond")
 class ScanLoop:
-    """Circular scan state for one file (pointer + active jobs)."""
+    """Circular scan state for one file (pointer + active jobs).
+
+    Owns no lock: the simulator drives it single-threaded and the
+    scheduler service serialises every call under its own condition
+    variable — a cross-object guard the ``@race_checked``
+    instrumentation verifies at runtime (``REPRO_RACECHECK=1``).
+    """
 
     def __init__(self, dfs_file: DfsFile, blocks_per_segment: int) -> None:
         self.dfs_file = dfs_file

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from ..analysis.lockgraph import OrderedLock
+from ..analysis.racecheck import race_checked, register_instance
 from ..common import ids
 from ..common.clock import Clock, monotonic_clock
 from ..common.errors import AdmissionRejected, ServiceError
@@ -93,9 +94,17 @@ class _StoreView:
         return self._file
 
 
+@race_checked(fields=("status", "admitted_at", "finished_at", "result",
+                      "error"),
+              guard="SchedulerService._cond")
 @dataclass
 class _Entry:
-    """Internal per-job record (ticket fields + live runtime state)."""
+    """Internal per-job record (ticket fields + live runtime state).
+
+    Mutable fields are guarded *cross-object* by the owning service's
+    ``_cond`` — a guard the per-class static pass cannot see, hence the
+    ``@race_checked`` instrumentation instead of ``# guarded-by``.
+    """
 
     job: LocalJob
     tenant: str
@@ -134,6 +143,8 @@ class _Scheduled:
     priority: int
 
 
+@race_checked(fields=("next_chunk", "admitted"),
+              guard="SchedulerService._cond")
 @dataclass
 class _Work:
     """One built iteration, snapshotted for execution outside the lock."""
@@ -183,16 +194,24 @@ class SchedulerService:
             store, self.config.execution, tracer=self.tracer)
         self._cond = threading.Condition(
             OrderedLock("SchedulerService._cond"))  # type: ignore[arg-type]
-        self._entries: dict[str, _Entry] = {}
-        self._accounts: dict[str, TenantAccount] = {}
-        self._scheduled: list[_Scheduled] = []
-        self._iteration = 0
-        self._pending = 0
-        self._running = False
-        self._stopping = False
-        self._draining = False
-        self._core_error: BaseException | None = None
+        self._entries: dict[str, _Entry] = {}  # guarded-by: _cond
+        self._accounts: dict[str, TenantAccount] = {}  # guarded-by: _cond
+        self._scheduled: list[_Scheduled] = []  # guarded-by: _cond
+        self._iteration = 0  # guarded-by: _cond
+        self._pending = 0  # guarded-by: _cond
+        self._running = False  # guarded-by: _cond
+        self._stopping = False  # guarded-by: _cond
+        self._draining = False  # guarded-by: _cond
+        self._core_error: BaseException | None = None  # guarded-by: _cond
+        # Written once by start(); joined by shutdown().  Not _cond-
+        # guarded: the write happens-before any reader via start()'s
+        # lock release.
         self._thread: threading.Thread | None = None
+        register_instance(
+            self,
+            fields=("_scheduled", "_iteration", "_pending", "_running",
+                    "_stopping", "_draining", "_core_error"),
+            guard="SchedulerService._cond", label="SchedulerService")
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> "SchedulerService":

@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..analysis.racecheck import race_checked
 from ..localrt.api import JobResult
 
 
@@ -83,9 +84,18 @@ class JobTicket:
         return self.finished_at - self.submitted_at
 
 
+@race_checked(fields=("submitted", "admitted", "rejected", "cancelled",
+                      "completed", "failed", "total_wait_s",
+                      "total_response_s", "in_flight"),
+              guard="SchedulerService._cond")
 @dataclass
 class TenantAccount:
-    """Mutable accounting of one tenant's traffic."""
+    """Mutable accounting of one tenant's traffic.
+
+    Guarded cross-object by the owning service's ``_cond`` (verified at
+    runtime by ``REPRO_RACECHECK=1``); the snapshot copies that
+    ``SchedulerService.accounts`` hands out are never shared.
+    """
 
     tenant: str
     submitted: int = 0

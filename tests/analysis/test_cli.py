@@ -120,3 +120,47 @@ def test_module_entry_point_runs(tmp_path):
         capture_output=True, text=True)
     assert proc.returncode == 1
     assert "REP002" in proc.stdout
+
+
+def test_list_rules_includes_guardedby_rules():
+    code, output = run_cli("--list-rules")
+    assert code == 0
+    assert "REP007" in output and "REP008" in output
+
+
+def test_default_baseline_discovered_from_cwd(tmp_path, monkeypatch):
+    """With no --baseline, `analysis-baseline.json` in the CWD applies
+    (the committed repo-root workflow)."""
+    write(tmp_path, "pkg/bad.py", "import random\n")
+    monkeypatch.chdir(tmp_path)
+    code, _ = run_cli("pkg", "--baseline", "analysis-baseline.json",
+                      "--write-baseline")
+    assert code == 0
+    code, output = run_cli("pkg")
+    assert code == 0
+    assert "clean" in output
+
+
+def test_no_baseline_flag_ignores_discovered_file(tmp_path, monkeypatch):
+    write(tmp_path, "pkg/bad.py", "import random\n")
+    monkeypatch.chdir(tmp_path)
+    code, _ = run_cli("pkg", "--baseline", "analysis-baseline.json",
+                      "--write-baseline")
+    assert code == 0
+    code, output = run_cli("pkg", "--no-baseline")
+    assert code == 1
+    assert "REP002" in output
+
+
+def test_explicit_baseline_beats_discovery(tmp_path, monkeypatch):
+    """--baseline FILE wins over a discovered analysis-baseline.json."""
+    write(tmp_path, "pkg/bad.py", "import random\n")
+    write(tmp_path, "analysis-baseline.json",
+          json.dumps({"version": 1, "entries": []}))
+    monkeypatch.chdir(tmp_path)
+    code, _ = run_cli("pkg", "--baseline", "full.json", "--write-baseline")
+    assert code == 0
+    code, _ = run_cli("pkg", "--baseline", "full.json")
+    assert code == 0
+    code, _ = run_cli("pkg")  # discovered empty baseline: still dirty
+    assert code == 1

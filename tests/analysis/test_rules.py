@@ -213,6 +213,100 @@ class TestRep004BlockingUnderLock:
             """)
         assert violations == []
 
+    def test_bare_acquire_release_span_fires(self):
+        violations = run_rule("REP004", """\
+            import time
+
+            def hold(self):
+                self._lock.acquire()
+                time.sleep(0.1)
+                self._lock.release()
+                time.sleep(0.2)
+            """)
+        assert len(violations) == 1
+        assert violations[0].line == 5
+
+    def test_try_finally_release_idiom_fires(self):
+        violations = run_rule("REP004", """\
+            import time
+
+            def hold(self):
+                self._lock.acquire()
+                try:
+                    time.sleep(0.1)
+                finally:
+                    self._lock.release()
+                time.sleep(0.2)
+            """)
+        assert len(violations) == 1
+        assert violations[0].line == 6
+
+    def test_one_hop_helper_call_fires_at_call_site(self):
+        violations = run_rule("REP004", """\
+            import time
+
+            class Worker:
+                def _slow(self):
+                    time.sleep(0.5)
+
+                def run(self):
+                    with self._lock:
+                        self._slow()
+            """)
+        assert len(violations) == 1
+        assert violations[0].line == 9
+        assert "self._slow()" in violations[0].message
+        assert "sleep" in violations[0].message
+
+    def test_one_hop_helper_locked_region_is_not_charged(self):
+        violations = run_rule("REP004", """\
+            import time
+
+            class Worker:
+                def _tidy(self):
+                    with self._other_lock:
+                        pass
+                    time.sleep(0)  # outside its own lock: fine to call
+
+                def run(self):
+                    with self._lock:
+                        self._tidy()
+            """)
+        # The helper sleeps, so calling it under a lock still fires...
+        assert len(violations) == 1
+        violations = run_rule("REP004", """\
+            import time
+
+            class Worker:
+                def _tidy(self):
+                    self._names.clear()
+
+                def run(self):
+                    with self._lock:
+                        self._tidy()
+            """)
+        # ...but a non-blocking helper is clean.
+        assert violations == []
+
+    def test_condition_wait_is_carved_out(self):
+        violations = run_rule("REP004", """\
+            def await_done(self):
+                with self._cond:
+                    while not self._done:
+                        self._cond.wait(timeout=1.0)
+                with self._cond:
+                    self._cond.wait_for(lambda: self._done)
+            """)
+        assert violations == []
+
+    def test_wait_on_non_condition_receiver_still_fires(self):
+        violations = run_rule("REP004", """\
+            def join_up(self):
+                with self._lock:
+                    self._thread.wait()
+            """)
+        assert len(violations) == 1
+
 
 # ------------------------------------------------------------------- REP005
 class TestRep005Annotations:

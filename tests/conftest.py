@@ -25,6 +25,14 @@ from repro.workloads.text import TextCorpusGenerator
 # first lock acquisition, so setting it here covers every test.
 os.environ.setdefault("REPRO_LOCKCHECK", "1")
 
+# Resolve the lockset race detector's switch up front: when the run was
+# launched with REPRO_RACECHECK=1 (the CI racecheck job), this turns on
+# held-set tracking before any test acquires a lock, so early
+# acquisitions are not invisible to later registrations.
+from repro.analysis.racecheck import racecheck_enabled  # noqa: E402
+
+racecheck_enabled()
+
 
 @pytest.fixture
 def small_cluster_config() -> ClusterConfig:

@@ -96,7 +96,7 @@ def test_clear_drops_entries_keeps_counters():
     assert len(cache) == 0
     assert cache.current_bytes == 0
     assert cache.stats.hits == 1
-    cache.stats.reset()
+    cache.reset_stats()
     assert cache.stats.hits == 0
 
 

@@ -147,7 +147,7 @@ def test_mapper_fault_mid_wave_shuts_prefetcher_down(tmp_path, runner_cls):
     prefetch thread (runner ``finally`` closes it)."""
     store = make_store(tmp_path)
     poisoned = store.read_block(store.num_blocks // 2).split()[0]
-    store.stats.reset()
+    store.reset_stats()
     job = LocalJob(job_id="boom", mapper=ExplodingMapper(poisoned),
                    reducer=SumReducer())
     config = ExecutionConfig(cache_capacity_bytes=10_000_000,

@@ -40,7 +40,7 @@ def test_read_stats_accumulate(tmp_path):
     store.read_block(0)
     assert store.stats.blocks_read == 2
     assert store.stats.bytes_read == 2 * store.block_size_bytes(0)
-    store.stats.reset()
+    store.reset_stats()
     assert store.stats.blocks_read == 0
 
 
@@ -99,7 +99,7 @@ def test_non_ascii_lines_round_trip_as_utf8(tmp_path):
     # Counters measure on-disk bytes (UTF-8), not characters.
     encoded = sum(len((line + "\n").encode("utf-8")) for line in data)
     assert store.total_bytes == encoded
-    store.stats.reset()
+    store.reset_stats()
     for i in range(store.num_blocks):
         store.read_block(i)
     assert store.stats.bytes_read == encoded
@@ -243,7 +243,7 @@ def test_mmap_fallback_returns_identical_bytes(tmp_path, monkeypatch):
     store = BlockStore.create(tmp_path / "s", lines(40), block_size_bytes=150)
     mapped = [store.read_block_bytes(i) for i in range(store.num_blocks)]
     mapped_stats = store.stats.snapshot()
-    store.stats.reset()
+    store.reset_stats()
 
     import repro.localrt.storage as storage_module
 

@@ -61,7 +61,7 @@ def test_batched_matrix_byte_identical(tmp_path_factory, corpus, seg,
             for with_cache in (False, True):
                 store.attach_cache(
                     BlockCache(10_000_000) if with_cache else None)
-                store.stats.reset()
+                store.reset_stats()
                 runner = SharedScanRunner(
                     store, ExecutionConfig(blocks_per_segment=seg,
                                            map_backend=backend,
