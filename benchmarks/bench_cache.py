@@ -28,10 +28,10 @@ import os
 import pathlib
 import sys
 import tempfile
-import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro.common.clock import Stopwatch                        # noqa: E402
 from repro.common.config import ExecutionConfig                 # noqa: E402
 from repro.localrt.cache import BlockCache                      # noqa: E402
 from repro.localrt.jobs import wordcount_job                    # noqa: E402
@@ -62,16 +62,16 @@ def bench_fifo_rescan(corpus_bytes: int, block_size: int,
     """FIFO re-scans with a cache big enough for the whole corpus."""
     with tempfile.TemporaryDirectory() as tmp:
         store = build_store(tmp, corpus_bytes, block_size)
-        start = time.perf_counter()
+        watch = Stopwatch()
         cold = FifoLocalRunner(store).run(make_jobs(n_jobs))
-        cold_s = time.perf_counter() - start
+        cold_s = watch.elapsed()
 
         store.attach_cache(BlockCache(capacity_bytes=store.total_bytes * 2))
-        start = time.perf_counter()
+        watch.restart()
         warm = FifoLocalRunner(store, ExecutionConfig(prefetch_depth=4,
                                cache_capacity_bytes=store.total_bytes * 2)
                                ).run(make_jobs(n_jobs))
-        warm_s = time.perf_counter() - start
+        warm_s = watch.elapsed()
 
         assert warm.blocks_read == cold.blocks_read, \
             "cache changed the logical read counters"
@@ -94,20 +94,20 @@ def bench_shared_prefetch(corpus_bytes: int, block_size: int,
     arrivals = {"wc0": 0, "wc1": 1, "wc2": 2, "wc3": 4}
     with tempfile.TemporaryDirectory() as tmp:
         store = build_store(tmp, corpus_bytes, block_size)
-        start = time.perf_counter()
+        watch = Stopwatch()
         off = SharedScanRunner(store, ExecutionConfig(
             blocks_per_segment=segment)).run(
             make_jobs(4), arrival_iterations=arrivals)
-        off_s = time.perf_counter() - start
+        off_s = watch.elapsed()
 
         cache_bytes = block_size * 4 * segment
         store.attach_cache(BlockCache(capacity_bytes=cache_bytes))
-        start = time.perf_counter()
+        watch.restart()
         on = SharedScanRunner(store, ExecutionConfig(
             blocks_per_segment=segment, prefetch_depth=segment,
             cache_capacity_bytes=cache_bytes)).run(
             make_jobs(4), arrival_iterations=arrivals)
-        on_s = time.perf_counter() - start
+        on_s = watch.elapsed()
 
         outputs_off = {j: r.output for j, r in off.results.items()}
         outputs_on = {j: r.output for j, r in on.results.items()}

@@ -32,11 +32,11 @@ import os
 import pathlib
 import sys
 import tempfile
-import time
 import warnings
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro.common.clock import Stopwatch                        # noqa: E402
 from repro.common.config import ExecutionConfig                 # noqa: E402
 from repro.localrt.jobs import selection_job, wordcount_job     # noqa: E402
 from repro.localrt.engine import collect_map_outputs            # noqa: E402
@@ -148,14 +148,14 @@ def map_phase_mb_s(store: BlockStore, reader, make_jobs, *,
     for _ in range(repetitions):
         for batched in (False, True):
             jobs = make_jobs(batched)
-            start = time.perf_counter()
+            watch = Stopwatch()
             for index in range(store.num_blocks):
                 data: "str | bytes" = (store.read_block_bytes(index)
                                        if batched
                                        else store.read_block(index))
                 collect_map_outputs(jobs, reader, data,
                                     store.block_offset(index))
-            elapsed = time.perf_counter() - start
+            elapsed = watch.elapsed()
             best[batched] = min(best.get(batched, elapsed), elapsed)
     assert best[False] > 0 and best[True] > 0
     return (store.total_bytes / best[False] / 1e6,

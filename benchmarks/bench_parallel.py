@@ -15,10 +15,10 @@ overhead dominates there and the comparison measures nothing).
 import os
 import pathlib
 import tempfile
-import time
 
 import pytest
 
+from repro.common.clock import Stopwatch
 from repro.common.config import ExecutionConfig
 from repro.localrt.jobs import wordcount_job
 from repro.localrt.parallel import BACKEND_NAMES
@@ -63,9 +63,9 @@ def test_backends_identical_and_processes_beat_serial(corpus):
     outputs = {}
     elapsed = {}
     for backend in BACKEND_NAMES:
-        start = time.perf_counter()
+        watch = Stopwatch()
         report = run_backend(corpus, backend)
-        elapsed[backend] = time.perf_counter() - start
+        elapsed[backend] = watch.elapsed()
         outputs[backend] = {job_id: result.output
                             for job_id, result in report.results.items()}
     assert outputs["threads"] == outputs["serial"]

@@ -25,10 +25,10 @@ import json
 import pathlib
 import sys
 import tempfile
-import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro.common.clock import Stopwatch                        # noqa: E402
 from repro.common.config import ExecutionConfig, TraceConfig    # noqa: E402
 from repro.localrt.jobs import wordcount_job                    # noqa: E402
 from repro.localrt.storage import BlockStore                    # noqa: E402
@@ -94,12 +94,12 @@ def main(argv: list[str] | None = None) -> int:
         store = BlockStore.create(tmp / "corpus", corpus,
                                   block_size_bytes=block_size)
         service = SchedulerService(store, config)
-        start = time.perf_counter()
+        watch = Stopwatch()
         replay_iterations(service, events, job_for,
                           iterations_per_second=1.0)
         while service.step():
             pass
-        elapsed = time.perf_counter() - start
+        elapsed = watch.elapsed()
         tickets = service.jobs()
         results = dict(service.results())
         accounts = service.accounts()

@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Sharded-store benchmark: scan sharing, balance, and failover cost.
+
+One scenario, written machine-readably to ``BENCH_shard.json`` so the
+sharded read path's trajectory is tracked across PRs:
+
+* **sharded_scan** — FIFO vs S3 shared scan over a
+  ``ShardedBlockStore`` (4 shards, replication 2), plus the same S3 run
+  on a single ``BlockStore`` built from identical lines.  Gates that
+  the I/O saving is placement-independent and that reads balance across
+  shards (deterministic counters, never raw seconds).
+* **failover** — the same S3 run with one shard failed between scan
+  iterations.  Gates that outputs and logical I/O are unchanged and
+  that ``replica_fallback_reads`` is exactly reproducible.
+
+Run directly (``--smoke`` shrinks the corpus for CI)::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.clock import Stopwatch                        # noqa: E402
+from repro.common.config import ExecutionConfig                 # noqa: E402
+from repro.localrt.jobs import wordcount_job                    # noqa: E402
+from repro.localrt.runners import FifoLocalRunner, SharedScanRunner  # noqa: E402
+from repro.localrt.sharded import ShardedBlockStore, shard_id   # noqa: E402
+from repro.localrt.storage import BlockStore                    # noqa: E402
+from repro.workloads.text import TextCorpusGenerator            # noqa: E402
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+PATTERNS = ["^th.*", ".*ing$", "^[aeiou].*", ".*tion$"]
+ARRIVALS = {"wc0": 0, "wc1": 1, "wc2": 2, "wc3": 4}
+
+NUM_SHARDS = 4
+REPLICATION = 2
+FAILED_SHARD = 0
+FAIL_AT_ITERATION = 1
+
+
+def make_jobs() -> list:
+    return [wordcount_job(f"wc{i}", PATTERNS[i]) for i in range(4)]
+
+
+def outputs_of(report) -> dict:
+    return {job_id: sorted(result.output)
+            for job_id, result in report.results.items()}
+
+
+def bench_sharded(corpus_bytes: int, block_size: int, segment: int) -> dict:
+    """FIFO vs S3 on sharded + single stores, then the failover drill."""
+    config = ExecutionConfig(blocks_per_segment=segment)
+    with tempfile.TemporaryDirectory() as tmp:
+        lines = list(TextCorpusGenerator(vocabulary_size=1200,
+                                         seed=17).lines(corpus_bytes))
+        single = BlockStore.create(pathlib.Path(tmp) / "corpus", lines,
+                                   block_size_bytes=block_size)
+        sharded = ShardedBlockStore.create(
+            pathlib.Path(tmp) / "shards", lines, block_size,
+            num_shards=NUM_SHARDS, replication=REPLICATION)
+        drill = ShardedBlockStore.create(
+            pathlib.Path(tmp) / "shards_fail", lines, block_size,
+            num_shards=NUM_SHARDS, replication=REPLICATION)
+
+        watch = Stopwatch()
+        fifo = FifoLocalRunner(sharded, config).run(make_jobs())
+        fifo_s = watch.elapsed()
+        balance_before = sharded.shard_blocks_read()
+        watch.restart()
+        shared = SharedScanRunner(sharded, config).run(
+            make_jobs(), arrival_iterations=ARRIVALS)
+        shared_s = watch.elapsed()
+        balance = {shard_id(shard): after - before
+                   for shard, (after, before) in enumerate(
+                       zip(sharded.shard_blocks_read(), balance_before))}
+
+        fifo_single = FifoLocalRunner(single, config).run(make_jobs())
+        shared_single = SharedScanRunner(single, config).run(
+            make_jobs(), arrival_iterations=ARRIVALS)
+
+        def lose_shard(iteration: int, run_states: object) -> None:
+            if (iteration == FAIL_AT_ITERATION
+                    and FAILED_SHARD not in drill.down_shards()):
+                drill.fail_shard(FAILED_SHARD)
+
+        watch.restart()
+        drilled = SharedScanRunner(drill, config).run(
+            make_jobs(), arrival_iterations=ARRIVALS,
+            on_iteration_end=lose_shard)
+        drilled_s = watch.elapsed()
+
+        saving = 1 - shared.blocks_read / fifo.blocks_read
+        saving_single = (1 - shared_single.blocks_read
+                         / fifo_single.blocks_read)
+        return {
+            "scan": {
+                "num_blocks": sharded.num_blocks,
+                "num_shards": NUM_SHARDS,
+                "replication": REPLICATION,
+                "iterations": shared.iterations,
+                "fifo_blocks_read": fifo.blocks_read,
+                "s3_blocks_read": shared.blocks_read,
+                "s3_bytes_read": shared.bytes_read,
+                "saving": saving,
+                "saving_single_store": saving_single,
+                "balance": balance,
+                "fifo_seconds": fifo_s,
+                "s3_seconds": shared_s,
+            },
+            "failover": {
+                "failed_shard": FAILED_SHARD,
+                "at_iteration": FAIL_AT_ITERATION,
+                "replica_fallback_reads":
+                    drill.stats_snapshot().replica_fallback_reads,
+                "blocks_read": drilled.blocks_read,
+                "bytes_read": drilled.bytes_read,
+                "seconds": drilled_s,
+            },
+            "checks": {
+                "outputs_identical_fifo_s3":
+                    outputs_of(fifo) == outputs_of(shared),
+                "outputs_identical_to_single_store":
+                    outputs_of(shared) == outputs_of(shared_single),
+                "outputs_identical_after_failover":
+                    outputs_of(drilled) == outputs_of(shared),
+                "logical_io_identical_after_failover":
+                    (drilled.blocks_read == shared.blocks_read
+                     and drilled.bytes_read == shared.bytes_read),
+                "saving_matches_single_store":
+                    abs(saving - saving_single) <= 0.05,
+                "fallback_reads_positive":
+                    drill.stats_snapshot().replica_fallback_reads > 0,
+            },
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus for CI (seconds, not minutes)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        corpus_bytes, block_size, segment = 120_000, 10_000, 4
+    else:
+        corpus_bytes, block_size, segment = 600_000, 25_000, 4
+
+    result = bench_sharded(corpus_bytes, block_size, segment)
+    payload = {
+        "benchmark": "bench_shard",
+        "mode": "smoke" if args.smoke else "full",
+        "host_cpus": os.cpu_count() or 1,
+        "sharded_scan": result["scan"],
+        "failover": result["failover"],
+        "checks": result["checks"],
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    failed = [name for name, ok in result["checks"].items() if ok is False]
+    if failed:
+        print(f"FAILED checks: {failed}", file=sys.stderr)
+        return 1
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

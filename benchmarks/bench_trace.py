@@ -29,10 +29,10 @@ import json
 import pathlib
 import sys
 import tempfile
-import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro.common.clock import Stopwatch                        # noqa: E402
 from repro.common.config import ExecutionConfig, TraceConfig    # noqa: E402
 from repro.localrt.jobs import wordcount_job                    # noqa: E402
 from repro.localrt.runners import SharedScanRunner              # noqa: E402
@@ -62,9 +62,9 @@ def build_store(tmp: str, corpus_bytes: int, block_size: int) -> BlockStore:
 
 
 def timed_run(store: BlockStore, config: ExecutionConfig, n_jobs: int):
-    start = time.perf_counter()
+    watch = Stopwatch()
     report = SharedScanRunner(store, config).run(make_jobs(n_jobs))
-    return time.perf_counter() - start, report
+    return watch.elapsed(), report
 
 
 def normalise(report) -> dict:

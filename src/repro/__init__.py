@@ -20,10 +20,12 @@ else is reachable through the subpackages but carries no stability promise.
 from .common import ClusterConfig, DfsConfig, ExecutionConfig, TraceConfig
 from .localrt import (
     BlockStore,
+    BlockStoreProtocol,
     FifoLocalRunner,
     LocalJob,
     RunReport,
     SharedScanRunner,
+    ShardedBlockStore,
 )
 from .mapreduce import CostModel, JobSpec, SimulationDriver
 from .metrics import compute_metrics, format_table
@@ -39,8 +41,8 @@ __all__ = [
     "CostModel", "JobSpec", "SimulationDriver",
     "FifoScheduler", "MRShareScheduler", "S3Config", "S3Scheduler",
     # local runtime
-    "BlockStore", "FifoLocalRunner", "LocalJob", "RunReport",
-    "SharedScanRunner",
+    "BlockStore", "BlockStoreProtocol", "FifoLocalRunner", "LocalJob",
+    "RunReport", "SharedScanRunner", "ShardedBlockStore",
     # observability
     "MetricsRegistry", "Tracer", "TraceSession",
     # metrics

@@ -171,13 +171,16 @@ READSTATS_FIELDS = frozenset({
     # Bytes-path counters (batched zero-copy scan, PR 7): writable only
     # from the same allowlist so path attribution stays trustworthy.
     "bytes_blocks_read", "mmap_blocks_read",
+    # Sharded-store failover accounting (PR 9).
+    "replica_fallback_reads",
 })
 
 #: Receiver names that identify a ReadStats holder (``store.stats``,
 #: ``self.stats``, ``report.io``...).
 _STATS_RECEIVERS = ("stats", "io")
 
-_REP003_ALLOWLIST = (("localrt", "storage.py"), ("localrt", "counters.py"))
+_REP003_ALLOWLIST = (("localrt", "storage.py"), ("localrt", "counters.py"),
+                     ("localrt", "sharded.py"))
 
 
 def _is_stats_receiver(node: ast.expr) -> bool:

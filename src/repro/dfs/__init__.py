@@ -2,11 +2,17 @@
 
 from .block import Block, DfsFile
 from .namenode import NameNode
-from .placement import PlacementPolicy, RackAwarePlacement, RoundRobinPlacement
+from .placement import (
+    PlacementPolicy,
+    RackAwarePlacement,
+    RoundRobinPlacement,
+    replica_shards,
+)
 from .segments import Segment, SegmentPlan
 
 __all__ = [
     "Block", "DfsFile", "NameNode",
     "PlacementPolicy", "RackAwarePlacement", "RoundRobinPlacement",
+    "replica_shards",
     "Segment", "SegmentPlan",
 ]

@@ -23,8 +23,38 @@ class PlacementPolicy(Protocol):
         ...
 
 
+def replica_shards(block_index: int, num_shards: int,
+                   replication: int) -> tuple[int, ...]:
+    """The canonical block -> replica-holder mapping, as shard *indices*.
+
+    Block ``i``'s primary replica lives on shard ``i % n`` and the
+    remaining ``replication - 1`` copies on the next shards around the
+    ring — exactly :class:`RoundRobinPlacement` with integer holders.
+    Both the simulator's DFS (via :class:`RoundRobinPlacement`) and the
+    local runtime's :class:`~repro.localrt.sharded.ShardedBlockStore`
+    route through this one function, so a block's replica set is
+    identical in both worlds (the first entry is always the primary).
+    """
+    if num_shards <= 0:
+        raise DfsError(f"num_shards must be positive, got {num_shards}")
+    if replication <= 0:
+        raise DfsError(f"replication must be positive, got {replication}")
+    if block_index < 0:
+        raise DfsError(f"block_index must be >= 0, got {block_index}")
+    if replication > num_shards:
+        raise DfsError(
+            f"replication {replication} exceeds shard count {num_shards}")
+    start = block_index % num_shards
+    return tuple((start + r) % num_shards for r in range(replication))
+
+
 class RoundRobinPlacement:
-    """Spread block *i* starting at node ``i % n`` (even data distribution)."""
+    """Spread block *i* starting at node ``i % n`` (even data distribution).
+
+    Delegates the index arithmetic to :func:`replica_shards` so the
+    simulator and the sharded local store can never drift apart on where
+    a block's replicas live.
+    """
 
     def __init__(self, node_ids: Sequence[str]) -> None:
         if not node_ids:
@@ -36,8 +66,8 @@ class RoundRobinPlacement:
         if replication > n:
             raise DfsError(
                 f"replication {replication} exceeds cluster size {n}")
-        start = block_index % n
-        return tuple(self._node_ids[(start + r) % n] for r in range(replication))
+        return tuple(self._node_ids[shard] for shard in
+                     replica_shards(block_index, n, replication))
 
 
 class RackAwarePlacement:

@@ -18,6 +18,7 @@ from .fig3 import run as run_fig3
 from .fig4 import run_panel
 from .local_shared_scan import run as run_local_shared_scan
 from .poisson_sweep import run as run_poisson_sweep
+from .shard import run as run_shard
 from .streaming import run as run_streaming
 from .table1 import run as run_table1
 from .worked_examples import run as run_examples
@@ -44,13 +45,14 @@ REGISTRY: dict[str, ExperimentRunner] = {
     "ext-local": run_local_shared_scan,
     "ext-poisson": run_poisson_sweep,
     "ext-stream": run_streaming,
+    "ext-shard": run_shard,
 }
 
 #: Order used by ``run all``.
 ALL = ("table1", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e",
        "fig4f", "ex123", "abl-seg", "abl-het", "abl-spec", "abl-fault",
        "abl-dispatch", "abl-noise", "ext-sched", "ext-local", "ext-poisson",
-       "ext-stream")
+       "ext-stream", "ext-shard")
 
 
 def get_runner(experiment_id: str) -> ExperimentRunner:

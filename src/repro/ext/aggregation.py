@@ -32,8 +32,8 @@ from ..common.errors import ExecutionError
 from ..localrt.api import Record
 from ..localrt.engine import JobRunState
 from ..localrt.records import RecordReader
+from ..localrt.api import BlockStoreProtocol
 from ..localrt.runners import RunReport, SharedScanRunner
-from ..localrt.storage import BlockStore
 
 
 def fold_partial_aggregates(states: Sequence[JobRunState]) -> None:
@@ -88,7 +88,7 @@ def _normalise(output: list[Record]) -> list[tuple[str, str]]:
 
 
 def compare_collection_schemes(
-        store: BlockStore, jobs_factory, *,
+        store: BlockStoreProtocol, jobs_factory, *,
         reader: RecordReader | None = None,
         blocks_per_segment: int = 4,
         arrival_iterations: Mapping[str, int] | None = None,

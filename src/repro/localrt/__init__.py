@@ -4,6 +4,7 @@ shared scanning, used to demonstrate byte-level scan sharing on real data."""
 from .api import (
     BlockData,
     BlockMapper,
+    BlockStoreProtocol,
     IdentityReducer,
     JobResult,
     LocalJob,
@@ -49,10 +50,12 @@ from .parallel import (
 from .prefetch import ReadAheadPrefetcher
 from .records import DelimitedReader, RecordReader, TextLineReader
 from .runners import FifoLocalRunner, RunReport, SharedScanRunner
+from .sharded import ShardedBlockStore, open_store
 from .storage import BlockStore, ReadStats
 
 __all__ = [
-    "BlockData", "BlockMapper", "IdentityReducer", "JobResult", "LocalJob",
+    "BlockData", "BlockMapper", "BlockStoreProtocol", "IdentityReducer",
+    "JobResult", "LocalJob",
     "Mapper", "Record", "Reducer", "SumReducer", "default_partitioner",
     "BlockCache", "CacheStats", "ReadAheadPrefetcher",
     "FRAMEWORK_GROUP", "Counters", "CounterUser",
@@ -67,5 +70,5 @@ __all__ = [
     "SUCCESS_MARKER", "read_output", "write_output",
     "DelimitedReader", "RecordReader", "TextLineReader",
     "FifoLocalRunner", "LiveScanExecutor", "RunReport", "SharedScanRunner",
-    "BlockStore", "ReadStats",
+    "BlockStore", "ReadStats", "ShardedBlockStore", "open_store",
 ]

@@ -12,14 +12,102 @@ from __future__ import annotations
 import abc
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Iterable, Iterator
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Hashable,
+    Iterable,
+    Iterator,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from ..common.errors import ExecutionError
 from .counters import Counters
 from .records import RecordReader, TextLineReader
 
+if TYPE_CHECKING:  # pragma: no cover
+    import pathlib
+
+    from ..obs.tracer import Tracer
+    from .storage import ReadStats
+
 #: A key/value record flowing through the pipeline.
 Record = tuple[Hashable, Any]
+
+
+@runtime_checkable
+class BlockStoreProtocol(Protocol):
+    """What the runtime needs from *any* block store.
+
+    Both the single-directory :class:`~repro.localrt.storage.BlockStore`
+    and the replicated :class:`~repro.localrt.sharded.ShardedBlockStore`
+    satisfy this protocol; runners, the prefetcher, the map backends and
+    the scheduler service are typed against it, so execution code never
+    branches on the concrete store class.  The contract splits in four:
+
+    * **geometry** — ``num_blocks`` / ``total_bytes`` / per-block sizes,
+      offsets and replica locations, all fixed once the store is open;
+    * **reads** — ``read_block`` (decoded text) / ``read_block_bytes``
+      (zero-copy) / ``iter_blocks``, each charging one *logical* read,
+      plus advisory ``prefetch_block`` warming (physical only);
+    * **accounting** — ``stats_snapshot`` / ``logical_blocks_read`` /
+      ``reset_stats`` over one cumulative
+      :class:`~repro.localrt.storage.ReadStats`, and
+      ``note_external_read`` for mirroring worker-process reads;
+    * **attachments** — idempotent ``ensure_cache`` plus ``has_cache`` /
+      ``cache_stats`` introspection, and ``attach_tracer`` for stores
+      with placement events to emit.
+
+    ``directory`` is the store's on-disk root: opening the same path in
+    another process must yield an equivalent store (the process map
+    backend relies on exactly this).
+    """
+
+    @property
+    def directory(self) -> "pathlib.Path": ...
+
+    @property
+    def num_blocks(self) -> int: ...
+
+    @property
+    def total_bytes(self) -> int: ...
+
+    @property
+    def has_cache(self) -> bool: ...
+
+    def block_size_bytes(self, index: int) -> int: ...
+
+    def block_offset(self, index: int) -> int: ...
+
+    def block_locations(self, index: int) -> tuple[str, ...]: ...
+
+    def read_block(self, index: int) -> str: ...
+
+    def read_block_bytes(self, index: int) -> bytes: ...
+
+    def iter_blocks(self) -> Iterator[tuple[int, str]]: ...
+
+    def prefetch_block(self, index: int) -> bool: ...
+
+    def ensure_cache(self, capacity_bytes: int) -> None: ...
+
+    def cache_stats(self) -> dict[str, int] | None: ...
+
+    def attach_tracer(self, tracer: "Tracer | None") -> None: ...
+
+    def stats_snapshot(self) -> "ReadStats": ...
+
+    def logical_blocks_read(self) -> int: ...
+
+    def reset_stats(self) -> None: ...
+
+    def note_external_read(self, blocks: int, nbytes: int, *,
+                           bytes_blocks: int = 0,
+                           block_indices: Sequence[int] | None = None,
+                           ) -> None: ...
 
 
 class BlockData(bytes):

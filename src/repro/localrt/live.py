@@ -29,12 +29,11 @@ from typing import Sequence
 
 from ..common.config import ExecutionConfig
 from ..obs.tracer import Tracer
-from .api import JobResult
+from .api import BlockStoreProtocol, JobResult
 from .engine import JobRunState, count_pending_values, run_reduce
 from .parallel import MapTaskSpec, execute_map_wave
 from .prefetch import ReadAheadPrefetcher
 from .runners import _LocalRunnerBase, _start_prefetcher
-from .storage import BlockStore
 
 
 class LiveScanExecutor(_LocalRunnerBase):
@@ -48,7 +47,7 @@ class LiveScanExecutor(_LocalRunnerBase):
 
     _tracer_name = "service"
 
-    def __init__(self, store: BlockStore,
+    def __init__(self, store: BlockStoreProtocol,
                  config: "ExecutionConfig | None" = None, *,
                  tracer: Tracer | None = None) -> None:
         super().__init__(store, config, tracer=tracer)
@@ -77,6 +76,7 @@ class LiveScanExecutor(_LocalRunnerBase):
         label = f"iter_{iteration_index}"
         wave_before = (self.store.stats_snapshot()
                        if self.tracer.enabled else None)
+        self._wave_placement(label, [task.block_index for task in tasks])
         with self.tracer.span("s3.iteration", subject=label,
                               pointer=pointer, blocks=len(tasks),
                               jobs=len(job_ids), job_ids=list(job_ids)):

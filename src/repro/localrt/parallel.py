@@ -40,11 +40,10 @@ from typing import TYPE_CHECKING, Sequence
 from ..common.config import ExecutionConfig
 from ..common.errors import ExecutionError
 from ..obs.tracer import NULL_TRACER, Tracer
-from .api import BlockMapper, LocalJob, Record
+from .api import BlockMapper, BlockStoreProtocol, LocalJob, Record
 from .counters import Counters
 from .engine import JobRunState, absorb_map_result, collect_map_outputs
 from .records import RecordReader
-from .storage import BlockStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from concurrent.futures import Executor
@@ -79,7 +78,7 @@ class MapBackend(abc.ABC):
     name: str = "backend"
 
     @abc.abstractmethod
-    def run_wave(self, store: BlockStore, reader: RecordReader,
+    def run_wave(self, store: BlockStoreProtocol, reader: RecordReader,
                  tasks: Sequence[MapTaskSpec], *,
                  tracer: Tracer | None = None) -> list[TaskResult]:
         """Collect every task's map output (no shared-state mutation).
@@ -105,7 +104,7 @@ class SerialMapBackend(MapBackend):
 
     name = "serial"
 
-    def run_wave(self, store: BlockStore, reader: RecordReader,
+    def run_wave(self, store: BlockStoreProtocol, reader: RecordReader,
                  tasks: Sequence[MapTaskSpec], *,
                  tracer: Tracer | None = None) -> list[TaskResult]:
         return [_collect_in_parent(store, reader, task, tracer)
@@ -121,7 +120,7 @@ class ThreadMapBackend(MapBackend):
         self.workers = _resolve_workers(workers)
         self._pool: "Executor | None" = None
 
-    def run_wave(self, store: BlockStore, reader: RecordReader,
+    def run_wave(self, store: BlockStoreProtocol, reader: RecordReader,
                  tasks: Sequence[MapTaskSpec], *,
                  tracer: Tracer | None = None) -> list[TaskResult]:
         if self._pool is None:
@@ -154,7 +153,7 @@ class ProcessMapBackend(MapBackend):
         #: Job ids already proven picklable (validated once per job).
         self._validated: set[str] = set()
 
-    def run_wave(self, store: BlockStore, reader: RecordReader,
+    def run_wave(self, store: BlockStoreProtocol, reader: RecordReader,
                  tasks: Sequence[MapTaskSpec], *,
                  tracer: Tracer | None = None) -> list[TaskResult]:
         self._validate_picklable(tasks, reader)
@@ -173,8 +172,12 @@ class ProcessMapBackend(MapBackend):
             # Whether the worker took the bytes path is a pure function
             # of (jobs, reader), so the parent mirrors that too.
             bytes_blocks = 1 if _task_wants_bytes(task, reader) else 0
+            # Naming the block lets a sharded store attribute the read to
+            # the shard that actually served it in the worker (replica
+            # routing is deterministic and shared via on-disk markers).
             store.note_external_read(blocks=1, nbytes=block_bytes,
-                                     bytes_blocks=bytes_blocks)
+                                     bytes_blocks=bytes_blocks,
+                                     block_indices=(task.block_index,))
             if tracer is not None and tracer.enabled:
                 tracer.event("map.task.remote",
                              subject=f"block_{task.block_index}",
@@ -226,7 +229,7 @@ def _task_wants_bytes(task: MapTaskSpec, reader: RecordReader) -> bool:
     return any(_job_wants_bytes(state.job, reader) for state in task.states)
 
 
-def _read_for_task(store: BlockStore, reader: RecordReader,
+def _read_for_task(store: BlockStoreProtocol, reader: RecordReader,
                    task: MapTaskSpec) -> "tuple[str | bytes, int]":
     """Read the task's block via the path its jobs will consume.
 
@@ -241,7 +244,7 @@ def _read_for_task(store: BlockStore, reader: RecordReader,
     return data, store.block_offset(task.block_index)
 
 
-def _collect_in_parent(store: BlockStore, reader: RecordReader,
+def _collect_in_parent(store: BlockStoreProtocol, reader: RecordReader,
                        task: MapTaskSpec,
                        tracer: Tracer | None = None) -> TaskResult:
     """Read + map + combine one block inside the parent process."""
@@ -259,7 +262,7 @@ def _collect_in_parent(store: BlockStore, reader: RecordReader,
 
 #: Per-worker-process cache of opened stores (keyed by directory), so a
 #: long wave does not re-glob the block directory for every task.
-_WORKER_STORES: dict[str, BlockStore] = {}
+_WORKER_STORES: dict[str, BlockStoreProtocol] = {}
 
 
 def _collect_in_worker(directory: str, block_index: int,
@@ -269,7 +272,11 @@ def _collect_in_worker(directory: str, block_index: int,
     """Module-level worker entry point (must be importable for pickling)."""
     store = _WORKER_STORES.get(directory)
     if store is None:
-        store = BlockStore(directory)
+        # Dispatch on the on-disk layout: sharded stores reopen as
+        # sharded (with replica routing + .down markers honoured),
+        # plain directories as single stores.
+        from .sharded import open_store
+        store = open_store(directory)
         _WORKER_STORES[directory] = store
     if any(_job_wants_bytes(job, reader) for job in jobs):
         data: "str | bytes" = store.read_block_bytes(block_index)
@@ -334,7 +341,7 @@ def resolve_backend(backend: "MapBackend | str | None",
         f"got {backend!r}")
 
 
-def execute_map_wave(store: BlockStore, reader: RecordReader,
+def execute_map_wave(store: BlockStoreProtocol, reader: RecordReader,
                      tasks: list[MapTaskSpec], *, workers: int = 1,
                      backend: "MapBackend | str | None" = None,
                      tracer: Tracer | None = None) -> None:

@@ -30,7 +30,7 @@ from ..analysis.lockgraph import OrderedLock
 from ..analysis.racecheck import register_instance
 from ..common.errors import ExecutionError
 from ..obs.tracer import NULL_TRACER, Tracer
-from .storage import BlockStore
+from .api import BlockStoreProtocol
 
 #: Worker poll interval while waiting for the demand scan to catch up.
 _POLL_SECONDS = 0.002
@@ -55,14 +55,14 @@ class ReadAheadPrefetcher:
         headroom (how far ahead of the demand reads it ran).
     """
 
-    def __init__(self, store: BlockStore, *, depth: int = 2,
+    def __init__(self, store: BlockStoreProtocol, *, depth: int = 2,
                  tracer: Tracer | None = None) -> None:
         if depth < 1:
             raise ExecutionError(f"prefetch depth must be >= 1, got {depth}")
-        if store.cache is None:
+        if not store.has_cache:
             raise ExecutionError(
                 "read-ahead prefetching requires a BlockCache attached to "
-                "the store (see BlockStore.attach_cache)")
+                "the store (see BlockStore.ensure_cache)")
         self._store = store
         self.depth = depth
         self._tracer = tracer if tracer is not None else NULL_TRACER

@@ -57,8 +57,8 @@ from ..obs.export import export_chrome, export_jsonl
 from ..obs.metrics import MetricsRegistry
 from ..obs.runtime import resolve_tracer
 from ..obs.tracer import Tracer
-from .api import JobResult, LocalJob
-from .cache import BlockCache
+from ..schedulers.assignment import group_blocks_by_location
+from .api import BlockStoreProtocol, JobResult, LocalJob
 from .counters import Counters
 from .engine import JobRunState, count_pending_values, run_reduce
 from .parallel import (
@@ -70,7 +70,7 @@ from .parallel import (
 )
 from .prefetch import ReadAheadPrefetcher
 from .records import RecordReader, TextLineReader
-from .storage import BlockStore, ReadStats
+from .storage import ReadStats
 
 #: Hook invoked after each shared-scan iteration's map phase:
 #: ``hook(iteration_index, participating_run_states)``.
@@ -123,12 +123,12 @@ class RunReport:
         return counters
 
 
-def _attach_cache_from_config(store: BlockStore,
+def _attach_cache_from_config(store: BlockStoreProtocol,
                               config: ExecutionConfig) -> None:
     """Attach the cache an ExecutionConfig asks for (idempotent: an
     already-attached cache is kept, so repeat runners share it)."""
-    if config.cache_capacity_bytes is not None and store.cache is None:
-        store.attach_cache(BlockCache(config.cache_capacity_bytes))
+    if config.cache_capacity_bytes is not None and not store.has_cache:
+        store.ensure_cache(config.cache_capacity_bytes)
 
 
 def _deprecated(message: str) -> None:
@@ -154,7 +154,7 @@ class _LocalRunnerBase:
     #: Tracer name for this runner kind (exporters show it as the track).
     _tracer_name = "localrt"
 
-    def __init__(self, store: BlockStore,
+    def __init__(self, store: BlockStoreProtocol,
                  config: "ExecutionConfig | RecordReader | None" = None, *,
                  reader: RecordReader | None = None,
                  tracer: Tracer | None = None,
@@ -207,6 +207,9 @@ class _LocalRunnerBase:
                  else prefetch_depth)
         self.prefetch_depth = _check_prefetch_depth(store, depth)
         self.tracer = _resolve_tracer(tracer, config, self._tracer_name)
+        # Placement-aware stores emit shard.read/shard.failover through
+        # the runner's tracer; a single store's attach is a no-op.
+        store.attach_tracer(self.tracer)
         #: Per-run metric instruments (populated only while tracing).
         self.metrics = MetricsRegistry()
 
@@ -229,6 +232,26 @@ class _LocalRunnerBase:
         self.close()
 
     # ---------------------------------------------------------- observability
+    def _wave_placement(self, label: str, blocks: Sequence[int]) -> None:
+        """Annotate a wave with where its blocks will be served from.
+
+        Groups the wave's blocks by preferred (first-listed) replica
+        holder — for a sharded store that is the primary shard, or the
+        first live replica once a shard is down.  Purely observational:
+        task order (and therefore absorb order and job outputs) never
+        changes.  Single stores report only the synthetic ``"local"``
+        node, so the event is skipped for them.
+        """
+        if not self.tracer.enabled or not blocks:
+            return
+        plan = group_blocks_by_location(self.store.block_locations, blocks)
+        if set(plan) == {"local"}:
+            return
+        self.tracer.event(
+            "wave.placement", subject=label,
+            args={location: len(held)
+                  for location, held in sorted(plan.items())})
+
     def _absorb_wave(self, label: str, before: ReadStats) -> None:
         """Record one wave's I/O delta as an ``io.wave`` event + metrics."""
         delta = self.store.stats_snapshot().delta(before)
@@ -246,9 +269,9 @@ class _LocalRunnerBase:
         """End-of-run bookkeeping: cache event, metrics + export paths."""
         if not self.tracer.enabled:
             return report
-        if self.store.cache is not None:
-            self.tracer.event("cache.stats",
-                              args=self.store.cache.stats.snapshot())
+        cache_stats = self.store.cache_stats()
+        if cache_stats is not None:
+            self.tracer.event("cache.stats", args=cache_stats)
         report.metrics = self.metrics
         trace = self.config.trace
         if trace.path is not None:
@@ -273,8 +296,9 @@ class FifoLocalRunner(_LocalRunnerBase):
     _tracer_name = "fifo"
 
     @classmethod
-    def from_config(cls, store: BlockStore, config: ExecutionConfig, *,
-                    reader: RecordReader | None = None) -> "FifoLocalRunner":
+    def from_config(cls, store: BlockStoreProtocol, config: ExecutionConfig,
+                    *, reader: RecordReader | None = None,
+                    ) -> "FifoLocalRunner":
         """Deprecated alias of ``FifoLocalRunner(store, config)``."""
         warnings.warn(
             "FifoLocalRunner.from_config(store, config) is deprecated; "
@@ -323,6 +347,8 @@ class FifoLocalRunner(_LocalRunnerBase):
                 # cap keeps the warmer just ahead of the demand reads.
                 prefetcher.schedule(range(self.store.num_blocks))
             job_before = self.store.stats_snapshot() if traced else None
+            self._wave_placement(job.job_id,
+                                 [task.block_index for task in tasks])
             with self.tracer.span("fifo.job", subject=job.job_id,
                                   blocks=len(tasks)):
                 execute_map_wave(self.store, self.reader, tasks,
@@ -377,7 +403,7 @@ class SharedScanRunner(_LocalRunnerBase):
 
     _tracer_name = "shared-scan"
 
-    def __init__(self, store: BlockStore,
+    def __init__(self, store: BlockStoreProtocol,
                  config: "ExecutionConfig | None" = None, *,
                  reader: RecordReader | None = None,
                  tracer: Tracer | None = None,
@@ -399,8 +425,8 @@ class SharedScanRunner(_LocalRunnerBase):
             self.blocks_per_segment = self.config.blocks_per_segment
 
     @classmethod
-    def from_config(cls, store: BlockStore, config: ExecutionConfig, *,
-                    reader: RecordReader | None = None,
+    def from_config(cls, store: BlockStoreProtocol, config: ExecutionConfig,
+                    *, reader: RecordReader | None = None,
                     blocks_per_segment: int = 4) -> "SharedScanRunner":
         """Deprecated alias of ``SharedScanRunner(store, config)``.
 
@@ -502,6 +528,8 @@ class SharedScanRunner(_LocalRunnerBase):
                 tasks.append(MapTaskSpec(block_index=pointer + offset,
                                          states=participants))
             wave_before = self.store.stats_snapshot() if traced else None
+            self._wave_placement(f"iter_{iteration}",
+                                 [task.block_index for task in tasks])
             with self.tracer.span("s3.iteration", subject=f"iter_{iteration}",
                                   pointer=pointer, blocks=chunk_len,
                                   jobs=len(active),
@@ -550,11 +578,11 @@ class SharedScanRunner(_LocalRunnerBase):
         return iteration
 
 
-def _check_prefetch_depth(store: BlockStore, depth: int) -> int:
+def _check_prefetch_depth(store: BlockStoreProtocol, depth: int) -> int:
     """Validate a runner's prefetch knob against its store."""
     if depth < 0:
         raise ExecutionError(f"prefetch_depth must be >= 0, got {depth}")
-    if depth > 0 and store.cache is None:
+    if depth > 0 and not store.has_cache:
         raise ExecutionError(
             "prefetch_depth > 0 requires a BlockCache on the store "
             "(attach one, or set cache_capacity_bytes on the "
@@ -562,10 +590,10 @@ def _check_prefetch_depth(store: BlockStore, depth: int) -> int:
     return depth
 
 
-def _start_prefetcher(store: BlockStore, depth: int,
+def _start_prefetcher(store: BlockStoreProtocol, depth: int,
                       tracer: Tracer | None = None,
                       ) -> ReadAheadPrefetcher | None:
     """One prefetcher per run (its pacing baseline is the run's start)."""
-    if depth <= 0 or store.cache is None:
+    if depth <= 0 or not store.has_cache:
         return None
     return ReadAheadPrefetcher(store, depth=depth, tracer=tracer)

@@ -1,0 +1,516 @@
+"""Sharded block store: N replica shards behind the single-store API.
+
+The paper's cluster spreads a file's blocks over many nodes (replication
+1, round-robin — §V); the local runtime until now collapsed that to one
+directory.  :class:`ShardedBlockStore` restores the placement dimension
+on a single machine: the file's blocks are distributed over ``N`` shard
+directories with replication factor ``R`` using the *same*
+block→replica mapping as the simulator's DFS
+(:func:`repro.dfs.placement.replica_shards` — primary on shard
+``i % N``, copies on the next shards around the ring), so scheduling
+code can reason about locality identically in both worlds.
+
+Each shard directory is a plain :class:`~repro.localrt.storage.BlockStore`
+(block files keep their *global* index in the name, so a shard's sorted
+directory listing is its sorted global holdings).  Every read routes to
+the first *live* replica — primary first — and failure injection is just
+state: :meth:`ShardedBlockStore.fail_shard` marks a shard down (in
+memory plus an on-disk ``.down`` marker, so worker processes observe the
+failure too) and subsequent reads of its primaries fail over to replica
+shards, charging ``replica_fallback_reads`` and emitting
+``shard.failover`` events.  Block files are never deleted — a "failed"
+shard is unavailable, not erased — and replicas are byte-identical, so
+job outputs are unchanged by any failover pattern.
+
+Counter model: each shard store keeps its own
+:class:`~repro.localrt.storage.ReadStats` (that is where routed reads
+are charged, preserving the logical/physical split per shard), and the
+facade aggregates them field-wise on :meth:`stats_snapshot`, folding in
+a small ``_extra_stats`` record of its own for ``replica_fallback_reads``
+and unattributed external reads.  :meth:`shard_blocks_read` exposes the
+per-shard logical read balance that the analyze report tabulates.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import fields
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence, Union
+
+from ..analysis.lockgraph import OrderedLock
+from ..analysis.racecheck import register_instance
+from ..common.errors import ExecutionError
+from ..dfs.placement import replica_shards
+from .storage import BlockStore, ReadStats, iter_block_payloads
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.tracer import Tracer
+
+#: Manifest file marking a directory as a sharded store (and recording
+#: its geometry); :func:`open_store` dispatches on its presence.
+MANIFEST_NAME = "_shards.json"
+#: Shard directory naming, e.g. ``shard_00``.
+SHARD_PATTERN = "shard_{:02d}"
+#: Marker file inside a shard directory while that shard is "down".
+DOWN_MARKER = ".down"
+
+
+def shard_id(index: int) -> str:
+    """Directory / location name of shard ``index`` (``shard_03``)."""
+    return SHARD_PATTERN.format(index)
+
+
+class ShardedBlockStore:
+    """A file stored as line-aligned blocks across N replica shards.
+
+    Satisfies :class:`~repro.localrt.api.BlockStoreProtocol`: runners,
+    prefetcher, map backends and the scheduler service drive it exactly
+    like a single :class:`~repro.localrt.storage.BlockStore`, with two
+    additions — placement (``block_locations`` returns real shard names,
+    live replicas first) and failure injection (:meth:`fail_shard` /
+    :meth:`restore_shard`).
+    """
+
+    def __init__(self, directory: pathlib.Path | str) -> None:
+        self.directory = pathlib.Path(directory)
+        manifest_path = self.directory / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ExecutionError(
+                f"{self.directory} has no {MANIFEST_NAME} manifest "
+                "(not a sharded block store)")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            num_shards = int(manifest["num_shards"])
+            replication = int(manifest["replication"])
+            num_blocks = int(manifest["num_blocks"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExecutionError(
+                f"corrupt shard manifest {manifest_path}: {exc}") from exc
+        if num_shards <= 0:
+            raise ExecutionError(
+                f"manifest num_shards must be positive, got {num_shards}")
+        if not 1 <= replication <= num_shards:
+            raise ExecutionError(
+                f"manifest replication {replication} out of range "
+                f"1..{num_shards}")
+        if num_blocks <= 0:
+            raise ExecutionError(
+                f"manifest num_blocks must be positive, got {num_blocks}")
+        self._num_shards = num_shards
+        self._replication = replication
+        self._num_blocks = num_blocks
+
+        # Which global blocks each shard holds (ascending — matching the
+        # shard store's sorted directory listing, since block files keep
+        # their global index in the name).
+        holdings: list[list[int]] = [[] for _ in range(num_shards)]
+        for block in range(num_blocks):
+            for shard in replica_shards(block, num_shards, replication):
+                holdings[shard].append(block)
+        self._shard_stores: list[BlockStore | None] = []
+        self._local_index: list[dict[int, int]] = []
+        for shard in range(num_shards):
+            held = holdings[shard]
+            if not held:
+                # More shards than blocks: this shard holds nothing.
+                self._shard_stores.append(None)
+                self._local_index.append({})
+                continue
+            store = BlockStore(self.directory / shard_id(shard))
+            if store.num_blocks != len(held):
+                raise ExecutionError(
+                    f"shard {shard} of {self.directory} holds "
+                    f"{store.num_blocks} blocks; manifest expects "
+                    f"{len(held)}")
+            self._shard_stores.append(store)
+            self._local_index.append(
+                {block: local for local, block in enumerate(held)})
+
+        # Global geometry, taken from each block's primary replica
+        # (replicas are byte-identical, so any replica would do).
+        self._sizes: list[int] = []
+        self._offsets: list[int] = []
+        offset = 0
+        for block in range(num_blocks):
+            primary = block % num_shards
+            store = self._shard_stores[primary]
+            if store is None:  # unreachable: a primary always holds its block
+                raise ExecutionError(
+                    f"shard {primary} missing primary replica of "
+                    f"block {block}")
+            size = store.block_size_bytes(self._local_index[primary][block])
+            self._offsets.append(offset)
+            self._sizes.append(size)
+            offset += size
+        self._total_bytes = offset
+
+        #: Guards the facade's own counters and the observed-down set
+        #: (shard stores guard their stats themselves).
+        self._lock = OrderedLock("ShardedBlockStore._lock")
+        self._extra_stats = ReadStats()  # guarded-by: _lock
+        register_instance(
+            self._extra_stats,
+            fields=tuple(f.name for f in fields(ReadStats)),
+            guard="ShardedBlockStore._lock",
+            label="ShardedBlockStore._extra_stats")
+        self._down: set[int] = set()  # guarded-by: _lock
+        self._tracer: "Tracer | None" = None
+
+    # -------------------------------------------------------------- creation
+    @classmethod
+    def create(cls, directory: pathlib.Path | str, lines: Iterable[str],
+               block_size_bytes: int, *, num_shards: int = 4,
+               replication: int = 2) -> "ShardedBlockStore":
+        """Write ``lines`` into ``num_shards`` replica shards.
+
+        Chunking is identical to :meth:`BlockStore.create` (same
+        :func:`~repro.localrt.storage.iter_block_payloads` helper), so a
+        sharded store and a single store built from the same lines hold
+        byte-identical blocks; each payload is then written to every
+        replica shard of its block.
+        """
+        directory = pathlib.Path(directory)
+        if num_shards <= 0:
+            raise ExecutionError(
+                f"num_shards must be positive, got {num_shards}")
+        if not 1 <= replication <= num_shards:
+            raise ExecutionError(
+                f"replication {replication} out of range 1..{num_shards}")
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / MANIFEST_NAME).exists():
+            raise ExecutionError(
+                f"{directory} already contains a sharded store")
+        for shard in range(num_shards):
+            shard_dir = directory / shard_id(shard)
+            shard_dir.mkdir(exist_ok=True)
+            existing = list(shard_dir.glob("block_*.dat"))
+            if existing:
+                raise ExecutionError(
+                    f"{shard_dir} already contains {len(existing)} blocks")
+        num_blocks = 0
+        for block, payload in enumerate(
+                iter_block_payloads(lines, block_size_bytes)):
+            filename = BlockStore.BLOCK_PATTERN.format(block)
+            for shard in replica_shards(block, num_shards, replication):
+                (directory / shard_id(shard) / filename).write_bytes(payload)
+            num_blocks = block + 1
+        if num_blocks == 0:
+            raise ExecutionError("cannot create a block store from no lines")
+        manifest = {"num_shards": num_shards, "replication": replication,
+                    "num_blocks": num_blocks}
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, sort_keys=True) + "\n")
+        return cls(directory)
+
+    # ---------------------------------------------------------------- access
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    @property
+    def total_bytes(self) -> int:
+        """Logical file size (each block counted once, not per replica)."""
+        return self._total_bytes
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def replication(self) -> int:
+        return self._replication
+
+    def block_size_bytes(self, index: int) -> int:
+        self._check(index)
+        return self._sizes[index]
+
+    def block_offset(self, index: int) -> int:
+        self._check(index)
+        return self._offsets[index]
+
+    def block_locations(self, index: int) -> tuple[str, ...]:
+        """Replica shard names for block ``index``, most-preferred first.
+
+        Live replicas come first (primary leading, ring order
+        preserved), then any currently-down replica holders — the same
+        preference order :meth:`read_block` routes by, which is what
+        makes assignment decisions based on ``locations[0]`` agree with
+        where the bytes will actually be served from.
+        """
+        self._check(index)
+        live: list[str] = []
+        down: list[str] = []
+        for shard in replica_shards(index, self._num_shards,
+                                    self._replication):
+            target = down if self._is_down(shard) else live
+            target.append(shard_id(shard))
+        return tuple(live + down)
+
+    # ----------------------------------------------------------- attachments
+    @property
+    def has_cache(self) -> bool:
+        """True once every (non-empty) shard has a block cache."""
+        stores = [s for s in self._shard_stores if s is not None]
+        return all(store.has_cache for store in stores)
+
+    def ensure_cache(self, capacity_bytes: int) -> None:
+        """Attach per-shard block caches splitting ``capacity_bytes``
+        evenly (idempotent per shard — shards that already have a cache
+        keep it)."""
+        if capacity_bytes <= 0:
+            raise ExecutionError(
+                f"cache capacity must be positive, got {capacity_bytes}")
+        stores = [s for s in self._shard_stores if s is not None]
+        per_shard = max(capacity_bytes // len(stores), 1)
+        for store in stores:
+            store.ensure_cache(per_shard)
+
+    def cache_stats(self) -> dict[str, int] | None:
+        """Key-wise sum of every shard cache's counters (``None`` when
+        no shard has a cache attached)."""
+        totals: dict[str, int] = {}
+        seen = False
+        for store in self._shard_stores:
+            if store is None:
+                continue
+            snap = store.cache_stats()
+            if snap is None:
+                continue
+            seen = True
+            for key, value in snap.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals if seen else None
+
+    def attach_tracer(self, tracer: "Tracer | None") -> None:
+        """Set the sink for ``shard.read`` / ``shard.failover`` /
+        ``shard.down`` / ``shard.up`` events (``None`` detaches)."""
+        self._tracer = tracer
+
+    # ------------------------------------------------------ failure injection
+    def fail_shard(self, index: int) -> None:
+        """Mark shard ``index`` down: subsequent reads of blocks whose
+        primary lives there fail over to replica shards.
+
+        The failure is recorded in memory *and* as a ``.down`` marker
+        file in the shard directory, so map workers in other processes
+        (which open the store by path) observe it on their next read.
+        Block files are untouched — :meth:`restore_shard` undoes this.
+        """
+        self._check_shard(index)
+        marker = self.directory / shard_id(index) / DOWN_MARKER
+        marker.write_bytes(b"")
+        with self._lock:
+            self._down.add(index)
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event("shard.down", subject="store",
+                         args={"shard": shard_id(index)})
+
+    def restore_shard(self, index: int) -> None:
+        """Bring shard ``index`` back: reads prefer it again wherever it
+        holds the primary replica."""
+        self._check_shard(index)
+        marker = self.directory / shard_id(index) / DOWN_MARKER
+        marker.unlink(missing_ok=True)
+        with self._lock:
+            self._down.discard(index)
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event("shard.up", subject="store",
+                         args={"shard": shard_id(index)})
+
+    def down_shards(self) -> tuple[int, ...]:
+        """Currently-observed down shards, ascending (marker files from
+        other processes count once a read has observed them)."""
+        for shard in range(self._num_shards):
+            self._is_down(shard)
+        with self._lock:
+            return tuple(sorted(self._down))
+
+    # ------------------------------------------------------------------ reads
+    def read_block(self, index: int) -> str:
+        """Read one block's text from its first live replica."""
+        store, local, shard, fallback = self._serve(index)
+        text = store.read_block(local)
+        self._note_read(index, shard, fallback)
+        return text
+
+    def read_block_bytes(self, index: int) -> bytes:
+        """Read one block's raw bytes from its first live replica."""
+        store, local, shard, fallback = self._serve(index)
+        data = store.read_block_bytes(local)
+        self._note_read(index, shard, fallback)
+        return data
+
+    def iter_blocks(self) -> Iterator[tuple[int, str]]:
+        """Sequentially read every block (counts toward the I/O stats)."""
+        for index in range(self._num_blocks):
+            yield index, self.read_block(index)
+
+    def prefetch_block(self, index: int) -> bool:
+        """Warm block ``index`` in its serving shard's cache (physical
+        counters only — same contract as the single store)."""
+        store, local, _shard, _fallback = self._serve(index)
+        return store.prefetch_block(local)
+
+    def note_external_read(self, blocks: int, nbytes: int, *,
+                           bytes_blocks: int = 0,
+                           block_indices: Sequence[int] | None = None,
+                           ) -> None:
+        """Fold worker-process reads into the counters, per serving shard.
+
+        With ``block_indices`` (what the process map backend passes),
+        each read is routed exactly as the worker routed it — same
+        replica mapping, same on-disk down markers — and charged to that
+        shard's stats, with failovers counted and traced here in the
+        parent.  ``nbytes`` must match the blocks' on-disk sizes (the
+        mirror is an accounting claim, not a measurement).  Without
+        indices the read cannot be attributed and lands in the facade's
+        own unattributed-counter record.
+        """
+        if blocks < 0 or nbytes < 0 or bytes_blocks < 0:
+            raise ExecutionError(
+                f"external read counts must be non-negative, "
+                f"got blocks={blocks}, nbytes={nbytes}, "
+                f"bytes_blocks={bytes_blocks}")
+        if bytes_blocks > blocks:
+            raise ExecutionError(
+                f"bytes_blocks ({bytes_blocks}) cannot exceed "
+                f"blocks ({blocks})")
+        if block_indices is None:
+            with self._lock:
+                self._extra_stats.blocks_read += blocks
+                self._extra_stats.bytes_read += nbytes
+                self._extra_stats.physical_blocks_read += blocks
+                self._extra_stats.physical_bytes_read += nbytes
+                self._extra_stats.bytes_blocks_read += bytes_blocks
+            return
+        if len(block_indices) != blocks:
+            raise ExecutionError(
+                f"block_indices carries {len(block_indices)} entries for "
+                f"{blocks} block(s)")
+        for index in block_indices:
+            self._check(index)
+        expected = sum(self._sizes[index] for index in block_indices)
+        if nbytes != expected:
+            raise ExecutionError(
+                f"external read of blocks {tuple(block_indices)} claims "
+                f"{nbytes} bytes; on-disk size is {expected}")
+        for position, index in enumerate(block_indices):
+            store, _local, shard, fallback = self._serve(index)
+            store.note_external_read(
+                1, self._sizes[index],
+                bytes_blocks=1 if position < bytes_blocks else 0)
+            self._note_read(index, shard, fallback)
+
+    # ------------------------------------------------------------- accounting
+    def stats_snapshot(self) -> ReadStats:
+        """Field-wise sum of every shard's counters plus the facade's
+        own (fallback + unattributed-external) record."""
+        snaps = [store.stats_snapshot()
+                 for store in self._shard_stores if store is not None]
+        with self._lock:
+            snaps.append(self._extra_stats.snapshot())
+        return ReadStats(**{
+            spec.name: sum(getattr(snap, spec.name) for snap in snaps)
+            for spec in fields(ReadStats)})
+
+    def logical_blocks_read(self) -> int:
+        total = sum(store.logical_blocks_read()
+                    for store in self._shard_stores if store is not None)
+        with self._lock:
+            return total + self._extra_stats.blocks_read
+
+    def reset_stats(self) -> None:
+        for store in self._shard_stores:
+            if store is not None:
+                store.reset_stats()
+        with self._lock:
+            self._extra_stats.reset()
+
+    def shard_blocks_read(self) -> tuple[int, ...]:
+        """Logical blocks served by each shard so far (mirrored worker
+        reads included) — the read-balance table's raw data."""
+        return tuple(
+            0 if store is None else store.stats_snapshot().blocks_read
+            for store in self._shard_stores)
+
+    # ---------------------------------------------------------------- routing
+    def _serve(self, index: int) -> tuple[BlockStore, int, int, bool]:
+        """Route ``index`` to its first live replica.
+
+        Returns ``(shard store, local index, shard index, fallback)``
+        where ``fallback`` is True when a down primary forced a
+        non-preferred replica to serve.
+        """
+        self._check(index)
+        candidates = replica_shards(index, self._num_shards,
+                                    self._replication)
+        for position, shard in enumerate(candidates):
+            if self._is_down(shard):
+                continue
+            store = self._shard_stores[shard]
+            if store is None:  # unreachable: candidates hold the block
+                continue
+            return store, self._local_index[shard][index], shard, position > 0
+        raise ExecutionError(
+            f"all {len(candidates)} replicas of block {index} are down "
+            f"(shards {candidates})")
+
+    def _is_down(self, shard: int) -> bool:
+        with self._lock:
+            if shard in self._down:
+                return True
+        # The marker file is how failures injected by *other* processes
+        # become visible here (and vice versa); once seen, cache it.
+        if (self.directory / shard_id(shard) / DOWN_MARKER).exists():
+            with self._lock:
+                self._down.add(shard)
+            return True
+        return False
+
+    def _note_read(self, index: int, shard: int, fallback: bool) -> None:
+        """Charge fallback accounting and emit placement events for one
+        served logical read."""
+        if fallback:
+            with self._lock:
+                self._extra_stats.replica_fallback_reads += 1
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            return
+        if fallback:
+            tracer.event(
+                "shard.failover", subject="store",
+                args={"block": index,
+                      "from": shard_id(index % self._num_shards),
+                      "to": shard_id(shard)})
+        tracer.event(
+            "shard.read", subject="store",
+            args={"shard": shard_id(shard), "block": index,
+                  "fallback": fallback})
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._num_blocks:
+            raise ExecutionError(
+                f"block index {index} out of range (n={self._num_blocks})")
+
+    def _check_shard(self, index: int) -> None:
+        if not 0 <= index < self._num_shards:
+            raise ExecutionError(
+                f"shard index {index} out of range (n={self._num_shards})")
+
+
+def open_store(directory: pathlib.Path | str,
+               ) -> Union[BlockStore, "ShardedBlockStore"]:
+    """Open whichever store lives at ``directory``.
+
+    Dispatches on the ``_shards.json`` manifest: present → sharded,
+    absent → plain single-directory store.  This is how map worker
+    processes reopen the parent's store from its path without knowing
+    (or caring) which layout the parent chose.
+    """
+    directory = pathlib.Path(directory)
+    if (directory / MANIFEST_NAME).is_file():
+        return ShardedBlockStore(directory)
+    return BlockStore(directory)

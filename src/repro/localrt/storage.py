@@ -25,14 +25,49 @@ from __future__ import annotations
 import mmap
 import pathlib
 from dataclasses import dataclass, fields, replace
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..analysis.lockgraph import OrderedLock
 from ..analysis.racecheck import register_instance
 from ..common.errors import ExecutionError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.tracer import Tracer
     from .cache import BlockCache
+
+
+def iter_block_payloads(lines: Iterable[str],
+                        block_size_bytes: int) -> Iterator[bytes]:
+    """Chunk ``lines`` into line-aligned block payloads of
+    ~``block_size_bytes`` each.
+
+    The one chunking rule every store layout shares: lines are UTF-8,
+    blocks always end at a line boundary, and a block closes once it
+    reaches the target size.  :meth:`BlockStore.create` writes each
+    payload to one file; the sharded store writes each payload to every
+    replica shard — byte-identical block content either way.
+    """
+    if block_size_bytes <= 0:
+        raise ExecutionError("block_size_bytes must be positive")
+    buffer: list[bytes] = []
+    buffered = 0
+    for line in lines:
+        if "\n" in line:
+            raise ExecutionError("input lines must not contain newlines")
+        try:
+            encoded = (line + "\n").encode("utf-8")
+        except UnicodeEncodeError as exc:
+            raise ExecutionError(
+                f"input line {line!r} is not encodable as UTF-8 "
+                f"({exc})") from exc
+        buffer.append(encoded)
+        buffered += len(encoded)
+        if buffered >= block_size_bytes:
+            yield b"".join(buffer)
+            buffer = []
+            buffered = 0
+    if buffer:
+        yield b"".join(buffer)
 
 
 @dataclass
@@ -62,6 +97,11 @@ class ReadStats:
     #: ``read()``.  Diagnostic only — hosts without usable mmap fall
     #: back silently and the returned bytes are identical.
     mmap_blocks_read: int = 0
+    #: Logical reads served by a non-primary replica because the
+    #: primary's shard was down (sharded stores only; see
+    #: :mod:`repro.localrt.sharded`).  A subset of ``blocks_read``;
+    #: always 0 for a single :class:`BlockStore`.
+    replica_fallback_reads: int = 0
 
     def reset(self) -> None:
         for spec in fields(self):
@@ -141,8 +181,6 @@ class BlockStore:
         Lines are stored as UTF-8; a line that cannot be encoded (e.g. a
         lone surrogate) raises :class:`ExecutionError` naming the line.
         """
-        if block_size_bytes <= 0:
-            raise ExecutionError("block_size_bytes must be positive")
         directory = pathlib.Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         existing = list(directory.glob("block_*.dat"))
@@ -150,36 +188,11 @@ class BlockStore:
             raise ExecutionError(
                 f"{directory} already contains {len(existing)} blocks")
         block_index = 0
-        buffer: list[bytes] = []
-        buffered = 0
-
-        def flush() -> None:
-            nonlocal block_index, buffer, buffered
-            if not buffer:
-                return
+        for payload in iter_block_payloads(lines, block_size_bytes):
             path = directory / cls.BLOCK_PATTERN.format(block_index)
-            path.write_bytes(b"".join(buffer))
+            path.write_bytes(payload)
             block_index += 1
-            buffer = []
-            buffered = 0
-
-        wrote_any = False
-        for line in lines:
-            if "\n" in line:
-                raise ExecutionError("input lines must not contain newlines")
-            try:
-                encoded = (line + "\n").encode("utf-8")
-            except UnicodeEncodeError as exc:
-                raise ExecutionError(
-                    f"input line {line!r} is not encodable as UTF-8 "
-                    f"({exc})") from exc
-            buffer.append(encoded)
-            buffered += len(encoded)
-            wrote_any = True
-            if buffered >= block_size_bytes:
-                flush()
-        flush()
-        if not wrote_any:
+        if block_index == 0:
             raise ExecutionError("cannot create a block store from no lines")
         return cls(directory, cache=cache)
 
@@ -203,9 +216,46 @@ class BlockStore:
         self._check(index)
         return self._offsets[index]
 
+    def block_locations(self, index: int) -> tuple[str, ...]:
+        """Replica holders of block ``index``, most-preferred first.
+
+        A single store has no placement to speak of — every block lives
+        on the one synthetic ``"local"`` node.  The sharded store
+        returns real shard names here, which is what makes schedulers
+        and the service's file view locality-aware without caring which
+        store implementation they hold.
+        """
+        self._check(index)
+        return ("local",)
+
     def attach_cache(self, cache: "BlockCache | None") -> None:
         """Attach (or detach, with ``None``) a block cache."""
         self.cache = cache
+
+    @property
+    def has_cache(self) -> bool:
+        """True when a block cache is attached."""
+        return self.cache is not None
+
+    def ensure_cache(self, capacity_bytes: int) -> None:
+        """Attach a :class:`~repro.localrt.cache.BlockCache` of
+        ``capacity_bytes`` unless one is already attached (idempotent —
+        repeat runners over the same store share the existing cache)."""
+        if self.cache is None:
+            from .cache import BlockCache
+            self.cache = BlockCache(capacity_bytes)
+
+    def cache_stats(self) -> "dict[str, int] | None":
+        """Plain-dict snapshot of the attached cache's counters
+        (``None`` without a cache)."""
+        if self.cache is None:
+            return None
+        return self.cache.stats.snapshot()
+
+    def attach_tracer(self, tracer: "Tracer | None") -> None:
+        """Accept an event sink (placement-aware stores emit
+        ``shard.read`` / ``shard.failover``; a single store has nothing
+        to report, so this is a no-op kept for interface parity)."""
 
     def stats_snapshot(self) -> ReadStats:
         """Consistent copy of the I/O counters, taken under the stats
@@ -289,7 +339,9 @@ class BlockStore:
         return True
 
     def note_external_read(self, blocks: int, nbytes: int, *,
-                           bytes_blocks: int = 0) -> None:
+                           bytes_blocks: int = 0,
+                           block_indices: Sequence[int] | None = None,
+                           ) -> None:
         """Fold reads performed outside this process into the I/O counters.
 
         The process map backend reads blocks in worker processes, whose
@@ -299,7 +351,17 @@ class BlockStore:
         parent's cache), so both the logical and the physical counters
         advance.  ``bytes_blocks`` mirrors how many of those reads went
         through the worker's raw-bytes path (``read_block_bytes``).
+        ``block_indices`` optionally names which blocks were read (one
+        entry per block); a single store only validates them, while the
+        sharded store uses them to attribute the reads to serving shards.
         """
+        if block_indices is not None and len(block_indices) != blocks:
+            raise ExecutionError(
+                f"block_indices carries {len(block_indices)} entries for "
+                f"{blocks} block(s)")
+        if block_indices is not None:
+            for index in block_indices:
+                self._check(index)
         if blocks < 0 or nbytes < 0 or bytes_blocks < 0:
             raise ExecutionError(
                 f"external read counts must be non-negative, "

@@ -72,6 +72,42 @@ def _job_table(tracer: str, roots: Sequence[SpanNode],
     return {job_id: jobs[job_id] for job_id in sorted(jobs)}
 
 
+def _shard_balance(events: Sequence[Mapping[str, Any]],
+                   ) -> dict[str, dict[str, dict[str, Any]]]:
+    """Per-tracer, per-shard read balance from ``shard.read`` instants.
+
+    Each ``shard.read`` names the shard that served one logical read
+    (``fallback`` marks reads a down primary pushed to a replica);
+    ``shard.failover`` instants attribute the failovers to the serving
+    shard.  Single-store traces carry neither event, so the table is
+    empty for them.
+    """
+    tables: dict[str, dict[str, dict[str, Any]]] = {}
+
+    def row(tracer: str, shard: str) -> dict[str, Any]:
+        return tables.setdefault(tracer, {}).setdefault(
+            shard, {"reads": 0, "fallback_reads": 0, "failovers": 0})
+
+    for instant in instants_in(events, name="shard.read"):
+        args = instant.get("args", {}) or {}
+        entry = row(str(instant.get("tracer", "")),
+                    str(args.get("shard", "?")))
+        entry["reads"] += 1
+        if args.get("fallback"):
+            entry["fallback_reads"] += 1
+    for instant in instants_in(events, name="shard.failover"):
+        args = instant.get("args", {}) or {}
+        row(str(instant.get("tracer", "")),
+            str(args.get("to", "?")))["failovers"] += 1
+    for table in tables.values():
+        total = sum(entry["reads"] for entry in table.values())
+        for entry in table.values():
+            entry["fraction"] = entry["reads"] / total if total else 0.0
+    return {tracer: {shard: tables[tracer][shard]
+                     for shard in sorted(tables[tracer])}
+            for tracer in sorted(tables)}
+
+
 def analyze_events(events: Sequence[Mapping[str, Any]], *,
                    bins: int = 40, straggler_k: float = 2.0,
                    ) -> dict[str, Any]:
@@ -92,6 +128,7 @@ def analyze_events(events: Sequence[Mapping[str, Any]], *,
         "waves": {},
         "stragglers": [],
         "sharing": [],
+        "shards": {},
         "slotcheck": [],
     }
     for tracer in sorted(forest):
@@ -128,6 +165,7 @@ def analyze_events(events: Sequence[Mapping[str, Any]], *,
             for straggler in detect_stragglers(tracer, roots, k=straggler_k))
     document["sharing"] = [report.as_dict()
                            for report in attribute_sharing(events, forest)]
+    document["shards"] = _shard_balance(events)
     document["slotcheck"] = [
         {"ts": float(instant["ts"]),
          "excluded": int(instant.get("args", {}).get("excluded", 0))}
@@ -251,6 +289,20 @@ def _render_sharing(document: Mapping[str, Any]) -> list[str]:
     return lines
 
 
+def _render_shards(document: Mapping[str, Any]) -> list[str]:
+    lines = ["per-shard read balance", "-" * 22]
+    for tracer, table in document["shards"].items():
+        lines.append(f"[{tracer}]")
+        lines.append(f"  {'shard':<10} {'reads':>7} {'frac':>7} "
+                     f"{'fallback':>9} {'failovers':>10}")
+        for shard, entry in table.items():
+            lines.append(
+                f"  {shard:<10} {entry['reads']:>7} "
+                f"{entry['fraction']:>6.1%} {entry['fallback_reads']:>9} "
+                f"{entry['failovers']:>10}")
+    return lines
+
+
 def format_report(document: Mapping[str, Any]) -> str:
     """Aligned text rendering of an :func:`analyze_events` document."""
     summary = document["summary"]
@@ -269,6 +321,8 @@ def format_report(document: Mapping[str, Any]) -> str:
     if document["runs"]:
         sections.append(_render_stragglers(document))
     sections.append(_render_sharing(document))
+    if document.get("shards"):
+        sections.append(_render_shards(document))
     if document["slotcheck"]:
         ticks = document["slotcheck"]
         peak = max(tick["excluded"] for tick in ticks)

@@ -269,6 +269,31 @@ DEFAULT_SPECS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("wordcount.single_job_speedup", "ge", rel_tol=0.5),
         MetricSpec("selection.single_job_speedup", "ge", rel_tol=0.5),
     ),
+    "bench_shard": (
+        MetricSpec("checks.outputs_identical_fifo_s3"),
+        MetricSpec("checks.outputs_identical_to_single_store"),
+        MetricSpec("checks.outputs_identical_after_failover"),
+        MetricSpec("checks.logical_io_identical_after_failover"),
+        MetricSpec("checks.saving_matches_single_store"),
+        MetricSpec("checks.fallback_reads_positive"),
+        MetricSpec("sharded_scan.num_blocks"),
+        MetricSpec("sharded_scan.num_shards"),
+        MetricSpec("sharded_scan.replication"),
+        MetricSpec("sharded_scan.iterations"),
+        MetricSpec("sharded_scan.fifo_blocks_read"),
+        MetricSpec("sharded_scan.s3_blocks_read"),
+        MetricSpec("sharded_scan.s3_bytes_read"),
+        MetricSpec("sharded_scan.saving"),
+        MetricSpec("sharded_scan.saving_single_store"),
+        MetricSpec("sharded_scan.balance.shard_00"),
+        MetricSpec("sharded_scan.balance.shard_01"),
+        MetricSpec("sharded_scan.balance.shard_02"),
+        MetricSpec("sharded_scan.balance.shard_03"),
+        MetricSpec("failover.replica_fallback_reads"),
+        MetricSpec("failover.blocks_read"),
+        MetricSpec("failover.bytes_read"),
+        # *_seconds are wall clock and deliberately absent.
+    ),
     "bench_trace": (
         MetricSpec("checks.traced_io_counters_identical"),
         MetricSpec("checks.traced_outputs_identical"),

@@ -3,7 +3,11 @@ scheduler, all speaking the :class:`~repro.mapreduce.driver.Scheduler`
 interface."""
 
 from ..mapreduce.driver import Scheduler, SchedulerContext
-from .assignment import BlockAssigner, pick_reduce_node
+from .assignment import (
+    BlockAssigner,
+    group_blocks_by_location,
+    pick_reduce_node,
+)
 from .fifo import FifoScheduler
 from .mrshare import MRShareScheduler
 from .pooled import CapacityScheduler, FairScheduler, PooledScheduler, tag_pool
@@ -12,7 +16,7 @@ from .unitqueue import ExecUnit, UnitQueueScheduler
 
 __all__ = [
     "Scheduler", "SchedulerContext",
-    "BlockAssigner", "pick_reduce_node",
+    "BlockAssigner", "group_blocks_by_location", "pick_reduce_node",
     "FifoScheduler", "MRShareScheduler",
     "CapacityScheduler", "FairScheduler", "PooledScheduler", "tag_pool",
     "S3Config", "S3Scheduler",

@@ -8,10 +8,11 @@ the cost model charges via the ``local`` flag.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..cluster.cluster import Cluster
 from ..cluster.node import Node
+from ..common.errors import SchedulingError
 from ..dfs.block import DfsFile
 
 
@@ -90,3 +91,27 @@ def pick_reduce_node(cluster: Cluster) -> Node | None:
     """First node with a free reduce slot, deterministic order."""
     nodes = cluster.nodes_with_free_reduce_slot()
     return nodes[0] if nodes else None
+
+
+def group_blocks_by_location(
+        locations_of: Callable[[int], "tuple[str, ...]"],
+        block_indices: Iterable[int]) -> dict[str, list[int]]:
+    """Group a map wave's blocks by their preferred replica holder.
+
+    ``locations_of`` returns a block's replica holders most-preferred
+    first — ``dfs_file.block(i).locations`` in the simulator,
+    :meth:`~repro.localrt.api.BlockStoreProtocol.block_locations` in the
+    local runtime — so the plan mirrors exactly where each read will be
+    served (a down primary has already been rotated to the back by a
+    sharded store).  Wave order is preserved within each group, and the
+    grouping never reorders execution — map results are absorbed in task
+    order regardless — it feeds the ``wave.placement`` observability
+    event and per-shard balance accounting.
+    """
+    plan: dict[str, list[int]] = {}
+    for index in block_indices:
+        locations = locations_of(index)
+        if not locations:
+            raise SchedulingError(f"block {index} has no replica holders")
+        plan.setdefault(locations[0], []).append(index)
+    return plan

@@ -22,8 +22,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable, TypeVar
 
-from ..localrt.api import LocalJob
-from ..localrt.storage import BlockStore
+from ..localrt.api import BlockStoreProtocol, LocalJob
 from ..obs.tracer import Tracer
 from .config import ServiceConfig
 from .core import SchedulerService
@@ -41,7 +40,7 @@ class AsyncSchedulerService:
     interface uniformity; only the blocking ones pay the executor hop.
     """
 
-    def __init__(self, store: BlockStore,
+    def __init__(self, store: BlockStoreProtocol,
                  config: ServiceConfig | None = None, *,
                  tracer: Tracer | None = None) -> None:
         self._core = SchedulerService(store, config, tracer=tracer)

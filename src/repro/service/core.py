@@ -45,11 +45,10 @@ from ..common import ids
 from ..common.clock import Clock, monotonic_clock
 from ..common.errors import AdmissionRejected, ServiceError
 from ..dfs.block import Block, DfsFile
-from ..localrt.api import JobResult, LocalJob
+from ..localrt.api import BlockStoreProtocol, JobResult, LocalJob
 from ..localrt.engine import JobRunState
 from ..localrt.live import LiveScanExecutor
 from ..localrt.parallel import MapTaskSpec
-from ..localrt.storage import BlockStore
 from ..mapreduce.job import JobSpec
 from ..mapreduce.profile import JobProfile, normal_wordcount
 from ..obs.metrics import MetricsRegistry
@@ -75,15 +74,17 @@ _JOIN_TIMEOUT_S = 30.0
 
 class _StoreView:
     """A :class:`~repro.schedulers.s3.jobqueue.FileResolver` over a local
-    block store: one synthetic node holds every block, sizes taken from
-    the real on-disk block files."""
+    block store: sizes and replica locations taken from the real store,
+    so scan-loop state sees the same placement the reads will route by
+    (a single store reports one synthetic ``"local"`` node; a sharded
+    store reports its shard names, primary first)."""
 
-    def __init__(self, store: BlockStore, name: str) -> None:
+    def __init__(self, store: BlockStoreProtocol, name: str) -> None:
         blocks = tuple(
             Block(block_id=ids.block_id(name, index), file_name=name,
                   index=index,
                   size_mb=max(store.block_size_bytes(index), 1) / 2 ** 20,
-                  locations=("local",))
+                  locations=store.block_locations(index))
             for index in range(store.num_blocks))
         self._file = DfsFile(name=name, blocks=blocks)
 
@@ -174,7 +175,7 @@ class SchedulerService:
     from the asyncio front-end in :mod:`repro.service.asyncapi`).
     """
 
-    def __init__(self, store: BlockStore,
+    def __init__(self, store: BlockStoreProtocol,
                  config: ServiceConfig | None = None, *,
                  tracer: Tracer | None = None,
                  profile: JobProfile | None = None,
@@ -744,7 +745,7 @@ class SchedulerService:
         }
 
 
-def batch_equivalent(store: BlockStore, jobs: Sequence[LocalJob],
+def batch_equivalent(store: BlockStoreProtocol, jobs: Sequence[LocalJob],
                      config: ServiceConfig | None = None) -> dict[str, JobResult]:
     """Run the same job set batch-style (fresh runner) for comparisons.
 

@@ -1,10 +1,13 @@
 """Replica placement policy tests."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.cluster.topology import Topology
 from repro.common.errors import DfsError
-from repro.dfs.placement import RackAwarePlacement, RoundRobinPlacement
+from repro.dfs.placement import (RackAwarePlacement, RoundRobinPlacement,
+                                 replica_shards)
 
 NODES = [f"n{i}" for i in range(6)]
 TOPO = Topology({"n0": "r0", "n1": "r0", "n2": "r0",
@@ -59,3 +62,42 @@ def test_rack_aware_many_replicas_distinct():
 def test_rack_aware_replication_exceeding_nodes():
     with pytest.raises(DfsError):
         RackAwarePlacement(NODES, TOPO).place(0, 7)
+
+
+# ------------------------------------------------- canonical replica ring
+
+def test_replica_shards_primary_and_ring_order():
+    assert replica_shards(0, 4, 2) == (0, 1)
+    assert replica_shards(5, 4, 2) == (1, 2)
+    assert replica_shards(3, 4, 3) == (3, 0, 1)
+
+
+def test_replica_shards_validation():
+    with pytest.raises(DfsError):
+        replica_shards(-1, 4, 2)
+    with pytest.raises(DfsError):
+        replica_shards(0, 0, 1)
+    with pytest.raises(DfsError):
+        replica_shards(0, 4, 5)
+    with pytest.raises(DfsError):
+        replica_shards(0, 4, 0)
+
+
+def test_round_robin_delegates_to_replica_shards():
+    policy = RoundRobinPlacement(NODES)
+    for block in range(12):
+        expected = tuple(NODES[s] for s in
+                         replica_shards(block, len(NODES), 3))
+        assert policy.place(block, 3) == expected
+
+
+@given(block=st.integers(min_value=0, max_value=10_000),
+       num_shards=st.integers(min_value=1, max_value=64),
+       data=st.data())
+def test_every_block_gets_exactly_r_distinct_shards(block, num_shards, data):
+    replication = data.draw(st.integers(min_value=1, max_value=num_shards))
+    shards = replica_shards(block, num_shards, replication)
+    assert len(shards) == replication
+    assert len(set(shards)) == replication  # all distinct
+    assert all(0 <= s < num_shards for s in shards)
+    assert shards[0] == block % num_shards  # primary pinned

@@ -1,0 +1,52 @@
+"""Sharded-store shared-scan experiment tests."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.shard import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(num_jobs=4, corpus_bytes=200_000, block_size_bytes=15_000)
+
+
+def test_saving_matches_single_store(result):
+    assert result.extra["saving"] > 0.2
+    assert result.extra["saving"] == pytest.approx(
+        result.extra["saving_single_store"], abs=0.05)
+
+
+def test_reads_balance_across_shards(result):
+    reads = result.extra["shard_reads"]
+    assert len(reads) == result.extra["num_shards"]
+    assert sum(reads) == result.extra["rows"]["S3"]["tet_blocks"]
+    # Round-robin primaries: no shard serves more than one block above
+    # its fair share per full scan pass.
+    assert max(reads) - min(reads) <= result.extra["iterations"]
+
+
+def test_failover_exercised_and_invisible(result):
+    failover = result.extra["failover"]
+    assert failover["replica_fallback_reads"] > 0
+    # The failed shard served fewer reads than its balanced share.
+    reads = failover["shard_reads"]
+    assert reads[failover["failed_shard"]] < max(reads)
+    assert sum(reads) == result.extra["rows"]["S3"]["tet_blocks"]
+
+
+def test_report_renders(result):
+    assert "per-shard read balance" in result.report
+    assert "failure drill" in result.report
+    assert "shard_00" in result.report
+
+
+def test_validation():
+    with pytest.raises(ExperimentError):
+        run(num_jobs=0)
+    with pytest.raises(ExperimentError):
+        run(num_jobs=99)
+    with pytest.raises(ExperimentError):
+        run(failed_shard=9)
+    with pytest.raises(ExperimentError):
+        run(replication=1)

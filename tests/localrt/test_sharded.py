@@ -1,0 +1,300 @@
+"""Sharded block store: layout, routing, failover, and counter model."""
+
+import json
+
+import pytest
+
+from repro.common.config import ExecutionConfig
+from repro.common.errors import ExecutionError
+from repro.localrt.api import BlockStoreProtocol
+from repro.localrt.jobs import wordcount_job
+from repro.localrt.runners import FifoLocalRunner, SharedScanRunner
+from repro.localrt.sharded import (
+    DOWN_MARKER,
+    MANIFEST_NAME,
+    ShardedBlockStore,
+    open_store,
+    shard_id,
+)
+from repro.localrt.storage import BlockStore
+from repro.workloads.text import TextCorpusGenerator
+
+NUM_SHARDS = 4
+REPLICATION = 2
+
+
+def corpus_lines(n_bytes: int = 40_000) -> list:
+    return list(TextCorpusGenerator(vocabulary_size=300,
+                                    seed=123).lines(n_bytes))
+
+
+@pytest.fixture
+def lines():
+    return corpus_lines()
+
+
+@pytest.fixture
+def sharded(tmp_path, lines) -> ShardedBlockStore:
+    return ShardedBlockStore.create(tmp_path / "shards", lines, 4_000,
+                                    num_shards=NUM_SHARDS,
+                                    replication=REPLICATION)
+
+
+@pytest.fixture
+def single(tmp_path, lines) -> BlockStore:
+    return BlockStore.create(tmp_path / "corpus", lines,
+                             block_size_bytes=4_000)
+
+
+# ------------------------------------------------------------------ layout
+
+def test_create_writes_every_block_r_times(sharded):
+    for block in range(sharded.num_blocks):
+        filename = BlockStore.BLOCK_PATTERN.format(block)
+        holders = [shard for shard in range(NUM_SHARDS)
+                   if (sharded.directory / shard_id(shard)
+                       / filename).is_file()]
+        assert len(holders) == REPLICATION
+        assert block % NUM_SHARDS in holders  # primary holds its block
+
+
+def test_satisfies_block_store_protocol(sharded, single):
+    assert isinstance(sharded, BlockStoreProtocol)
+    assert isinstance(single, BlockStoreProtocol)
+
+
+def test_geometry_matches_single_store(sharded, single):
+    assert sharded.num_blocks == single.num_blocks
+    assert sharded.total_bytes == single.total_bytes
+    for index in range(single.num_blocks):
+        assert sharded.block_size_bytes(index) \
+            == single.block_size_bytes(index)
+        assert sharded.block_offset(index) == single.block_offset(index)
+        assert sharded.read_block(index) == single.read_block(index)
+        assert sharded.read_block_bytes(index) \
+            == single.read_block_bytes(index)
+
+
+def test_open_store_dispatches_on_manifest(sharded, single):
+    assert isinstance(open_store(sharded.directory), ShardedBlockStore)
+    assert isinstance(open_store(single.directory), BlockStore)
+
+
+def test_create_validation(tmp_path, lines):
+    with pytest.raises(ExecutionError, match="replication"):
+        ShardedBlockStore.create(tmp_path / "a", lines, 4_000,
+                                 num_shards=2, replication=3)
+    with pytest.raises(ExecutionError, match="num_shards"):
+        ShardedBlockStore.create(tmp_path / "b", lines, 4_000,
+                                 num_shards=0)
+    with pytest.raises(ExecutionError, match="no lines"):
+        ShardedBlockStore.create(tmp_path / "c", [], 4_000)
+    ShardedBlockStore.create(tmp_path / "d", lines, 4_000)
+    with pytest.raises(ExecutionError, match="already contains"):
+        ShardedBlockStore.create(tmp_path / "d", lines, 4_000)
+
+
+def test_corrupt_manifest_rejected(sharded):
+    path = sharded.directory / MANIFEST_NAME
+    path.write_text(json.dumps({"num_shards": NUM_SHARDS}))
+    with pytest.raises(ExecutionError, match="corrupt shard manifest"):
+        ShardedBlockStore(sharded.directory)
+    path.write_text(json.dumps(
+        {"num_shards": 2, "replication": 3, "num_blocks": 4}))
+    with pytest.raises(ExecutionError, match="replication"):
+        ShardedBlockStore(sharded.directory)
+
+
+def test_not_a_sharded_store(single):
+    with pytest.raises(ExecutionError, match="manifest"):
+        ShardedBlockStore(single.directory)
+
+
+def test_more_shards_than_blocks(tmp_path):
+    store = ShardedBlockStore.create(tmp_path / "wide", ["one line"],
+                                    64, num_shards=3, replication=1)
+    assert store.num_blocks == 1
+    assert store.read_block(0) == "one line\n"
+    assert store.shard_blocks_read() == (1, 0, 0)
+
+
+# ----------------------------------------------------------------- routing
+
+def test_locations_primary_first(sharded):
+    for index in range(sharded.num_blocks):
+        locations = sharded.block_locations(index)
+        assert len(locations) == REPLICATION
+        assert locations[0] == shard_id(index % NUM_SHARDS)
+
+
+def test_locations_rotate_when_primary_down(sharded):
+    primary = 0 % NUM_SHARDS
+    before = sharded.block_locations(0)
+    sharded.fail_shard(primary)
+    after = sharded.block_locations(0)
+    assert set(after) == set(before)
+    assert after[0] != shard_id(primary)
+    assert after[-1] == shard_id(primary)
+
+
+def test_failover_read_is_byte_identical(sharded, single):
+    sharded.fail_shard(0)
+    for index in range(sharded.num_blocks):
+        assert sharded.read_block_bytes(index) \
+            == single.read_block_bytes(index)
+    stats = sharded.stats_snapshot()
+    # Blocks with primary on shard 0 were served by a replica.
+    primaries_on_0 = sum(1 for index in range(sharded.num_blocks)
+                         if index % NUM_SHARDS == 0)
+    assert stats.replica_fallback_reads == primaries_on_0
+    assert stats.blocks_read == sharded.num_blocks
+    assert sharded.shard_blocks_read()[0] == 0
+
+
+def test_restore_shard_reinstates_primary(sharded):
+    sharded.fail_shard(1)
+    assert sharded.down_shards() == (1,)
+    sharded.restore_shard(1)
+    assert sharded.down_shards() == ()
+    sharded.read_block(1)
+    assert sharded.stats_snapshot().replica_fallback_reads == 0
+    assert sharded.shard_blocks_read()[1] == 1
+
+
+def test_all_replicas_down_raises(sharded):
+    sharded.fail_shard(0)
+    sharded.fail_shard(1)
+    with pytest.raises(ExecutionError, match="all 2 replicas"):
+        sharded.read_block(0)  # replicas of block 0 live on shards 0 and 1
+
+
+def test_down_marker_visible_to_other_instances(sharded):
+    sharded.fail_shard(2)
+    assert (sharded.directory / shard_id(2) / DOWN_MARKER).is_file()
+    other = ShardedBlockStore(sharded.directory)
+    assert other.down_shards() == (2,)
+    other.restore_shard(2)
+    # An instance that already observed the failure keeps it until its
+    # own restore_shard — recovery is an explicit action, not a poll.
+    assert sharded.down_shards() == (2,)
+    sharded.restore_shard(2)
+    assert sharded.down_shards() == ()
+
+
+# ---------------------------------------------------------------- counters
+
+def test_stats_aggregate_and_reset(sharded):
+    for index, _text in sharded.iter_blocks():
+        pass
+    stats = sharded.stats_snapshot()
+    assert stats.blocks_read == sharded.num_blocks
+    assert stats.bytes_read == sharded.total_bytes
+    assert sum(sharded.shard_blocks_read()) == sharded.num_blocks
+    assert sharded.logical_blocks_read() == sharded.num_blocks
+    sharded.reset_stats()
+    assert sharded.stats_snapshot().blocks_read == 0
+    assert sharded.shard_blocks_read() == (0,) * NUM_SHARDS
+
+
+def test_note_external_read_attributed(sharded):
+    size = sharded.block_size_bytes(3)
+    sharded.note_external_read(1, size, bytes_blocks=1, block_indices=(3,))
+    served = 3 % NUM_SHARDS
+    assert sharded.shard_blocks_read()[served] == 1
+    stats = sharded.stats_snapshot()
+    assert stats.blocks_read == 1
+    assert stats.bytes_blocks_read == 1
+
+
+def test_note_external_read_checks_sizes(sharded):
+    with pytest.raises(ExecutionError, match="on-disk size"):
+        sharded.note_external_read(1, 1, block_indices=(0,))
+    with pytest.raises(ExecutionError, match="entries"):
+        sharded.note_external_read(2, 100, block_indices=(0,))
+    with pytest.raises(ExecutionError, match="non-negative"):
+        sharded.note_external_read(-1, 0)
+
+
+def test_note_external_read_unattributed(sharded):
+    sharded.note_external_read(2, 100)
+    stats = sharded.stats_snapshot()
+    assert stats.blocks_read == 2
+    assert stats.bytes_read == 100
+    assert sharded.shard_blocks_read() == (0,) * NUM_SHARDS
+
+
+def test_cache_split_across_shards(sharded):
+    assert not sharded.has_cache
+    assert sharded.cache_stats() is None
+    sharded.ensure_cache(sharded.total_bytes * 2)
+    assert sharded.has_cache
+    sharded.read_block(0)
+    sharded.read_block(0)
+    stats = sharded.cache_stats()
+    assert stats is not None and stats["hits"] >= 1
+    with pytest.raises(ExecutionError, match="positive"):
+        sharded.ensure_cache(0)
+
+
+def test_prefetch_routes_to_serving_shard(sharded):
+    sharded.ensure_cache(sharded.total_bytes * 2)
+    assert sharded.prefetch_block(5)
+    assert sharded.stats_snapshot().blocks_read == 0  # physical only
+
+
+# ------------------------------------------------- runner fault injection
+
+PATTERNS = ["^th.*", ".*ing$", "^[aeiou].*"]
+
+
+def make_jobs():
+    return [wordcount_job(f"wc{i}", p) for i, p in enumerate(PATTERNS)]
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+def test_mid_scan_shard_loss_is_invisible(tmp_path, lines, backend):
+    """Outputs and logical I/O must not change when a shard dies
+    mid-scan, on every map backend (workers re-route via the on-disk
+    down marker)."""
+    config = ExecutionConfig(blocks_per_segment=3, map_backend=backend,
+                            map_workers=2)
+    arrivals = {"wc1": 1, "wc2": 2}
+    baseline_store = ShardedBlockStore.create(
+        tmp_path / "base", lines, 4_000,
+        num_shards=NUM_SHARDS, replication=REPLICATION)
+    baseline = SharedScanRunner(baseline_store, config).run(
+        make_jobs(), arrivals)
+
+    drill_store = ShardedBlockStore.create(
+        tmp_path / "drill", lines, 4_000,
+        num_shards=NUM_SHARDS, replication=REPLICATION)
+
+    def lose_shard(iteration, run_states):
+        if iteration == 1 and 0 not in drill_store.down_shards():
+            drill_store.fail_shard(0)
+
+    drilled = SharedScanRunner(drill_store, config).run(
+        make_jobs(), arrivals, on_iteration_end=lose_shard)
+
+    for job_id in ("wc0", "wc1", "wc2"):
+        assert (drilled.results[job_id].output
+                == baseline.results[job_id].output)
+    assert drilled.blocks_read == baseline.blocks_read
+    assert drilled.bytes_read == baseline.bytes_read
+    assert drill_store.stats_snapshot().replica_fallback_reads > 0
+    assert drill_store.shard_blocks_read()[0] \
+        < baseline_store.shard_blocks_read()[0]
+
+
+def test_fifo_runner_on_sharded_store(tmp_path, lines):
+    sharded = ShardedBlockStore.create(
+        tmp_path / "shards", lines, 4_000,
+        num_shards=NUM_SHARDS, replication=REPLICATION)
+    single = BlockStore.create(tmp_path / "corpus", lines,
+                               block_size_bytes=4_000)
+    config = ExecutionConfig()
+    a = FifoLocalRunner(sharded, config).run(make_jobs())
+    b = FifoLocalRunner(single, config).run(make_jobs())
+    for job_id in ("wc0", "wc1", "wc2"):
+        assert a.results[job_id].output == b.results[job_id].output
+    assert a.blocks_read == b.blocks_read

@@ -268,3 +268,45 @@ def test_unattributable_waves_yield_empty_job_table():
     (report,) = document["sharing"]
     assert report["jobs"] == []
     assert report["physical_blocks"] == 2
+
+
+# --------------------------------------------------------- shard balance
+
+def shard_read(ts, shard, *, fallback=False, tracer="s3"):
+    return instant("shard.read", ts, tracer=tracer, subject="store",
+                   shard=shard, block=0, fallback=fallback)
+
+
+def test_shard_balance_counts_reads_and_failovers():
+    events = [
+        span("s3.run", 0.0, 10.0, tracer="s3", subject="run"),
+        shard_read(1.0, "shard_00"),
+        shard_read(2.0, "shard_01"),
+        shard_read(3.0, "shard_01", fallback=True),
+        instant("shard.failover", 3.0, tracer="s3", subject="store",
+                block=4, **{"from": "shard_00", "to": "shard_01"}),
+        shard_read(4.0, "shard_00"),
+    ]
+    table = analyze_events(events)["shards"]["s3"]
+    assert table["shard_00"] == {"reads": 2, "fallback_reads": 0,
+                                 "failovers": 0, "fraction": 0.5}
+    assert table["shard_01"] == {"reads": 2, "fallback_reads": 1,
+                                 "failovers": 1, "fraction": 0.5}
+
+
+def test_shard_balance_absent_for_single_store_traces():
+    events = [span("fifo.run", 0.0, 5.0, tracer="fifo", subject="run")]
+    document = analyze_events(events)
+    assert document["shards"] == {}
+    assert "per-shard read balance" not in format_report(document)
+
+
+def test_shard_balance_renders_in_report():
+    events = [
+        span("s3.run", 0.0, 10.0, tracer="s3", subject="run"),
+        shard_read(1.0, "shard_00"),
+        shard_read(2.0, "shard_01", fallback=True),
+    ]
+    text = format_report(analyze_events(events))
+    assert "per-shard read balance" in text
+    assert "shard_00" in text and "shard_01" in text

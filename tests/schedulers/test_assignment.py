@@ -6,7 +6,10 @@ from repro.cluster.cluster import Cluster
 from repro.common.config import ClusterConfig, DfsConfig
 from repro.dfs.namenode import NameNode
 from repro.dfs.placement import RoundRobinPlacement
-from repro.schedulers.assignment import BlockAssigner, pick_reduce_node
+from repro.common.errors import SchedulingError
+from repro.schedulers.assignment import (BlockAssigner,
+                                         group_blocks_by_location,
+                                         pick_reduce_node)
 
 
 @pytest.fixture
@@ -88,3 +91,21 @@ def test_pick_reduce_node(cluster):
     for nid in cluster.node_ids:
         cluster.node(nid).acquire_reduce_slot(f"r-{nid}")
     assert pick_reduce_node(cluster) is None
+
+
+# --------------------------------------------- wave placement annotation
+
+def test_group_blocks_by_location_prefers_first_holder():
+    locations = {0: ("shard_00", "shard_01"), 1: ("shard_01", "shard_02"),
+                 4: ("shard_00", "shard_01"), 2: ("shard_02", "shard_03")}
+    plan = group_blocks_by_location(locations.__getitem__, [0, 1, 4, 2])
+    assert plan == {"shard_00": [0, 4], "shard_01": [1], "shard_02": [2]}
+
+
+def test_group_blocks_by_location_empty_wave():
+    assert group_blocks_by_location(lambda i: ("local",), []) == {}
+
+
+def test_group_blocks_by_location_rejects_holderless_block():
+    with pytest.raises(SchedulingError, match="no replica holders"):
+        group_blocks_by_location(lambda i: (), [7])

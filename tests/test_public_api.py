@@ -14,12 +14,12 @@ def test_version():
 #: The blessed top-level surface, pinned: adding a name here is a
 #: deliberate API decision, removing one is a breaking change.
 BLESSED = [
-    "BlockStore", "ClusterConfig", "CostModel", "DfsConfig",
-    "ExecutionConfig", "FifoLocalRunner", "FifoScheduler", "JobSpec",
-    "LocalJob", "MRShareScheduler", "MetricsRegistry", "RunReport",
-    "S3Config", "S3Scheduler", "SharedScanRunner", "SimulationDriver",
-    "TraceConfig", "TraceSession", "Tracer", "__version__",
-    "compute_metrics", "format_table",
+    "BlockStore", "BlockStoreProtocol", "ClusterConfig", "CostModel",
+    "DfsConfig", "ExecutionConfig", "FifoLocalRunner", "FifoScheduler",
+    "JobSpec", "LocalJob", "MRShareScheduler", "MetricsRegistry",
+    "RunReport", "S3Config", "S3Scheduler", "ShardedBlockStore",
+    "SharedScanRunner", "SimulationDriver", "TraceConfig", "TraceSession",
+    "Tracer", "__version__", "compute_metrics", "format_table",
 ]
 
 
