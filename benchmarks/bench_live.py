@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""Live telemetry plane benchmark (deterministic, exposition + windows).
+
+Three sections, all driven by a :class:`~repro.common.clock.FakeClock`
+so every gated number is bit-stable across machines:
+
+* **exposition** — build a synthetic registry + telemetry hub and render
+  the Prometheus text body repeatedly: family/sample/byte counts are
+  pinned exactly, the body must parse with the strict round-tripping
+  parser, and re-rendering must be byte-identical.  Render wall-seconds
+  are context only (never gated).
+* **window** — drive a sliding window through horizon evictions with a
+  deterministic observation pattern: windowed count and exact
+  p50/p95/p99 are pinned.  Update wall-seconds are context only.
+* **replay** — a ``bench_service``-style step-mode service replay under
+  a strict pending bound: iterations/completed/rejected and the
+  windowed response percentiles are pinned, the live window percentiles
+  must agree *exactly* with the offline trace analytics, ``/readyz``
+  must flip to not-ready under overload and recover after the drain.
+
+Run directly (``--smoke`` shrinks the workload for CI)::
+
+    PYTHONPATH=src python benchmarks/bench_live.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.clock import FakeClock, Stopwatch                # noqa: E402
+from repro.common.config import ExecutionConfig, TraceConfig       # noqa: E402
+from repro.localrt.jobs import wordcount_job                       # noqa: E402
+from repro.localrt.storage import BlockStore                       # noqa: E402
+from repro.obs.export import load_events                           # noqa: E402
+from repro.obs.export import export_chrome                         # noqa: E402
+from repro.obs.live.exposition import (                            # noqa: E402
+    parse_exposition,
+    registry_families,
+    render_families,
+    telemetry_families,
+)
+from repro.obs.live.telemetry import ServiceTelemetry              # noqa: E402
+from repro.obs.live.window import (                                # noqa: E402
+    RollingCounter,
+    SlidingQuantiles,
+    exact_percentile,
+)
+from repro.obs.metrics import MetricsRegistry                      # noqa: E402
+from repro.service.config import ServiceConfig                     # noqa: E402
+from repro.service.core import SchedulerService                    # noqa: E402
+from repro.service.driver import replay_iterations                 # noqa: E402
+from repro.service.http import render_metrics                      # noqa: E402
+from repro.workloads.arrivals import poisson_streams               # noqa: E402
+from repro.workloads.text import TextCorpusGenerator               # noqa: E402
+from repro.workloads.wordcount import DEFAULT_PATTERNS             # noqa: E402
+
+DEFAULT_OUT = (pathlib.Path(__file__).resolve().parent.parent
+               / "BENCH_live.json")
+
+#: Mean inter-arrival seconds per tenant (same shape as bench_service).
+TENANTS = {"tenant_a": 0.5, "tenant_b": 0.75}
+
+
+def bench_exposition(renders: int) -> dict[str, object]:
+    """Render a synthetic-but-busy exposition ``renders`` times."""
+    clock = FakeClock()
+    registry = MetricsRegistry()
+    telemetry = ServiceTelemetry(horizon_s=60.0, clock=clock)
+    for index in range(40):
+        registry.counter(f"io.counter_{index:02d}").inc(index * 3)
+    for index in range(10):
+        registry.gauge(f"service.gauge_{index:02d}").set(index / 7.0)
+    for index in range(200):
+        registry.histogram("wave.blocks").observe((index % 17) / 4.0)
+    for index in range(120):
+        tenant = f"tenant_{index % 3}"
+        telemetry.record_submit(tenant)
+        clock.advance(0.25)
+        telemetry.record_admit(tenant, 0.25)
+        clock.advance(0.5)
+        telemetry.record_complete(tenant, 0.75 + (index % 5) / 8.0)
+
+    body = ""
+    watch = Stopwatch()
+    for _ in range(renders):
+        body = render_families(registry_families(registry)
+                               + telemetry_families(telemetry))
+    render_seconds = watch.elapsed()
+    families = parse_exposition(body)
+    sample_lines = sum(len(family.samples) for family in families)
+    rerendered = render_families(registry_families(registry)
+                                 + telemetry_families(telemetry))
+    return {
+        "stats": {
+            "renders": renders,
+            "families": len(families),
+            "sample_lines": sample_lines,
+            "bytes": len(body.encode()),
+            "render_seconds": render_seconds,
+        },
+        "checks": {
+            "exposition_parses": bool(families),
+            "exposition_deterministic": rerendered == body,
+        },
+    }
+
+
+def bench_window(observations: int) -> dict[str, object]:
+    """Drive a window through horizon evictions; pin the exact stats."""
+    clock = FakeClock()
+    window = SlidingQuantiles("bench.window", horizon_s=10.0, clock=clock)
+    rate = RollingCounter("bench.rate", horizon_s=10.0, clock=clock)
+    watch = Stopwatch()
+    for index in range(observations):
+        clock.advance(0.01)
+        window.observe((index * 37 % 101) / 10.0)
+        rate.inc()
+    update_seconds = watch.elapsed()
+    stats = window.snapshot()
+    return {
+        "stats": {
+            "observations": observations,
+            "count": stats.count,
+            "p50": stats.quantile(50.0),
+            "p95": stats.quantile(95.0),
+            "p99": stats.quantile(99.0),
+            "windowed_rate": rate.rate(),
+            "update_seconds": update_seconds,
+        },
+        "checks": {
+            "window_evicts_to_horizon": stats.count < observations,
+        },
+    }
+
+
+def bench_replay(corpus_bytes: int, block_size: int, jobs_per_tenant: int,
+                 segment: int) -> dict[str, object]:
+    """Step-mode service replay: live windows vs offline analytics."""
+    events = poisson_streams(TENANTS, jobs_per_tenant, seed=2011)
+    execution = ExecutionConfig(blocks_per_segment=segment,
+                                trace=TraceConfig(enabled=True))
+    config = ServiceConfig(execution=execution, max_pending=2,
+                           overload_policy="reject",
+                           max_jobs_per_iteration=2)
+
+    def job_for(event):
+        pattern = DEFAULT_PATTERNS[event.index % len(DEFAULT_PATTERNS)]
+        return wordcount_job(f"{event.tenant}_j{event.index}", pattern)
+
+    clock = FakeClock()
+    saw_overloaded_unready = False
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = pathlib.Path(tmp_name)
+        corpus = list(TextCorpusGenerator(vocabulary_size=1200,
+                                          seed=17).lines(corpus_bytes))
+        store = BlockStore.create(tmp / "corpus", corpus,
+                                  block_size_bytes=block_size)
+        service = SchedulerService(store, config, clock=clock)
+        replay_iterations(service, events, job_for,
+                          iterations_per_second=1.0)
+        while service.step():
+            clock.advance(1.0)
+            ready = service.readiness()
+            if ready["overloaded"] and not ready["ready"]:
+                saw_overloaded_unready = True
+        ready_after = service.readiness()
+        accounts = service.accounts()
+        live = service.telemetry.response_s.snapshot()
+        body_a = render_metrics(service)
+        body_b = render_metrics(service)
+
+        trace_path = tmp / "service.trace.json"
+        export_chrome(trace_path, [service.tracer])
+        offline = sorted(
+            event["args"]["response_s"]
+            for event in load_events(trace_path)
+            if event["name"] == "service.complete")
+        service.shutdown()
+
+    live_quantiles = {q: live.quantile(q) for q in (50.0, 95.0, 99.0)}
+    offline_quantiles = {q: exact_percentile(offline, q)
+                         for q in (50.0, 95.0, 99.0)}
+    return {
+        "stats": {
+            "num_arrivals": len(events),
+            "iterations": service.iterations,
+            "completed": sum(a.completed for a in accounts.values()),
+            "rejected": sum(a.rejected for a in accounts.values()),
+            "response_p50": live_quantiles[50.0],
+            "response_p95": live_quantiles[95.0],
+            "response_p99": live_quantiles[99.0],
+        },
+        "checks": {
+            "windows_match_offline":
+                live.count == len(offline)
+                and live_quantiles == offline_quantiles,
+            "metrics_render_deterministic": body_a == body_b,
+            "metrics_parse_roundtrip": bool(parse_exposition(body_a)),
+            "readyz_overload_flip": saw_overloaded_unready,
+            "readyz_recovers_after_drain": bool(ready_after["ready"]),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload for CI (seconds, not minutes)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        renders, observations = 50, 4_000
+        corpus_bytes, block_size, jobs_per_tenant, segment = \
+            120_000, 10_000, 4, 4
+    else:
+        renders, observations = 400, 40_000
+        corpus_bytes, block_size, jobs_per_tenant, segment = \
+            600_000, 25_000, 8, 8
+
+    watch = Stopwatch()
+    exposition = bench_exposition(renders)
+    window = bench_window(observations)
+    replay = bench_replay(corpus_bytes, block_size, jobs_per_tenant, segment)
+    elapsed = watch.elapsed()
+
+    checks: dict[str, bool] = {}
+    for section in (exposition, window, replay):
+        section_checks = section["checks"]
+        assert isinstance(section_checks, dict)
+        checks.update(section_checks)
+    payload = {
+        "benchmark": "bench_live",
+        "mode": "smoke" if args.smoke else "full",
+        "wall_seconds": elapsed,
+        "exposition": exposition["stats"],
+        "window": window["stats"],
+        "replay": replay["stats"],
+        "checks": checks,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    failed = [name for name, ok in checks.items() if ok is False]
+    if failed:
+        print(f"FAILED checks: {failed}", file=sys.stderr)
+        return 1
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

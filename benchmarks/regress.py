@@ -44,7 +44,7 @@ BASELINE_DIR = ROOT / "benchmarks" / "baselines"
 
 #: Benchmarks that emit a gateable payload.
 BENCHMARKS = ("bench_cache", "bench_service", "bench_trace",
-              "bench_localrt", "bench_shard")
+              "bench_localrt", "bench_shard", "bench_live")
 
 
 def baseline_path(name: str, smoke: bool) -> pathlib.Path:

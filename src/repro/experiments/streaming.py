@@ -35,6 +35,7 @@ from ..localrt.runners import FifoLocalRunner
 from ..localrt.storage import BlockStore
 from ..obs.analyze import SharingReport, attribute_sharing, build_forest
 from ..obs.export import export_chrome, load_events
+from ..obs.live.slo import format_slo_table
 from ..obs.tracer import Tracer
 from ..service.config import ServiceConfig
 from ..service.core import SchedulerService
@@ -97,6 +98,7 @@ def run(jobs_per_tenant: int = 4, *, corpus_bytes: int = 400_000,
                               iterations_per_second=1.0)
             tickets = service.drain(timeout=120.0)
             fairness = service.fairness()
+            slo_statuses = service.slo_report()
             results = dict(service.results())
             iterations = service.iterations
             blocks_read = service.snapshot()["blocks_read"]
@@ -144,6 +146,8 @@ def run(jobs_per_tenant: int = 4, *, corpus_bytes: int = 400_000,
                 f"ratio {job.sharing_ratio:>5.2f}x")
         lines.append("")
         lines.append(fairness.format_table())
+        lines.append("")
+        lines.append(format_slo_table(slo_statuses))
         lines.append(
             f"outputs byte-identical across schemes; "
             f"{iterations} scan iterations")
@@ -155,6 +159,7 @@ def run(jobs_per_tenant: int = 4, *, corpus_bytes: int = 400_000,
                 "num_blocks": s3_store.num_blocks,
                 "iterations": iterations,
                 "fairness": fairness.as_dict(),
+                "slo": [status.as_dict() for status in slo_statuses],
                 "s3_attribution": s3_sharing.as_dict(),
                 "fifo_attribution": fifo_sharing.as_dict(),
             },

@@ -28,7 +28,11 @@ Pieces:
   utilization timelines, scan-sharing attribution
   (``python -m repro.obs analyze``);
 * :mod:`~repro.obs.regress` — the benchmark perf-regression gate
-  (``python -m repro.obs regress``).
+  (``python -m repro.obs regress``);
+* :mod:`~repro.obs.live` — the live telemetry plane: sliding-window
+  rates and exact windowed quantiles, per-tenant SLO tracking,
+  Prometheus text exposition and the ``python -m repro.obs top``
+  dashboard over a running scheduler service.
 """
 
 # Import-order note: repro.common's __init__ imports the TraceLog
@@ -46,6 +50,17 @@ from .export import (
     format_summary,
     load_events,
     summarize,
+)
+from .live import (
+    RollingCounter,
+    ServiceTelemetry,
+    SlidingQuantiles,
+    SLOConfig,
+    SLOTracker,
+    WindowStats,
+    exact_percentile,
+    parse_exposition,
+    render_families,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -80,22 +95,31 @@ __all__ = [
     "MetricSpec",
     "MetricsRegistry",
     "RegressionReport",
+    "RollingCounter",
+    "SLOConfig",
+    "SLOTracker",
+    "ServiceTelemetry",
+    "SlidingQuantiles",
     "TraceConfig",
     "TraceEvent",
     "TraceSession",
     "Tracer",
+    "WindowStats",
     "active_session",
     "analyze_events",
     "analyze_file",
     "chrome_document",
     "chrome_events",
     "compare",
+    "exact_percentile",
     "export_chrome",
     "export_jsonl",
     "format_regression",
     "format_report",
     "format_summary",
     "load_events",
+    "parse_exposition",
+    "render_families",
     "resolve_tracer",
     "summarize",
 ]

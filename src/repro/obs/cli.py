@@ -6,12 +6,16 @@ Subcommands::
     analyze TRACE            critical path, utilization, scan sharing
     convert TRACE -o OUT     re-encode between Chrome JSON and JSONL
     regress BASELINE CURRENT gate a benchmark payload against a baseline
+    top [--url U] [--once]   live dashboard over a service's /metrics
 
 ``summary``/``analyze``/``convert`` accept either on-disk trace format
 (auto-detected); ``--json`` / ``--format json`` emit machine-readable
 output for CI assertions.  ``regress`` compares two ``BENCH_*.json``
 payloads with the default metric specs for that benchmark and exits
-non-zero on regression (see :mod:`repro.obs.regress`).
+non-zero on regression (see :mod:`repro.obs.regress`).  ``top`` scrapes
+a running ``python -m repro.service --http PORT`` endpoint and renders
+queue depths, window percentiles and SLO burn
+(see :mod:`repro.obs.live.top`).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from typing import Any, Sequence
 
 from ..common.errors import ExperimentError
 from .analyze import analyze_events, format_report
+from .live.top import DEFAULT_URL, run_top
 from .export import (
     export_chrome,
     export_jsonl,
@@ -79,6 +84,15 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="freshly produced payload")
     regress.add_argument("--json", action="store_true",
                          help="emit the comparison as JSON")
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a scheduler service's /metrics")
+    top.add_argument("--url", default=DEFAULT_URL,
+                     help=f"exposition endpoint (default {DEFAULT_URL})")
+    top.add_argument("--once", action="store_true",
+                     help="print a single frame and exit (tests/CI)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh interval in seconds (default: 2.0)")
     return parser
 
 
@@ -123,6 +137,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "regress":
         return _cmd_regress(args)
+    if args.command == "top":
+        return run_top(args.url, once=args.once, interval_s=args.interval)
 
     try:
         events = load_events(args.trace)

@@ -20,6 +20,7 @@ import pathlib
 from typing import IO, Any, Iterable, Sequence
 
 from ..common.errors import ExperimentError
+from .live.window import exact_percentile
 from .tracer import PHASE_INSTANT, PHASE_SPAN, Tracer
 
 _MICRO = 1e6
@@ -223,15 +224,11 @@ def _from_jsonl(lines: Iterable[str]) -> list[dict[str, Any]]:
     return events
 
 
-def _percentile(ordered: Sequence[float], q: float) -> float:
-    """Exact ``q``-th percentile of pre-sorted values (linear interp)."""
-    if not ordered:
-        return 0.0
-    position = q / 100.0 * (len(ordered) - 1)
-    below = int(position)
-    above = min(below + 1, len(ordered) - 1)
-    fraction = position - below
-    return ordered[below] + (ordered[above] - ordered[below]) * fraction
+# One percentile definition for the whole observability layer: the live
+# sliding windows (repro.obs.live.window) use the same function, so a
+# window covering a full deterministic replay agrees with this offline
+# summary exactly, not approximately.
+_percentile = exact_percentile
 
 
 def summarize(events: Sequence[dict[str, Any]]) -> dict[str, Any]:

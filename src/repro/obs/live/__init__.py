@@ -1,0 +1,49 @@
+"""Live telemetry plane: sliding windows, SLOs, Prometheus exposition.
+
+Everything here answers questions about the *running* service — "what's
+the p99 right now", "is tenant_b burning its error budget" — in contrast
+to the post-hoc trace analytics in :mod:`repro.obs.analyze`.  The two
+planes share one percentile definition (:func:`exact_percentile`), so a
+window covering a whole deterministic replay agrees with the offline
+summary exactly.
+"""
+
+from .exposition import (
+    MetricFamily,
+    ParsedFamily,
+    Sample,
+    parse_exposition,
+    registry_families,
+    render_families,
+    sanitize_metric_name,
+    telemetry_families,
+)
+from .slo import SLOConfig, SLOStatus, SLOTracker, format_slo_table
+from .telemetry import ServiceTelemetry, TenantTelemetry
+from .window import (
+    RollingCounter,
+    SlidingQuantiles,
+    WindowStats,
+    exact_percentile,
+)
+
+__all__ = [
+    "MetricFamily",
+    "ParsedFamily",
+    "RollingCounter",
+    "SLOConfig",
+    "SLOStatus",
+    "SLOTracker",
+    "Sample",
+    "ServiceTelemetry",
+    "SlidingQuantiles",
+    "TenantTelemetry",
+    "WindowStats",
+    "exact_percentile",
+    "format_slo_table",
+    "parse_exposition",
+    "registry_families",
+    "render_families",
+    "sanitize_metric_name",
+    "telemetry_families",
+]

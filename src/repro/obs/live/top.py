@@ -1,0 +1,141 @@
+"""``python -m repro.obs top`` — terminal dashboard over ``/metrics``.
+
+Polls a live service's Prometheus endpoint (the one
+:func:`repro.service.http.start_http_server` serves), parses the
+exposition with the same strict round-tripping parser CI uses, and
+renders one compact frame: readiness, queue depths, slot occupancy,
+windowed latency percentiles, and per-tenant SLO burn.  ``--once``
+prints a single frame and exits — the mode tests and CI artifacts use;
+without it the dashboard redraws every ``--interval`` seconds until
+interrupted.
+
+The dashboard deliberately consumes only the public exposition — if a
+number is not scrapeable, the dashboard cannot show it, which keeps the
+``/metrics`` surface honest.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+
+from ...common.errors import ReproError
+from .exposition import ParsedFamily, Sample, parse_exposition, samples_by_name
+
+#: Default scrape target (matches the README walkthrough port).
+DEFAULT_URL = "http://127.0.0.1:8753/metrics"
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_families(url: str, *,
+                   timeout_s: float = 5.0) -> list[ParsedFamily]:
+    """GET ``url`` and parse the exposition body (raises on bad bytes)."""
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        body = response.read().decode("utf-8")
+    return parse_exposition(body)
+
+
+def _label(sample: Sample, key: str) -> str:
+    for name, value in sample.labels:
+        if name == key:
+            return value
+    return ""
+
+
+def _value(samples: dict[str, list[Sample]], name: str,
+           **labels: str) -> float | None:
+    for sample in samples.get(name, ()):
+        if all(_label(sample, key) == value
+               for key, value in labels.items()):
+            return sample.value
+    return None
+
+
+def _tenants(samples: dict[str, list[Sample]]) -> list[str]:
+    seen: dict[str, None] = {}
+    for sample in samples.get("repro_service_submitted_total", ()):
+        tenant = _label(sample, "tenant")
+        if tenant:
+            seen.setdefault(tenant, None)
+    return sorted(seen)
+
+
+def _fmt(value: float | None, spec: str = "g") -> str:
+    return "-" if value is None else format(value, spec)
+
+
+def _quantile_cells(samples: dict[str, list[Sample]], family: str,
+                    tenant: str = "") -> str:
+    cells = []
+    for q, label in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+        kwargs = {"tenant": tenant} if tenant else {"tenant": ""}
+        value = _value(samples, family, quantile=q, **kwargs)
+        cells.append(f"{label}={_fmt(value, '.4g')}")
+    count = _value(samples, family + "_count",
+                   tenant=tenant if tenant else "")
+    cells.append(f"n={_fmt(count, '.0f')}")
+    return "  ".join(cells)
+
+
+def render_dashboard(families: list[ParsedFamily], *, url: str) -> str:
+    """One text frame of the dashboard from parsed exposition families."""
+    samples = samples_by_name(families)
+    ready = _value(samples, "repro_service_ready")
+    overloaded = _value(samples, "repro_service_overloaded")
+    lines = [
+        f"repro.obs top — {url}",
+        (f"ready: {'yes' if ready else 'NO'}   "
+         f"overloaded: {'YES' if overloaded else 'no'}   "
+         f"iterations: "
+         f"{_fmt(_value(samples, 'repro_service_iterations_total'), '.0f')}"
+         f"   slots: "
+         f"{_fmt(_value(samples, 'repro_service_slots_active'), '.0f')}"),
+        "",
+        f"wait     {_quantile_cells(samples, 'repro_service_wait_seconds')}",
+        (f"response "
+         f"{_quantile_cells(samples, 'repro_service_response_seconds')}"),
+        "",
+        (f"{'tenant':<14} {'queue':>5} {'subm':>5} {'admt':>5} "
+         f"{'done':>5} {'rej':>5} {'resp p99':>9} {'slo burn':>9}"),
+    ]
+    for tenant in _tenants(samples):
+        p99 = _value(samples, "repro_service_response_seconds",
+                     tenant=tenant, quantile="0.99")
+        burn = _value(samples, "repro_slo_window_burn", tenant=tenant)
+        row = (
+            f"{tenant:<14} "
+            f"{_fmt(_value(samples, 'repro_service_queue_depth', tenant=tenant), '.0f'):>5} "
+            f"{_fmt(_value(samples, 'repro_service_submitted_total', tenant=tenant), '.0f'):>5} "
+            f"{_fmt(_value(samples, 'repro_service_admitted_total', tenant=tenant), '.0f'):>5} "
+            f"{_fmt(_value(samples, 'repro_service_completed_total', tenant=tenant), '.0f'):>5} "
+            f"{_fmt(_value(samples, 'repro_service_rejected_total', tenant=tenant), '.0f'):>5} "
+            f"{_fmt(p99, '.4g'):>9} "
+            f"{_fmt(burn, '.2f'):>9}")
+        lines.append(row)
+    if not _tenants(samples):
+        lines.append("(no tenants have submitted yet)")
+    return "\n".join(lines)
+
+
+def run_top(url: str = DEFAULT_URL, *, once: bool = False,
+            interval_s: float = 2.0) -> int:
+    """Dashboard loop (or a single ``--once`` frame); returns exit code."""
+    while True:
+        try:
+            families = fetch_families(url)
+        except (urllib.error.URLError, OSError, ValueError,
+                ReproError) as exc:
+            print(f"error: cannot scrape {url}: {exc}")
+            return 1
+        frame = render_dashboard(families, url=url)
+        if once:
+            print(frame)
+            return 0
+        print(f"{_CLEAR}{frame}\n\n(ctrl-c to exit; "
+              f"refreshing every {interval_s:g}s)")
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:
+            return 0

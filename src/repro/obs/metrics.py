@@ -204,6 +204,16 @@ class MetricsRegistry:
             if isinstance(value, (int, float)):
                 self.counter(prefix + f.name).inc(value)
 
+    def instruments(self) -> dict[str, Counter | Gauge | Histogram]:
+        """Name-sorted live instrument mapping (a copy of the dict).
+
+        :meth:`snapshot` flattens counters and gauges to bare numbers,
+        which loses the kind distinction; exposition encoders need the
+        instruments themselves to emit correct ``# TYPE`` lines.
+        """
+        with self._lock:
+            return dict(sorted(self._instruments.items()))
+
     def snapshot(self) -> dict[str, Any]:
         """Plain-data view of every instrument, keyed by name."""
         with self._lock:

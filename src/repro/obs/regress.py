@@ -294,6 +294,33 @@ DEFAULT_SPECS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("failover.bytes_read"),
         # *_seconds are wall clock and deliberately absent.
     ),
+    "bench_live": (
+        MetricSpec("checks.exposition_parses"),
+        MetricSpec("checks.exposition_deterministic"),
+        MetricSpec("checks.metrics_render_deterministic"),
+        MetricSpec("checks.metrics_parse_roundtrip"),
+        MetricSpec("checks.window_evicts_to_horizon"),
+        MetricSpec("checks.windows_match_offline"),
+        MetricSpec("checks.readyz_overload_flip"),
+        MetricSpec("checks.readyz_recovers_after_drain"),
+        MetricSpec("exposition.families"),
+        MetricSpec("exposition.sample_lines"),
+        MetricSpec("exposition.bytes"),
+        MetricSpec("window.observations"),
+        MetricSpec("window.count"),
+        MetricSpec("window.p50"),
+        MetricSpec("window.p95"),
+        MetricSpec("window.p99"),
+        MetricSpec("window.windowed_rate"),
+        MetricSpec("replay.num_arrivals"),
+        MetricSpec("replay.iterations"),
+        MetricSpec("replay.completed"),
+        MetricSpec("replay.rejected"),
+        MetricSpec("replay.response_p50"),
+        MetricSpec("replay.response_p95"),
+        MetricSpec("replay.response_p99"),
+        # *_seconds are wall clock and deliberately absent.
+    ),
     "bench_trace": (
         MetricSpec("checks.traced_io_counters_identical"),
         MetricSpec("checks.traced_outputs_identical"),

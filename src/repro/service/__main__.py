@@ -2,27 +2,30 @@
 
 Generates a small text corpus, starts a live :class:`SchedulerService`
 over it, drives a multi-tenant Poisson arrival schedule open-loop, then
-drains and prints the per-tenant fairness report.  With ``--http PORT``
-a local status endpoint (stdlib ``http.server``, JSON) runs for the
-duration: ``GET /status`` returns the live service snapshot.
+drains and prints the per-tenant fairness and SLO reports.  With
+``--http PORT`` the routed operator endpoints from
+:mod:`repro.service.http` run for the duration: ``/status``,
+``/metrics`` (Prometheus text), ``/healthz``, ``/readyz``, ``/tenants``.
+``--linger SECONDS`` keeps the endpoints up after the drain so scrapers
+and the ``repro.obs top`` dashboard can observe the final state.
 
 Examples::
 
     python -m repro.service --jobs 12 --tenants 3 --time-scale 0.05
     python -m repro.service --jobs 8 --max-pending 2 --policy reject
-    python -m repro.service --http 8753 --jobs 20 &
-    curl localhost:8753/status | python -m json.tool
+    python -m repro.service --http 8753 --jobs 20 --linger 30 &
+    curl localhost:8753/metrics
+    python -m repro.obs top --once
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
 import tempfile
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import time
+from http.server import ThreadingHTTPServer
 from pathlib import Path
 
 from ..common.config import ExecutionConfig, TraceConfig
@@ -30,12 +33,14 @@ from ..localrt.api import LocalJob
 from ..localrt.jobs import wordcount_job
 from ..localrt.storage import BlockStore
 from ..obs.export import export_chrome
+from ..obs.live.slo import format_slo_table
 from ..workloads.arrivals import ArrivalEvent, poisson_streams
 from ..workloads.text import TextCorpusGenerator
 from ..workloads.wordcount import DEFAULT_PATTERNS
 from .config import OVERLOAD_POLICIES, ServiceConfig
 from .core import SchedulerService
 from .driver import OpenLoopDriver
+from .http import ROUTES, start_http_server
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -68,38 +73,24 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-jobs", type=int, default=None,
                         help="S3 admission cap per iteration "
                              "(default: uncapped)")
+    parser.add_argument("--window", type=float, metavar="SECONDS",
+                        default=60.0,
+                        help="live telemetry window horizon in seconds "
+                             "(default: 60)")
     parser.add_argument("--http", type=int, metavar="PORT", default=None,
-                        help="serve GET /status as JSON on localhost:PORT "
+                        help="serve the operator endpoints "
+                             f"({', '.join(ROUTES)}) on localhost:PORT "
                              "while the run is live")
+    parser.add_argument("--linger", type=float, metavar="SECONDS",
+                        default=0.0,
+                        help="keep the --http endpoints up this long after "
+                             "the drain (default: 0, stop immediately)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="export a Chrome trace of the run to PATH")
     parser.add_argument("--json", action="store_true",
                         help="print the final snapshot as JSON instead of "
                              "the fairness table")
     return parser
-
-
-def _status_server(service: SchedulerService,
-                   port: int) -> ThreadingHTTPServer:
-    class Handler(BaseHTTPRequestHandler):
-        def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            if self.path.rstrip("/") not in ("", "/status"):
-                self.send_error(404, "try /status")
-                return
-            body = json.dumps(service.snapshot(), default=str).encode()
-            self.send_response(200)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-
-        def log_message(self, fmt: str, *args: object) -> None:
-            pass  # silence per-request stderr chatter
-
-    server = ThreadingHTTPServer(("127.0.0.1", port), Handler)
-    threading.Thread(target=server.serve_forever,
-                     name="s3-service-status", daemon=True).start()
-    return server
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -122,7 +113,8 @@ def main(argv: list[str] | None = None) -> int:
         execution=execution,
         max_pending=args.max_pending,
         overload_policy=args.policy,
-        max_jobs_per_iteration=args.max_jobs)
+        max_jobs_per_iteration=args.max_jobs,
+        window_horizon_s=args.window)
 
     with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
         generator = TextCorpusGenerator(vocabulary_size=1500, seed=args.seed)
@@ -132,19 +124,25 @@ def main(argv: list[str] | None = None) -> int:
         server: ThreadingHTTPServer | None = None
         with SchedulerService(store, config) as service:
             if args.http is not None:
-                server = _status_server(service, args.http)
-                print(f"status endpoint: "
-                      f"http://127.0.0.1:{server.server_address[1]}/status",
-                      file=sys.stderr)
+                server = start_http_server(service, args.http)
+                base = (f"http://{server.server_address[0]}:"
+                        f"{server.server_address[1]}")
+                for route in ROUTES:
+                    print(f"endpoint: {base}{route}", file=sys.stderr)
             driver = OpenLoopDriver(service, events, factory,
                                     time_scale=args.time_scale)
             report = driver.run()
             service.drain()
             snapshot = service.snapshot()
             fairness = service.fairness()
+            slo_table = format_slo_table(service.slo_report())
             if args.trace is not None:
                 export_chrome(args.trace, [service.tracer])
             if server is not None:
+                if args.linger > 0:
+                    print(f"lingering {args.linger:g}s for scrapers "
+                          f"(endpoints stay live)", file=sys.stderr)
+                    time.sleep(args.linger)
                 server.shutdown()
 
     if args.json:
@@ -157,6 +155,8 @@ def main(argv: list[str] | None = None) -> int:
               f"{snapshot['iterations']} scan iterations, "
               f"{snapshot['blocks_read']} blocks read)")
         print(fairness.format_table())
+        print()
+        print(slo_table)
         if args.trace is not None:
             print(f"trace written to {args.trace}")
     return 0

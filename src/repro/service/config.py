@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..common.config import ExecutionConfig
 from ..common.errors import ConfigError
+from ..obs.live.slo import SLOConfig
 
 #: What to do with a submission when the pending queue is full.
 OVERLOAD_POLICIES = ("reject", "block")
@@ -41,6 +43,16 @@ class ServiceConfig:
     idle_poll_s:
         Core-loop wake-up interval while no work is queued (the loop
         also wakes immediately on submit/cancel/shutdown).
+    window_horizon_s:
+        Horizon of the live telemetry windows (rolling rates, windowed
+        percentiles, SLO burn).  ``math.inf`` keeps everything — the
+        right choice for deterministic replays, where a full-run window
+        must agree with the offline trace analytics.
+    window_max_samples:
+        Hard per-window ring-buffer bound, so sustained overload cannot
+        grow telemetry memory without bound.
+    slo:
+        Per-tenant latency objective tracked by the telemetry plane.
     """
 
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
@@ -50,6 +62,9 @@ class ServiceConfig:
     max_jobs_per_iteration: int | None = None
     default_tenant: str = "default"
     idle_poll_s: float = 0.05
+    window_horizon_s: float = math.inf
+    window_max_samples: int = 8192
+    slo: SLOConfig = field(default_factory=SLOConfig)
 
     def __post_init__(self) -> None:
         if self.max_pending is not None and self.max_pending < 1:
@@ -70,3 +85,11 @@ class ServiceConfig:
             raise ConfigError("default_tenant must be non-empty")
         if self.idle_poll_s <= 0:
             raise ConfigError("idle_poll_s must be positive")
+        if not self.window_horizon_s > 0:
+            raise ConfigError(
+                "window_horizon_s must be positive (math.inf for an "
+                f"unbounded window), got {self.window_horizon_s}")
+        if self.window_max_samples < 1:
+            raise ConfigError(
+                f"window_max_samples must be >= 1, "
+                f"got {self.window_max_samples}")

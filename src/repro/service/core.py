@@ -51,6 +51,8 @@ from ..localrt.live import LiveScanExecutor
 from ..localrt.parallel import MapTaskSpec
 from ..mapreduce.job import JobSpec
 from ..mapreduce.profile import JobProfile, normal_wordcount
+from ..obs.live.slo import SLOStatus
+from ..obs.live.telemetry import ServiceTelemetry
 from ..obs.metrics import MetricsRegistry
 from ..obs.runtime import resolve_tracer
 from ..obs.tracer import Tracer
@@ -67,6 +69,11 @@ from .records import (
 
 #: Name under which the service's block store appears in scan-loop state.
 STORE_FILE_NAME = "service.store"
+
+#: Version of the :meth:`SchedulerService.snapshot` shape.  Bump on any
+#: key addition/removal/rename so ``/status`` consumers (dashboard,
+#: golden tests) detect drift instead of silently misreading.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 #: How long ``shutdown`` waits for the core thread.
 _JOIN_TIMEOUT_S = 30.0
@@ -187,6 +194,13 @@ class SchedulerService:
         self.tracer = resolve_tracer(
             tracer, self.config.execution.trace.enabled, "service")
         self.metrics = MetricsRegistry()
+        # Live windows run on the service's relative clock, so step-mode
+        # replays under a FakeClock produce bit-stable window stats.
+        self.telemetry = ServiceTelemetry(
+            horizon_s=self.config.window_horizon_s,
+            slo=self.config.slo,
+            clock=self._now,
+            max_samples=self.config.window_max_samples)
         self._profile = profile if profile is not None else normal_wordcount()
         self._resolver = _StoreView(store, STORE_FILE_NAME)
         self._jqm = JobQueueManager(
@@ -282,6 +296,7 @@ class SchedulerService:
                 account.rejected += 1
                 depth = self._pending
                 self.metrics.counter("service.reject").inc()
+                self.telemetry.record_reject(tenant)
                 self.tracer.event("service.reject", subject=job.job_id,
                                   tenant=tenant, queue_depth=depth)
                 raise AdmissionRejected(
@@ -413,6 +428,69 @@ class SchedulerService:
         with self._cond:
             return fairness_report(list(self._accounts.values()))
 
+    def readiness(self) -> dict[str, object]:
+        """Live readiness verdict for the ``/readyz`` endpoint.
+
+        Ready ⇔ the core is healthy (no core error, not stopping, and —
+        when a core thread was ever started — still alive; a step-mode
+        service with no thread counts as healthy), the service is
+        accepting submissions (not draining), and the pending queue sits
+        below the overload bound.  The same verdict a load balancer
+        would act on: a 503 here means "stop sending me work", which is
+        exactly what a full pending queue under a strict cap implies.
+        """
+        with self._cond:
+            core_alive = (self._core_error is None
+                          and not self._stopping
+                          and (self._thread is None
+                               or self._thread.is_alive()))
+            accepting = (core_alive and not self._draining)
+            bound = self.config.max_pending
+            overloaded = bound is not None and self._pending >= bound
+            return {
+                "ready": core_alive and accepting and not overloaded,
+                "core_alive": core_alive,
+                "accepting": accepting,
+                "overloaded": overloaded,
+                "queue_depth": self._pending,
+                "max_pending": bound,
+                "draining": self._draining,
+            }
+
+    def slo_report(self) -> tuple[SLOStatus, ...]:
+        """Per-tenant SLO statuses (tenant-sorted) from the live windows."""
+        return self.telemetry.slo_statuses()
+
+    def tenants_report(self) -> dict[str, object]:
+        """Per-tenant live view: accounts, queue depths, windows, SLOs.
+
+        The ``/tenants`` endpoint body: everything an operator needs to
+        answer "who is slow and who is starving" without a trace dump —
+        per-tenant window percentiles, SLO burn, and the cross-tenant
+        Jain fairness indices.
+        """
+        accounts = self.accounts()
+        depths = self.queue_depths()
+        windows = {tenant: record.as_dict()
+                   for tenant, record in self.telemetry.tenants().items()}
+        report = self.fairness()
+        tenants = {
+            tenant: {
+                "account": account.as_dict(),
+                "queue_depth": depths.get(tenant, 0),
+                "telemetry": windows.get(tenant),
+            }
+            for tenant, account in sorted(accounts.items())
+        }
+        return {
+            "tenants": tenants,
+            "fairness": {
+                "response_fairness": report.response_fairness,
+                "throughput_fairness": report.throughput_fairness,
+            },
+            "slo": [status.as_dict() for status in self.slo_report()],
+        }
+
     def accounts(self) -> dict[str, TenantAccount]:
         """Snapshot of the per-tenant accounting records."""
         with self._cond:
@@ -424,6 +502,11 @@ class SchedulerService:
         """Iterations the live scan has completed so far."""
         with self._cond:
             return self._iteration
+
+    @property
+    def executor_metrics(self) -> MetricsRegistry:
+        """The live executor's registry (``io.*`` counters, wave stats)."""
+        return self._executor.metrics
 
     def step(self) -> bool:
         """Advance the scan by one iteration, synchronously.
@@ -524,6 +607,7 @@ class SchedulerService:
         self._pending += 1
         self._set_depth_gauge_locked(tenant)
         self.metrics.counter("service.submit").inc()
+        self.telemetry.record_submit(tenant)
         self.tracer.event("service.submit", subject=job.job_id,
                           tenant=tenant, priority=priority,
                           queue_depth=self._pending)
@@ -551,12 +635,17 @@ class SchedulerService:
                 account.total_wait_s += entry.admitted_at - entry.submitted_at
             account.total_response_s += (entry.finished_at
                                          - entry.submitted_at)
+            self.telemetry.record_complete(
+                entry.tenant, entry.finished_at - entry.submitted_at)
         elif status is JobStatus.CANCELLED:
             account.cancelled += 1
+            self.telemetry.record_cancel(entry.tenant)
         elif status is JobStatus.FAILED:
             account.failed += 1
+            self.telemetry.record_fail(entry.tenant)
         elif status is JobStatus.REJECTED:
             account.rejected += 1
+            self.telemetry.record_reject(entry.tenant)
 
     # -------------------------------------------------------------- core loop
     def _run_core(self) -> None:
@@ -606,6 +695,7 @@ class SchedulerService:
             if bound is not None and self._pending >= bound:
                 account.rejected += 1
                 self.metrics.counter("service.reject").inc()
+                self.telemetry.record_reject(item.tenant)
                 self.tracer.event("service.reject", subject=item.job.job_id,
                                   tenant=item.tenant,
                                   queue_depth=self._pending)
@@ -615,6 +705,7 @@ class SchedulerService:
     def _build_iteration_locked(self) -> _Work | None:
         loop = self._jqm.next_loop_with_work()
         if loop is None:
+            self.metrics.gauge("service.slots_active").set(0)
             return None
         pointer_before = loop.pointer
         iteration = loop.build_iteration(
@@ -622,6 +713,10 @@ class SchedulerService:
             max_jobs=self.config.max_jobs_per_iteration)
         if iteration is None:
             return None
+        # Slot occupancy: jobs concurrently riding this scan iteration
+        # (bounded by the S3 admission cap when one is configured).
+        self.metrics.gauge("service.slots_active").set(
+            len(iteration.participants))
         now = self._now()
         for job_id in loop.last_admitted:
             entry = self._entries[job_id]
@@ -632,6 +727,8 @@ class SchedulerService:
             account.admitted += 1
             self._set_depth_gauge_locked(entry.tenant)
             self.metrics.counter("service.admit").inc()
+            self.telemetry.record_admit(entry.tenant,
+                                        now - entry.submitted_at)
             self.tracer.event("service.admit", subject=job_id,
                               tenant=entry.tenant,
                               start_block=pointer_before,
@@ -723,7 +820,11 @@ class SchedulerService:
         yield from snapshot
 
     def snapshot(self) -> dict[str, object]:
-        """JSON-friendly dump: jobs, tenants, fairness, service metrics."""
+        """JSON-friendly dump: jobs, tenants, fairness, service metrics.
+
+        ``schema_version`` (:data:`SNAPSHOT_SCHEMA_VERSION`) pins the
+        shape; consumers should check it before digging into the keys.
+        """
         with self._cond:
             jobs = {job_id: {
                 "tenant": entry.tenant,
@@ -736,12 +837,15 @@ class SchedulerService:
             iterations = self._iteration
         report = self.fairness()
         return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
             "iterations": iterations,
             "blocks_read": self._executor.blocks_read,
             "jobs": jobs,
             "tenants": accounts,
             "fairness": report.as_dict(),
             "metrics": self.metrics.snapshot(),
+            "telemetry": self.telemetry.snapshot(),
+            "readiness": self.readiness(),
         }
 
 

@@ -1,0 +1,84 @@
+"""Per-tenant SLO tracking: compliance, budget burn, windowed burn."""
+
+import pytest
+
+from repro.common.clock import FakeClock
+from repro.common.errors import ConfigError
+from repro.obs.live.slo import SLOConfig, SLOTracker, format_slo_table
+
+
+def test_slo_config_validation_and_budget():
+    config = SLOConfig(objective_s=2.0, target=0.95)
+    assert config.budget == pytest.approx(0.05)
+    with pytest.raises(ConfigError, match="objective_s"):
+        SLOConfig(objective_s=0.0)
+    with pytest.raises(ConfigError, match="target"):
+        SLOConfig(target=1.0)
+    with pytest.raises(ConfigError, match="target"):
+        SLOConfig(target=0.0)
+
+
+def test_tracker_unused_promise_is_unbroken():
+    tracker = SLOTracker("tenant_a", SLOConfig(), clock=FakeClock())
+    status = tracker.status()
+    assert status.completed == 0
+    assert status.compliance == 1.0
+    assert status.budget_burn == 0.0
+    assert status.healthy
+
+
+def test_tracker_all_within_objective():
+    tracker = SLOTracker("tenant_a", SLOConfig(objective_s=2.0, target=0.9),
+                         clock=FakeClock())
+    for response in (0.5, 1.0, 2.0):  # objective boundary is inclusive
+        tracker.observe(response)
+    status = tracker.status()
+    assert status.completed == 3 and status.within_objective == 3
+    assert status.compliance == 1.0
+    assert status.budget_burn == 0.0
+    assert status.window_burn == 0.0
+    assert status.healthy
+
+
+def test_tracker_burn_math_and_burned_state():
+    # target 0.9 -> budget 0.1; 2 misses out of 4 -> burn 5.0.
+    tracker = SLOTracker("tenant_a", SLOConfig(objective_s=1.0, target=0.9),
+                         clock=FakeClock())
+    for response in (0.5, 0.9, 3.0, 4.0):
+        tracker.observe(response)
+    status = tracker.status()
+    assert status.compliance == pytest.approx(0.5)
+    assert status.budget_burn == pytest.approx(5.0)
+    assert not status.healthy
+    assert status.as_dict()["healthy"] is False
+
+
+def test_window_burn_recovers_while_alltime_burn_remembers():
+    clock = FakeClock()
+    tracker = SLOTracker("tenant_a", SLOConfig(objective_s=1.0, target=0.9),
+                         horizon_s=10.0, clock=clock)
+    tracker.observe(5.0)  # a miss
+    assert tracker.status().window_burn == pytest.approx(10.0)
+    clock.advance(10.0)  # the miss leaves the window
+    tracker.observe(0.5)
+    status = tracker.status()
+    assert status.window_burn == 0.0
+    assert status.window_completed == 1
+    # All-time burn still remembers last night's incident.
+    assert status.budget_burn == pytest.approx(5.0)
+
+
+def test_format_slo_table():
+    clock = FakeClock()
+    good = SLOTracker("tenant_a", SLOConfig(objective_s=2.0, target=0.9),
+                      clock=clock)
+    good.observe(1.0)
+    bad = SLOTracker("tenant_b", SLOConfig(objective_s=0.1, target=0.9),
+                     clock=clock)
+    bad.observe(9.0)
+    table = format_slo_table([bad.status(), good.status()])
+    lines = table.splitlines()
+    assert "tenant" in lines[0] and "burn" in lines[0]
+    # Rows come out tenant-sorted regardless of input order.
+    assert lines[2].startswith("tenant_a") and lines[2].endswith("ok")
+    assert lines[3].startswith("tenant_b") and lines[3].endswith("BURNED")

@@ -1,0 +1,93 @@
+"""Terminal dashboard: frame rendering and the --once scrape path."""
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.common.clock import FakeClock
+from repro.obs.live.exposition import (
+    MetricFamily,
+    Sample,
+    parse_exposition,
+    render_families,
+    telemetry_families,
+)
+from repro.obs.live.telemetry import ServiceTelemetry
+from repro.obs.live.top import render_dashboard, run_top
+
+
+def _gauge(name: str, value: float, labels=()) -> MetricFamily:
+    return MetricFamily(name=name, kind="gauge", help=f"Gauge {name}.",
+                        samples=(Sample(name, tuple(labels), value),))
+
+
+def build_exposition() -> str:
+    clock = FakeClock()
+    telemetry = ServiceTelemetry(horizon_s=60.0, clock=clock)
+    telemetry.record_submit("tenant_a")
+    clock.advance(0.5)
+    telemetry.record_admit("tenant_a", 0.5)
+    clock.advance(1.0)
+    telemetry.record_complete("tenant_a", 1.5)
+    service_families = [
+        _gauge("repro_service_ready", 1),
+        _gauge("repro_service_overloaded", 0),
+        _gauge("repro_service_slots_active", 1),
+        _gauge("repro_service_queue_depth", 0,
+               labels=(("tenant", "tenant_a"),)),
+        MetricFamily(
+            name="repro_service_iterations_total", kind="counter",
+            help="Scan loop iterations.",
+            samples=(Sample("repro_service_iterations_total", (), 3),)),
+    ]
+    return render_families(telemetry_families(telemetry) + service_families)
+
+
+def test_render_dashboard_shows_service_and_tenant_rows():
+    frame = render_dashboard(parse_exposition(build_exposition()),
+                             url="http://example/metrics")
+    assert "ready: yes" in frame
+    assert "overloaded: no" in frame
+    assert "iterations: 3" in frame
+    assert "p99=1.5" in frame  # windowed response quantiles
+    tenant_row = next(line for line in frame.splitlines()
+                      if line.startswith("tenant_a"))
+    assert "1.5" in tenant_row  # per-tenant response p99
+
+
+def test_render_dashboard_without_tenants():
+    body = render_families([_gauge("repro_service_ready", 0)])
+    frame = render_dashboard(parse_exposition(body), url="u")
+    assert "ready: NO" in frame
+    assert "no tenants have submitted" in frame
+
+
+def test_run_top_once_scrapes_a_live_endpoint(capsys):
+    body = build_exposition().encode("utf-8")
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 (stdlib handler API)
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):
+            pass
+
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{server.server_address[1]}/metrics"
+        assert run_top(url, once=True) == 0
+    finally:
+        server.shutdown()
+        thread.join()
+    out = capsys.readouterr().out
+    assert "tenant_a" in out and "ready: yes" in out
+
+
+def test_run_top_reports_unreachable_target(capsys):
+    assert run_top("http://127.0.0.1:9/metrics", once=True) == 1
+    assert "cannot scrape" in capsys.readouterr().out

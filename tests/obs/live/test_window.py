@@ -1,0 +1,182 @@
+"""Sliding windows: exact percentiles, rolling rates, horizon eviction."""
+
+import math
+
+import pytest
+
+from repro.common.clock import FakeClock
+from repro.common.errors import ExecutionError
+from repro.obs.live.window import (
+    RollingCounter,
+    SlidingQuantiles,
+    exact_percentile,
+)
+
+
+# ---------------------------------------------------------------------------
+# exact_percentile — the shared live/offline definition
+
+
+def test_exact_percentile_empty_is_zero():
+    assert exact_percentile([], 50.0) == 0.0
+
+
+def test_exact_percentile_single_value():
+    assert exact_percentile([3.5], 0.0) == 3.5
+    assert exact_percentile([3.5], 50.0) == 3.5
+    assert exact_percentile([3.5], 100.0) == 3.5
+
+
+def test_exact_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert exact_percentile(values, 0.0) == 1.0
+    assert exact_percentile(values, 50.0) == pytest.approx(2.5)
+    assert exact_percentile(values, 100.0) == 4.0
+    assert exact_percentile(values, 25.0) == pytest.approx(1.75)
+
+
+def test_exact_percentile_rejects_bad_rank():
+    with pytest.raises(ExecutionError, match=r"\[0, 100\]"):
+        exact_percentile([1.0], 101.0)
+    with pytest.raises(ExecutionError, match=r"\[0, 100\]"):
+        exact_percentile([1.0], -0.1)
+
+
+# ---------------------------------------------------------------------------
+# RollingCounter
+
+
+def test_rolling_counter_counts_and_totals():
+    clock = FakeClock()
+    counter = RollingCounter("t", horizon_s=10.0, clock=clock)
+    counter.inc()
+    counter.inc(3)
+    assert counter.count() == 4
+    assert counter.total() == 4
+    assert counter.rate() == pytest.approx(0.4)
+
+
+def test_rolling_counter_evicts_past_horizon():
+    clock = FakeClock()
+    counter = RollingCounter("t", horizon_s=10.0, clock=clock)
+    counter.inc(5)
+    clock.advance(9.0)
+    counter.inc(1)
+    assert counter.count() == 6
+    clock.advance(1.0)  # first sample now exactly at the horizon edge
+    assert counter.count() == 1
+    assert counter.total() == 6  # all-time total never evicted
+
+
+def test_rolling_counter_infinite_horizon_rate():
+    clock = FakeClock()
+    counter = RollingCounter("t", horizon_s=math.inf, clock=clock)
+    assert counter.rate() == 0.0  # no elapsed time yet
+    counter.inc(4)
+    clock.advance(2.0)
+    assert counter.count() == 4
+    assert counter.rate() == pytest.approx(2.0)
+
+
+def test_rolling_counter_max_samples_keeps_total_exact():
+    clock = FakeClock()
+    counter = RollingCounter("t", horizon_s=1000.0, clock=clock,
+                             max_samples=4)
+    for _ in range(10):
+        clock.advance(0.1)
+        counter.inc()
+    # The window under-reports (ring bound), the total never does.
+    assert counter.count() == 4
+    assert counter.total() == 10
+
+
+def test_rolling_counter_rejects_bad_inputs():
+    clock = FakeClock()
+    counter = RollingCounter("t", horizon_s=5.0, clock=clock)
+    with pytest.raises(ExecutionError, match="cannot decrease"):
+        counter.inc(-1)
+    with pytest.raises(ExecutionError, match="horizon_s must be positive"):
+        RollingCounter("t", horizon_s=0.0, clock=clock)
+    with pytest.raises(ExecutionError, match="horizon_s must be positive"):
+        RollingCounter("t", horizon_s=math.nan, clock=clock)
+    with pytest.raises(ExecutionError, match="max_samples"):
+        RollingCounter("t", horizon_s=5.0, clock=clock, max_samples=0)
+
+
+# ---------------------------------------------------------------------------
+# SlidingQuantiles
+
+
+def test_sliding_quantiles_snapshot_matches_exact_percentile():
+    clock = FakeClock()
+    window = SlidingQuantiles("t", horizon_s=100.0, clock=clock)
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    for value in values:
+        clock.advance(0.1)
+        window.observe(value)
+    stats = window.snapshot()
+    ordered = sorted(values)
+    assert stats.count == 5
+    assert stats.minimum == 1.0 and stats.maximum == 5.0
+    assert stats.total == pytest.approx(15.0)
+    assert stats.mean == pytest.approx(3.0)
+    for q in (50.0, 95.0, 99.0):
+        assert stats.quantile(q) == exact_percentile(ordered, q)
+
+
+def test_sliding_quantiles_evicts_past_horizon():
+    clock = FakeClock()
+    window = SlidingQuantiles("t", horizon_s=10.0, clock=clock)
+    window.observe(100.0)
+    clock.advance(5.0)
+    window.observe(1.0)
+    assert len(window) == 2
+    clock.advance(5.0)  # first observation hits the horizon edge
+    assert window.values() == (1.0,)
+    assert window.snapshot().quantile(50.0) == 1.0
+
+
+def test_sliding_quantiles_ring_bound_drops_oldest():
+    clock = FakeClock()
+    window = SlidingQuantiles("t", horizon_s=math.inf, clock=clock,
+                              max_samples=3)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        window.observe(value)
+    assert window.values() == (2.0, 3.0, 4.0)
+
+
+def test_sliding_quantiles_empty_snapshot():
+    clock = FakeClock()
+    stats = SlidingQuantiles("t", clock=clock).snapshot()
+    assert stats.count == 0
+    assert stats.mean == 0.0
+    assert stats.quantile(99.0) == 0.0
+    assert stats.as_dict()["p99"] == 0.0
+
+
+def test_sliding_quantiles_unconfigured_quantile_raises():
+    clock = FakeClock()
+    window = SlidingQuantiles("t", quantiles=(50.0,), clock=clock)
+    window.observe(1.0)
+    with pytest.raises(ExecutionError, match="does not report p75"):
+        window.snapshot().quantile(75.0)
+
+
+def test_sliding_quantiles_validates_configuration():
+    clock = FakeClock()
+    with pytest.raises(ExecutionError, match="at least one quantile"):
+        SlidingQuantiles("t", quantiles=(), clock=clock)
+    with pytest.raises(ExecutionError, match=r"\[0, 100\]"):
+        SlidingQuantiles("t", quantiles=(50.0, 101.0), clock=clock)
+    with pytest.raises(ExecutionError, match="strictly increase"):
+        SlidingQuantiles("t", quantiles=(95.0, 50.0), clock=clock)
+
+
+def test_window_stats_as_dict_quantile_keys():
+    clock = FakeClock()
+    window = SlidingQuantiles("t", horizon_s=30.0, clock=clock)
+    window.observe(2.0)
+    out = window.snapshot().as_dict()
+    assert out["horizon_s"] == 30.0
+    assert set(out) == {"horizon_s", "count", "total", "mean", "min",
+                        "max", "p50", "p95", "p99"}

@@ -1,10 +1,14 @@
 """MetricsRegistry: counters, gauges, histograms, ReadStats absorption."""
 
+import dataclasses
+import threading
+
 import pytest
 
 from repro.common.errors import ExecutionError
 from repro.localrt.storage import ReadStats
 from repro.obs import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
 
 
 def test_counter_accumulates_and_rejects_decrease():
@@ -78,3 +82,109 @@ def test_snapshot_and_format_table():
 
 def test_empty_registry_table():
     assert MetricsRegistry().format_table() == "(no metrics recorded)"
+
+
+# ---------------------------------------------------------------------------
+# Histogram.percentile edge cases
+
+
+def test_percentile_empty_histogram_is_zero():
+    hist = MetricsRegistry().histogram("latency", buckets=(1.0, 4.0))
+    assert hist.percentile(50) == 0.0
+    assert hist.percentile(99) == 0.0
+
+
+def test_percentile_rejects_out_of_range_rank():
+    hist = MetricsRegistry().histogram("latency", buckets=(1.0,))
+    with pytest.raises(ExecutionError, match=r"\[0, 100\]"):
+        hist.percentile(-1)
+    with pytest.raises(ExecutionError, match=r"\[0, 100\]"):
+        hist.percentile(100.5)
+
+
+def test_percentile_single_observation_interpolates_its_bucket():
+    hist = MetricsRegistry().histogram("latency", buckets=(1.0, 4.0))
+    hist.observe(2.0)  # lands in the (1, 4] bucket
+    # Every rank interpolates across that one bucket's edges.
+    assert hist.percentile(0) == pytest.approx(1.0)
+    assert hist.percentile(50) == pytest.approx(2.5)
+    assert hist.percentile(100) == pytest.approx(4.0)
+
+
+def test_percentile_one_bucket_histogram_and_overflow_clamp():
+    hist = MetricsRegistry().histogram("latency", buckets=(1.0,))
+    hist.observe(0.5)
+    # Single bucket: first edge is 0, so rank interpolates [0, 1].
+    assert hist.percentile(50) == pytest.approx(0.5)
+    hist.observe(5.0)  # overflow bucket
+    # Ranks landing past the last bound clamp to it.
+    assert hist.percentile(99) == 1.0
+
+
+def test_instruments_preserves_kinds_sorted():
+    registry = MetricsRegistry()
+    registry.gauge("b.gauge")
+    registry.counter("a.counter")
+    registry.histogram("c.hist", buckets=(1.0,))
+    instruments = registry.instruments()
+    assert list(instruments) == ["a.counter", "b.gauge", "c.hist"]
+    assert isinstance(instruments["a.counter"], Counter)
+    assert isinstance(instruments["b.gauge"], Gauge)
+    assert isinstance(instruments["c.hist"], Histogram)
+
+
+# ---------------------------------------------------------------------------
+# Concurrency (run under REPRO_RACECHECK=1 / REPRO_LOCKCHECK=1 in CI)
+
+
+def test_registry_concurrent_updates_and_snapshots():
+    registry = MetricsRegistry()
+    rounds = 200
+    errors: list[BaseException] = []
+
+    def writer() -> None:
+        try:
+            for i in range(rounds):
+                registry.counter("shared.counter").inc()
+                registry.gauge("shared.gauge").add(1.0)
+                registry.histogram("shared.hist",
+                                   buckets=(1.0, 4.0)).observe(i % 5)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def reader() -> None:
+        try:
+            for _ in range(rounds):
+                registry.snapshot()
+                registry.instruments()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    threads += [threading.Thread(target=reader) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert registry.counter("shared.counter").value == 4 * rounds
+    assert registry.gauge("shared.gauge").value == pytest.approx(4 * rounds)
+    assert registry.histogram("shared.hist",
+                              buckets=(1.0, 4.0)).count == 4 * rounds
+
+
+# ---------------------------------------------------------------------------
+# absorb_read_stats with the sharded-store fields
+
+
+def test_absorb_read_stats_covers_sharded_fields():
+    registry = MetricsRegistry()
+    delta = ReadStats(blocks_read=2, bytes_read=64,
+                      bytes_blocks_read=2, replica_fallback_reads=1)
+    registry.absorb_read_stats(delta)
+    snap = registry.snapshot()
+    assert snap["io.bytes_blocks_read"] == 2
+    assert snap["io.replica_fallback_reads"] == 1
+    # Every ReadStats field lands as a counter, none silently dropped.
+    for field in dataclasses.fields(ReadStats):
+        assert f"io.{field.name}" in snap

@@ -1,0 +1,220 @@
+"""Core telemetry wiring: lifecycle edges, live-vs-offline agreement,
+snapshot schema pinning, SLO and tenants reports."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.common.clock import FakeClock
+from repro.common.config import ExecutionConfig, TraceConfig
+from repro.common.errors import AdmissionRejected
+from repro.localrt.jobs import wordcount_job
+from repro.obs.export import export_chrome, load_events
+from repro.obs.live.slo import SLOConfig
+from repro.obs.live.window import exact_percentile
+from repro.service.config import ServiceConfig
+from repro.service.core import SNAPSHOT_SCHEMA_VERSION, SchedulerService
+
+GOLDEN = pathlib.Path(__file__).resolve().parent / "golden"
+
+
+def make_service(store, **kwargs):
+    kwargs.setdefault("execution", ExecutionConfig(blocks_per_segment=4))
+    kwargs.setdefault("idle_poll_s", 0.005)
+    kwargs.setdefault("window_horizon_s", 60.0)
+    clock = kwargs.pop("clock", None)
+    return SchedulerService(store, ServiceConfig(**kwargs), clock=clock)
+
+
+def run_stepped(service, clock, dt=1.0):
+    while service.step():
+        clock.advance(dt)
+
+
+# ------------------------------------------------------------ edge wiring
+
+
+def test_lifecycle_edges_feed_the_windows(store):
+    clock = FakeClock()
+    service = make_service(store, clock=clock)
+    service.submit(wordcount_job("wc_a", r"alpha"), tenant="tenant_a")
+    service.submit(wordcount_job("wc_b", r"beta"), tenant="tenant_b")
+    run_stepped(service, clock)
+    telemetry = service.telemetry
+    assert telemetry.edges["submitted"].total() == 2
+    assert telemetry.edges["admitted"].total() == 2
+    assert telemetry.edges["completed"].total() == 2
+    assert telemetry.edges["rejected"].total() == 0
+    per_tenant = telemetry.tenants()
+    assert set(per_tenant) == {"tenant_a", "tenant_b"}
+    assert per_tenant["tenant_a"].edges["completed"].total() == 1
+    # Window response times agree with the accounting records.
+    accounts = service.accounts()
+    live = telemetry.response_s.snapshot()
+    assert live.count == sum(acc.completed for acc in accounts.values())
+    service.shutdown()
+
+
+def test_reject_edge_recorded_under_strict_cap(store):
+    clock = FakeClock()
+    service = make_service(store, clock=clock, max_pending=1,
+                           overload_policy="reject")
+    service.submit(wordcount_job("wc", r"alpha"), tenant="tenant_a")
+    with pytest.raises(AdmissionRejected):
+        service.submit(wordcount_job("wc2", r"beta"), tenant="tenant_a")
+    assert service.telemetry.edges["rejected"].total() == 1
+    tenant = service.telemetry.tenant("tenant_a")
+    assert tenant.edges["rejected"].total() == 1
+    run_stepped(service, clock)
+    service.shutdown()
+
+
+def test_cancel_edge_recorded(store):
+    clock = FakeClock()
+    service = make_service(store, clock=clock)
+    job_id = service.submit(wordcount_job("wc", r"alpha"), tenant="tenant_a")
+    assert service.cancel(job_id)
+    assert service.telemetry.edges["cancelled"].total() == 1
+    assert service.telemetry.edges["completed"].total() == 0
+    service.shutdown()
+
+
+# --------------------------------------- live windows vs offline analytics
+
+
+def test_windowed_percentiles_agree_with_offline_trace(store, tmp_path):
+    clock = FakeClock()
+    service = make_service(
+        store, clock=clock,
+        execution=ExecutionConfig(blocks_per_segment=4,
+                                  trace=TraceConfig(enabled=True)))
+    jobs = [("tenant_a", "wc_a", r"alpha"), ("tenant_b", "wc_b", r"beta"),
+            ("tenant_a", "wc_c", r"gamma"), ("tenant_b", "wc_d", r"delta")]
+    for index, (tenant, name, pattern) in enumerate(jobs):
+        service.submit_at_iteration(wordcount_job(name, pattern), index,
+                                    tenant=tenant)
+    run_stepped(service, clock)
+    live = service.telemetry.response_s.snapshot()
+
+    trace_path = tmp_path / "service.trace.json"
+    export_chrome(trace_path, [service.tracer])
+    offline = sorted(event["args"]["response_s"]
+                     for event in load_events(trace_path)
+                     if event["name"] == "service.complete")
+    service.shutdown()
+
+    assert live.count == len(offline) == len(jobs)
+    for q in (50.0, 95.0, 99.0):
+        assert live.quantile(q) == exact_percentile(offline, q)
+
+
+# ----------------------------------------------------------- snapshot shape
+
+
+def _key_paths(node, prefix=""):
+    """Every dict key path in a JSON-ish tree (lists collapse to [])."""
+    paths = set()
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            paths.add(path)
+            paths.update(_key_paths(value, path))
+    elif isinstance(node, list):
+        for item in node:
+            paths.update(_key_paths(item, prefix + "[]"))
+    return paths
+
+
+def build_schema_snapshot(store):
+    """The deterministic snapshot whose key paths the golden file pins."""
+    clock = FakeClock()
+    service = make_service(store, clock=clock)
+    service.submit(wordcount_job("wc_a", r"alpha"), tenant="tenant_a")
+    service.submit(wordcount_job("wc_b", r"beta"), tenant="tenant_b")
+    run_stepped(service, clock)
+    snapshot = service.snapshot()
+    service.shutdown()
+    return snapshot
+
+
+def test_snapshot_schema_version_and_golden_shape(store):
+    snapshot = build_schema_snapshot(store)
+    assert snapshot["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+    paths = sorted(_key_paths(snapshot))
+    golden = json.loads((GOLDEN / "snapshot.schema.json").read_text())
+    assert paths == golden, (
+        "snapshot shape drifted from tests/service/golden/"
+        "snapshot.schema.json — bump SNAPSHOT_SCHEMA_VERSION if the "
+        "change is intentional and regenerate with:\n"
+        "  PYTHONPATH=src python tests/service/test_telemetry.py")
+
+
+# ------------------------------------------------------------- SLO reports
+
+
+def test_slo_report_burns_on_missed_objective(store):
+    clock = FakeClock()
+    # Jobs take >= 1 simulated second end to end; a 0.5 s objective with
+    # a 50% target must register misses for every tenant.
+    service = make_service(store, clock=clock,
+                           slo=SLOConfig(objective_s=0.5, target=0.5))
+    service.submit(wordcount_job("wc", r"alpha"), tenant="tenant_a")
+    run_stepped(service, clock)
+    statuses = service.slo_report()
+    assert [status.tenant for status in statuses] == ["tenant_a"]
+    status = statuses[0]
+    assert status.completed == 1 and status.within_objective == 0
+    assert status.budget_burn == pytest.approx(2.0)
+    assert not status.healthy
+    service.shutdown()
+
+
+def test_tenants_report_merges_accounts_windows_and_fairness(store):
+    clock = FakeClock()
+    service = make_service(store, clock=clock)
+    service.submit(wordcount_job("wc_a", r"alpha"), tenant="tenant_a")
+    service.submit(wordcount_job("wc_b", r"beta"), tenant="tenant_b")
+    run_stepped(service, clock)
+    report = service.tenants_report()
+    assert set(report) == {"tenants", "fairness", "slo"}
+    for tenant in ("tenant_a", "tenant_b"):
+        entry = report["tenants"][tenant]
+        assert entry["account"]["completed"] == 1
+        assert entry["queue_depth"] == 0
+        assert entry["telemetry"]["slo"]["tenant"] == tenant
+    assert 0.0 < report["fairness"]["response_fairness"] <= 1.0
+    service.shutdown()
+
+
+# ------------------------------------------------------ readiness (core API)
+
+
+def test_readiness_overload_flip_and_recovery_in_step_mode(store):
+    clock = FakeClock()
+    service = make_service(store, clock=clock, max_pending=1,
+                           overload_policy="reject")
+    assert service.readiness()["ready"] is True
+    service.submit(wordcount_job("wc", r"alpha"), tenant="tenant_a")
+    verdict = service.readiness()
+    assert verdict["overloaded"] is True and verdict["ready"] is False
+    run_stepped(service, clock)
+    verdict = service.readiness()
+    assert verdict["overloaded"] is False and verdict["ready"] is True
+    service.shutdown()
+
+
+if __name__ == "__main__":  # golden regeneration entry point
+    import tempfile
+
+    from repro.localrt.storage import BlockStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = BlockStore.create(
+            pathlib.Path(tmp) / "corpus",
+            [f"alpha beta gamma delta line {i:04d} spam" for i in range(160)],
+            block_size_bytes=512)
+        paths = sorted(_key_paths(build_schema_snapshot(fresh)))
+    (GOLDEN / "snapshot.schema.json").write_text(
+        json.dumps(paths, indent=2) + "\n")
+    print(f"regenerated {GOLDEN / 'snapshot.schema.json'}")
